@@ -1,0 +1,276 @@
+// Package andorsched's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (§5) as testing.B benchmarks:
+//
+//	go test -bench=. -benchmem
+//
+// Each figure benchmark runs the corresponding experiment (reduced to
+// benchRuns simulated executions per point; set ANDORSCHED_BENCH_RUNS=1000
+// for the paper's fidelity), logs the regenerated data table, and reports
+// the mid-sweep normalized energy of the headline schemes as custom
+// metrics. Micro-benchmarks cover the engine, the off-line phase and a
+// single on-line run. EXPERIMENTS.md records paper-vs-measured shapes.
+package andorsched
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"andorsched/internal/andor"
+	"andorsched/internal/core"
+	"andorsched/internal/exectime"
+	"andorsched/internal/experiments"
+	"andorsched/internal/power"
+	"andorsched/internal/sim"
+	"andorsched/internal/workload"
+)
+
+// benchRuns is the number of simulated executions per data point in the
+// figure benchmarks (the paper averages 1000; the default here keeps
+// `go test -bench=.` quick). Override with ANDORSCHED_BENCH_RUNS.
+func benchRuns() int {
+	if s := os.Getenv("ANDORSCHED_BENCH_RUNS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 60
+}
+
+// benchExperiment regenerates one experiment per iteration and logs the
+// resulting table once.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runs := benchRuns()
+	var se *experiments.Series
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		se, err = e.Run(runs, 2002)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Logf("%s (%d runs/point)\n%s", e.Title, runs, se.Table())
+	mid := se.Points[len(se.Points)/2]
+	for _, s := range se.Schemes {
+		b.ReportMetric(mid.NormEnergy[s], s.String()+"@mid")
+	}
+}
+
+// ---- Tables 1 and 2: the platform voltage/speed settings ----
+
+func BenchmarkTable1Transmeta(b *testing.B) {
+	var p *power.Platform
+	for i := 0; i < b.N; i++ {
+		p = power.Transmeta5400()
+	}
+	b.Logf("\n%s", experiments.PlatformTable(p))
+	b.ReportMetric(float64(p.NumLevels()), "levels")
+}
+
+func BenchmarkTable2XScale(b *testing.B) {
+	var p *power.Platform
+	for i := 0; i < b.N; i++ {
+		p = power.IntelXScale()
+	}
+	b.Logf("\n%s", experiments.PlatformTable(p))
+	b.ReportMetric(float64(p.NumLevels()), "levels")
+}
+
+// ---- Figures 4–6: the paper's energy results ----
+
+// Figure 4: normalized energy vs load, ATR on dual-processor systems.
+func BenchmarkFigure4aEnergyVsLoadATR2Transmeta(b *testing.B) { benchExperiment(b, "4a") }
+func BenchmarkFigure4bEnergyVsLoadATR2XScale(b *testing.B)    { benchExperiment(b, "4b") }
+
+// Figure 5: the same on 6-processor systems.
+func BenchmarkFigure5aEnergyVsLoadATR6Transmeta(b *testing.B) { benchExperiment(b, "5a") }
+func BenchmarkFigure5bEnergyVsLoadATR6XScale(b *testing.B)    { benchExperiment(b, "5b") }
+
+// The 4-processor configuration the text reports without a figure.
+func BenchmarkFigureText4ProcATRTransmeta(b *testing.B) { benchExperiment(b, "4p4") }
+
+// Figure 6: normalized energy vs α, synthetic application, 2 processors.
+func BenchmarkFigure6aEnergyVsAlphaSynthetic2Transmeta(b *testing.B) { benchExperiment(b, "6a") }
+func BenchmarkFigure6bEnergyVsAlphaSynthetic2XScale(b *testing.B)    { benchExperiment(b, "6b") }
+
+// ---- Ablations: the paper's stated future work (§6) ----
+
+func BenchmarkAblationFminRatio(b *testing.B)   { benchExperiment(b, "fmin") }
+func BenchmarkAblationSpeedLevels(b *testing.B) { benchExperiment(b, "levels") }
+func BenchmarkAblationOverhead(b *testing.B)    { benchExperiment(b, "overhead") }
+func BenchmarkAblationProcessors(b *testing.B)  { benchExperiment(b, "procs") }
+
+// BenchmarkAblationClairvoyantBound compares every scheme (including the
+// per-PMP speculation extension) against the clairvoyant single-speed
+// oracle over load.
+func BenchmarkAblationClairvoyantBound(b *testing.B) { benchExperiment(b, "clv") }
+
+// BenchmarkAblationStructure sweeps the OR-fork density of random
+// applications: how much path slack the AND/OR extension unlocks.
+func BenchmarkAblationStructure(b *testing.B) { benchExperiment(b, "structure") }
+
+// BenchmarkAblationVoltageSlew sweeps the voltage-slew transition cost
+// (the Burd & Brodersen model the paper cites as [3]).
+func BenchmarkAblationVoltageSlew(b *testing.B) { benchExperiment(b, "slew") }
+
+// BenchmarkSpeedChangeCounts reports the quantity the speculative schemes
+// are designed to reduce: mean voltage/speed changes per run (§1, §4).
+func BenchmarkSpeedChangeCounts(b *testing.B) {
+	e, err := experiments.ByID("4a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	runs := benchRuns()
+	var se *experiments.Series
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		se, err = e.Run(runs, 2002)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Logf("\n%s", se.ChangesTable())
+	mid := se.Points[len(se.Points)/2]
+	for _, s := range se.Schemes {
+		b.ReportMetric(mid.SpeedChanges[s], s.String()+"-changes@mid")
+	}
+}
+
+// ---- Micro-benchmarks: the machinery itself ----
+
+// BenchmarkOfflinePlanATR measures the off-line phase (canonical
+// schedules, aggregation, shifting) for the ATR application.
+func BenchmarkOfflinePlanATR(b *testing.B) {
+	g := workload.ATR(workload.DefaultATRConfig())
+	plat := power.Transmeta5400()
+	ov := power.DefaultOverheads()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewPlan(g, 2, plat, ov); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunGSSSynthetic measures one on-line execution (all sections,
+// barrier handling, energy accounting) of the Figure 3 application.
+func BenchmarkRunGSSSynthetic(b *testing.B) {
+	plan, err := core.NewPlan(workload.Synthetic(), 2, power.Transmeta5400(), power.DefaultOverheads())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := plan.CTWorst / 0.5
+	src := exectime.NewSource(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Run(core.RunConfig{
+			Scheme: core.GSS, Deadline: d,
+			Sampler: exectime.NewSampler(src.Fork()),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineScaling measures the event-driven engine across section
+// sizes and processor counts (layered sections, 4-wide layers).
+func BenchmarkEngineScaling(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		for _, m := range []int{2, 8} {
+			b.Run(fmt.Sprintf("tasks=%d/procs=%d", n, m), func(b *testing.B) {
+				plat := power.Transmeta5400()
+				tasks := make([]*sim.Task, n)
+				for i := range tasks {
+					t := &sim.Task{Name: "t", WorkW: 5e6, WorkA: 4e6, Order: i, LFT: 10}
+					if i >= 4 {
+						t.Preds = []int{i - 4}
+						tasks[i-4].Succs = append(tasks[i-4].Succs, i)
+					}
+					tasks[i] = t
+				}
+				cfg := sim.Config{Platform: plat, Mode: sim.ByOrder, Procs: m}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.Run(cfg, tasks); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+			})
+		}
+	}
+}
+
+// BenchmarkOfflinePlanRandomLarge measures the off-line phase on a larger
+// randomly generated application.
+func BenchmarkOfflinePlanRandomLarge(b *testing.B) {
+	opts := andor.DefaultRandomOpts()
+	opts.MaxStages = 6
+	opts.MaxWidth = 6
+	g := workload.Random(17, opts)
+	plat := power.Transmeta5400()
+	ov := power.DefaultOverheads()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewPlan(g, 4, plat, ov); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.Len()), "nodes")
+}
+
+// BenchmarkStreamATR measures sustained frame-stream throughput (frames
+// simulated per second of wall clock) under adaptive speculation.
+func BenchmarkStreamATR(b *testing.B) {
+	plan, err := core.NewPlan(workload.ATR(workload.DefaultATRConfig()), 2,
+		power.Transmeta5400(), power.DefaultOverheads())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const frames = 200
+	src := exectime.NewSource(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := plan.RunStream(core.StreamConfig{
+			Scheme: core.AS, Period: plan.CTWorst / 0.6, Frames: frames,
+			Sampler: exectime.NewSampler(src.Fork()), CarryLevels: true,
+		})
+		if err != nil || res.DeadlineMisses != 0 {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(frames)*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkEngineSection measures the raw event-driven engine on a
+// 64-task AND-parallel section across 4 processors.
+func BenchmarkEngineSection(b *testing.B) {
+	plat := power.Transmeta5400()
+	const n = 64
+	tasks := make([]*sim.Task, n)
+	for i := range tasks {
+		t := &sim.Task{Name: "t", WorkW: 5e6, WorkA: 4e6, Order: i}
+		if i >= 4 {
+			t.Preds = []int{i - 4}
+			tasks[i-4].Succs = append(tasks[i-4].Succs, i)
+		}
+		t.LFT = 1 // ample
+		tasks[i] = t
+	}
+	cfg := sim.Config{Platform: plat, Mode: sim.ByOrder, Procs: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg, tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "tasks/run")
+}

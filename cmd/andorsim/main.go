@@ -1,0 +1,215 @@
+// Command andorsim runs one power-aware scheduling simulation: it plans an
+// AND/OR application on a multiprocessor DVS platform, executes it once
+// under the selected scheme, and reports timing, energy and (optionally)
+// the schedule.
+//
+// Examples:
+//
+//	andorsim -workload atr -procs 2 -platform transmeta -scheme GSS -load 0.5
+//	andorsim -workload synthetic -scheme AS -load 0.7 -trace
+//	andorsim -workload random:7 -platform xscale -scheme SS2 -deadline 0.08 -worst
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"andorsched/internal/cli"
+	"andorsched/internal/core"
+	"andorsched/internal/exectime"
+	"andorsched/internal/experiments"
+	"andorsched/internal/power"
+	"andorsched/internal/sim"
+)
+
+func main() {
+	var (
+		workloadF = flag.String("workload", "synthetic", "application: atr, synthetic, random[:seed], or a .json graph file")
+		platF     = flag.String("platform", "transmeta", "platform: transmeta, xscale, or synthetic:N:fminMHz:fmaxMHz")
+		procsF    = flag.Int("procs", 2, "number of processors")
+		schemeF   = flag.String("scheme", "GSS", "power management scheme: NPM, SPM, GSS, SS1, SS2, AS, or the extensions CLV, ASP")
+		loadF     = flag.Float64("load", 0.5, "system load (canonical worst case / deadline); ignored if -deadline is set")
+		deadlineF = flag.Float64("deadline", 0, "absolute deadline in seconds (overrides -load)")
+		seedF     = flag.Uint64("seed", 42, "random seed for actual execution times and OR branches")
+		worstF    = flag.Bool("worst", false, "run with worst-case execution times instead of sampled ones")
+		traceF    = flag.Bool("trace", false, "print the per-processor schedule (Gantt)")
+		planF     = flag.Bool("plan", false, "print the off-line plan (sections, PMP values, latest start times)")
+		streamF   = flag.Int("stream", 0, "simulate this many periodic frames instead of a single run (period = deadline)")
+		compareF  = flag.String("compare", "", "two schemes 'A,B': paired significance test over -runs frames instead of a single run")
+		runsF     = flag.Int("runs", 500, "frames for -compare")
+		svgF      = flag.String("svg", "", "write the schedule as an SVG timeline to this file")
+		chromeF   = flag.String("chrome-trace", "", "write the schedule as Chrome Trace Event JSON to this file")
+		changeusF = flag.Float64("change-overhead-us", 5, "voltage/speed change overhead in µs")
+		compF     = flag.Float64("comp-overhead-cycles", 600, "speed computation overhead in cycles")
+		slewF     = flag.Float64("slew-us-per-volt", 0, "voltage-slew transition cost in µs per volt (0 = the paper's fixed-cost model)")
+	)
+	flag.Parse()
+
+	if err := run(*workloadF, *platF, *procsF, *schemeF, *loadF, *deadlineF,
+		*seedF, *worstF, *traceF, *planF, *streamF, *compareF, *runsF,
+		*svgF, *chromeF, *changeusF, *compF, *slewF); err != nil {
+		fmt.Fprintln(os.Stderr, "andorsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workloadSpec, platSpec string, procs int, schemeName string,
+	load, deadline float64, seed uint64, worst, trace, printPlan bool, stream int,
+	compare string, runs int, svgPath, chromePath string, changeUs, compCycles, slewUsPerV float64) error {
+	g, err := cli.ParseWorkload(workloadSpec)
+	if err != nil {
+		return err
+	}
+	plat, err := cli.ParsePlatform(platSpec)
+	if err != nil {
+		return err
+	}
+	scheme, err := core.ParseScheme(schemeName)
+	if err != nil {
+		return err
+	}
+	ov := power.Overheads{SpeedCompCycles: compCycles, SpeedChangeTime: changeUs * 1e-6, VoltSlewTime: slewUsPerV * 1e-6}
+
+	plan, err := core.NewPlan(g, procs, plat, ov)
+	if err != nil {
+		return err
+	}
+	if deadline == 0 {
+		if load <= 0 || load > 1 {
+			return fmt.Errorf("load %g outside (0,1]", load)
+		}
+		deadline = plan.CTWorst / load
+	}
+
+	fmt.Printf("application : %s (%d nodes, %d sections, %d execution paths)\n",
+		g.Name, g.Len(), plan.NumSections(), plan.Sections.NumPaths())
+	fmt.Printf("platform    : %d × %s (%d levels, %s – %s)\n",
+		procs, plat.Name, plat.NumLevels(), plat.Min(), plat.Max())
+	fmt.Printf("off-line    : CT_worst=%.3fms CT_avg=%.3fms deadline=%.3fms (load %.3f)\n",
+		plan.CTWorst*1e3, plan.CTAvg*1e3, deadline*1e3, plan.CTWorst/deadline)
+
+	if printPlan {
+		fmt.Println()
+		fmt.Print(plan.Describe(deadline))
+		fmt.Println()
+	}
+
+	if compare != "" {
+		names := strings.SplitN(compare, ",", 2)
+		if len(names) != 2 {
+			return fmt.Errorf("-compare wants two scheme names 'A,B'")
+		}
+		a, err := core.ParseScheme(names[0])
+		if err != nil {
+			return err
+		}
+		bScheme, err := core.ParseScheme(names[1])
+		if err != nil {
+			return err
+		}
+		cmp, err := experiments.CompareSchemes(plan, a, bScheme, deadline, runs, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("paired comparison over %d frames (common random numbers):\n", cmp.Runs)
+		fmt.Printf("  E[%s] − E[%s] = %+.4f ±%.4f (normalized to NPM), z = %.2f\n",
+			cmp.A, cmp.B, cmp.MeanDiff, cmp.CI95, cmp.Z)
+		switch {
+		case !cmp.Significant:
+			fmt.Println("  verdict: no significant difference at the 5% level")
+		case cmp.MeanDiff < 0:
+			fmt.Printf("  verdict: %s saves significantly more energy than %s\n", cmp.A, cmp.B)
+		default:
+			fmt.Printf("  verdict: %s saves significantly more energy than %s\n", cmp.B, cmp.A)
+		}
+		return nil
+	}
+
+	if stream > 0 {
+		res, err := plan.RunStream(core.StreamConfig{
+			Scheme: scheme, Period: deadline, Frames: stream,
+			Sampler:     exectime.NewSampler(exectime.NewSource(seed)),
+			CarryLevels: true,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scheme      : %s over %d frames (period %.3fms)\n", scheme, stream, deadline*1e3)
+		fmt.Printf("energy      : total %.4gJ = active %.4g + overhead %.4g + idle %.4g\n",
+			res.Energy(), res.ActiveEnergy, res.OverheadEnergy, res.IdleEnergy)
+		fmt.Printf("timing      : %d misses, %d LST violations, finish avg %.3fms max %.3fms\n",
+			res.DeadlineMisses, res.LSTViolations, res.FinishStats.Mean()*1e3, res.FinishStats.Max()*1e3)
+		fmt.Printf("speed chgs  : %d (%.2f per frame)\n", res.SpeedChanges, float64(res.SpeedChanges)/float64(stream))
+		return nil
+	}
+
+	collect := trace || svgPath != "" || chromePath != ""
+	cfg := core.RunConfig{Scheme: scheme, Deadline: deadline, CollectTrace: collect}
+	if worst {
+		cfg.WorstCase = true
+	} else {
+		cfg.Sampler = exectime.NewSampler(exectime.NewSource(seed))
+	}
+	res, err := plan.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scheme      : %s\n", scheme)
+	fmt.Printf("finish      : %.3fms (deadline met: %v, LST violations: %d)\n",
+		res.Finish*1e3, res.MetDeadline, res.LSTViolations)
+	fmt.Printf("path        : %d OR decisions", len(res.Path))
+	for _, c := range res.Path {
+		fmt.Printf("  %s→%d", c.Or.Name, c.Branch)
+	}
+	fmt.Println()
+	fmt.Printf("energy      : total %.4gJ = active %.4gJ + overhead %.4gJ + idle %.4gJ\n",
+		res.Energy(), res.ActiveEnergy, res.OverheadEnergy, res.IdleEnergy)
+	fmt.Printf("speed chgs  : %d\n", res.SpeedChanges)
+	fmt.Printf("residency   :")
+	for i, t := range res.LevelTime {
+		if t > 0 {
+			fmt.Printf("  %.0fMHz %.1f%%", plat.Levels()[i].Freq/1e6, 100*t/res.BusyTime)
+		}
+	}
+	fmt.Println()
+
+	// The NPM baseline for context.
+	baseCfg := cfg
+	baseCfg.Scheme = core.NPM
+	baseCfg.CollectTrace = false
+	if !worst {
+		baseCfg.Sampler = exectime.NewSampler(exectime.NewSource(seed))
+	}
+	base, err := plan.Run(baseCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("vs NPM      : %.4f (NPM total %.4gJ)\n", res.Energy()/base.Energy(), base.Energy())
+
+	if trace {
+		fmt.Println("\nschedule:")
+		fmt.Print(sim.Gantt(plat, res.Trace))
+		fmt.Println()
+		fmt.Print(sim.Timeline(res.Trace, deadline, 100))
+	}
+	if svgPath != "" {
+		if err := os.WriteFile(svgPath, []byte(sim.SVG(plat, res.Trace, deadline)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", svgPath)
+	}
+	if chromePath != "" {
+		data, err := sim.ChromeTrace(plat, res.Trace)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(chromePath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (open in chrome://tracing)\n", chromePath)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs f with stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	data := make([]byte, 0, 1<<16)
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		data = append(data, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	return string(data), runErr
+}
+
+func TestRunSingle(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("synthetic", "transmeta", 2, "GSS", 0.5, 0, 42,
+			false, false, false, 0, "", 0, "", "", 5, 600, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"application", "deadline met: true", "vs NPM", "residency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTraceAndExports(t *testing.T) {
+	dir := t.TempDir()
+	svg := filepath.Join(dir, "s.svg")
+	chrome := filepath.Join(dir, "t.json")
+	out, err := capture(t, func() error {
+		return run("atr", "xscale", 2, "AS", 0.6, 0, 1,
+			false, true, true, 0, "", 0, svg, chrome, 5, 600, 50)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"off-line plan", "schedule:", "legend:", "wrote"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	for _, f := range []string{svg, chrome} {
+		if st, err := os.Stat(f); err != nil || st.Size() == 0 {
+			t.Errorf("export %s missing or empty", f)
+		}
+	}
+}
+
+func TestRunStreamMode(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("synthetic", "transmeta", 2, "SS2", 0.7, 0, 9,
+			false, false, false, 50, "", 0, "", "", 5, 600, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "over 50 frames") || !strings.Contains(out, "0 misses") {
+		t.Errorf("stream output wrong:\n%s", out)
+	}
+}
+
+func TestRunCompareMode(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("atr", "transmeta", 2, "GSS", 0.6, 0, 5,
+			false, false, false, 0, "AS,GSS", 60, "", "", 5, 600, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "paired comparison") || !strings.Contains(out, "verdict") {
+		t.Errorf("compare output wrong:\n%s", out)
+	}
+}
+
+func TestRunErrorsMain(t *testing.T) {
+	cases := []func() error{
+		func() error {
+			return run("bogus", "transmeta", 2, "GSS", 0.5, 0, 1, false, false, false, 0, "", 0, "", "", 5, 600, 0)
+		},
+		func() error {
+			return run("synthetic", "bogus", 2, "GSS", 0.5, 0, 1, false, false, false, 0, "", 0, "", "", 5, 600, 0)
+		},
+		func() error {
+			return run("synthetic", "transmeta", 2, "BOGUS", 0.5, 0, 1, false, false, false, 0, "", 0, "", "", 5, 600, 0)
+		},
+		func() error { // bad load
+			return run("synthetic", "transmeta", 2, "GSS", 1.5, 0, 1, false, false, false, 0, "", 0, "", "", 5, 600, 0)
+		},
+		func() error { // malformed compare
+			return run("synthetic", "transmeta", 2, "GSS", 0.5, 0, 1, false, false, false, 0, "onlyone", 10, "", "", 5, 600, 0)
+		},
+	}
+	for i, f := range cases {
+		if _, err := capture(t, f); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Command experiments regenerates the paper's evaluation: the platform
+// tables (Tables 1–2) and every figure's data series (Figures 4–6), plus
+// the ablation studies. Output is aligned text by default, or CSV files
+// with -out.
+//
+// Examples:
+//
+//	experiments -list
+//	experiments -tables
+//	experiments -id 4a -runs 1000
+//	experiments -id all -runs 200 -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"andorsched/internal/core"
+	"andorsched/internal/experiments"
+	"andorsched/internal/power"
+	"andorsched/internal/workload"
+)
+
+func main() {
+	var (
+		listF     = flag.Bool("list", false, "list available experiments and exit")
+		tablesF   = flag.Bool("tables", false, "print the paper's platform tables (Tables 1 and 2) and exit")
+		idF       = flag.String("id", "all", "experiment ID (e.g. 4a, 6b, fmin) or 'all'")
+		runsF     = flag.Int("runs", 200, "simulated executions per data point (the paper uses 1000)")
+		seedF     = flag.Uint64("seed", 2002, "random seed")
+		outF      = flag.String("out", "", "directory to write per-experiment CSV files instead of printing tables")
+		changesF  = flag.Bool("changes", false, "also print mean speed-change counts per point")
+		htmlF     = flag.String("html", "", "write a self-contained HTML report (charts + tables) to this file")
+		winnersF  = flag.Bool("winners", false, "print the scheme-selection map (best scheme per load × α cell) and exit")
+		parallelF = flag.Int("parallel", 0, "worker goroutines per data point (0 = all CPUs); results are identical for any value")
+	)
+	flag.Parse()
+	experiments.SetDefaultWorkers(*parallelF)
+
+	if err := run(*listF, *tablesF, *idF, *runsF, *seedF, *outF, *htmlF, *changesF, *winnersF); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(list, tables bool, id string, runs int, seed uint64, out, html string, changes, winners bool) error {
+	if list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if tables {
+		fmt.Println(experiments.PlatformTable(power.Transmeta5400()))
+		fmt.Println(experiments.PlatformTable(power.IntelXScale()))
+		return nil
+	}
+	if winners {
+		return runWinners(runs, seed)
+	}
+
+	var todo []experiments.Experiment
+	if id == "all" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	if html != "" {
+		doc, err := experiments.HTMLReport(todo, runs, seed, func(id string) {
+			fmt.Fprintf(os.Stderr, "running %s (%d runs/point)...\n", id, runs)
+		})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(html, []byte(doc), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", html)
+		return nil
+	}
+
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, e := range todo {
+		fmt.Fprintf(os.Stderr, "running %s (%d runs/point)...\n", e.ID, runs)
+		se, err := e.Run(runs, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if out != "" {
+			path := filepath.Join(out, "fig"+e.ID+".csv")
+			if err := os.WriteFile(path, []byte(se.CSV()), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+			continue
+		}
+		fmt.Println(se.Table())
+		if changes {
+			fmt.Println(se.ChangesTable())
+		}
+	}
+	return nil
+}
+
+// runWinners prints the scheme-selection maps for the paper's two
+// platforms on the ATR workload: which scheme to deploy at each (load, α)
+// operating point.
+func runWinners(runs int, seed uint64) error {
+	grid := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	alphas := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	for _, plat := range []*power.Platform{power.Transmeta5400(), power.IntelXScale()} {
+		fmt.Fprintf(os.Stderr, "computing winner map on %s...\n", plat.Name)
+		g, err := experiments.WinnerMap(experiments.Config{
+			Graph:     workload.ATR(workload.DefaultATRConfig()),
+			Procs:     2,
+			Platform:  plat,
+			Overheads: power.DefaultOverheads(),
+			Schemes: []core.Scheme{core.SPM, core.GSS, core.SS1,
+				core.SS2, core.AS},
+			Runs: runs,
+			Seed: seed,
+		}, grid, alphas)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# ATR on 2×%s — best scheme per (load, α)\n%s\n", plat.Name, experiments.WinnerTable(g))
+	}
+	return nil
+}

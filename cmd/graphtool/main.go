@@ -1,0 +1,141 @@
+// Command graphtool inspects AND/OR application graphs: validation,
+// structural statistics, program-section decomposition, execution-path
+// enumeration, and export to Graphviz DOT or JSON.
+//
+// Examples:
+//
+//	graphtool -workload synthetic -stats -paths
+//	graphtool -workload atr -dot > atr.dot
+//	graphtool -workload random:9 -json > app.json
+//	graphtool -workload app.json -sections
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"andorsched/internal/andor"
+	"andorsched/internal/cli"
+)
+
+func main() {
+	var (
+		workloadF = flag.String("workload", "synthetic", "application: atr, synthetic, random[:seed], or a .json graph file")
+		statsF    = flag.Bool("stats", false, "print node/edge/section statistics")
+		sectionsF = flag.Bool("sections", false, "print the program-section decomposition")
+		pathsF    = flag.Bool("paths", false, "enumerate execution paths with probabilities and work sums")
+		dotF      = flag.Bool("dot", false, "write Graphviz DOT to stdout")
+		jsonF     = flag.Bool("json", false, "write the graph as JSON to stdout")
+		andorF    = flag.Bool("andor", false, "write the graph in the .andor text format to stdout")
+		svgF      = flag.Bool("svg", false, "write the graph as a self-contained SVG drawing to stdout")
+		metricsF  = flag.Bool("metrics", false, "print detailed structural metrics")
+		limitF    = flag.Int("path-limit", 1000, "maximum paths to enumerate")
+	)
+	flag.Parse()
+
+	if err := run(*workloadF, *statsF, *sectionsF, *pathsF, *dotF, *jsonF, *andorF, *svgF, *metricsF, *limitF); err != nil {
+		fmt.Fprintln(os.Stderr, "graphtool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(spec string, stats, sections, paths, dot, asJSON, asAndor, asSVG, metrics bool, limit int) error {
+	g, err := cli.ParseWorkload(spec)
+	if err != nil {
+		return err
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if dot {
+		fmt.Print(g.DOT())
+		return nil
+	}
+	if asJSON {
+		data, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	if asAndor {
+		fmt.Print(andor.FormatText(g))
+		return nil
+	}
+	if asSVG {
+		fmt.Print(g.SVG())
+		return nil
+	}
+	if metrics {
+		m, err := andor.ComputeMetrics(g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("graph                 : %s\n", g.Name)
+		fmt.Printf("tasks/and/or/edges    : %d / %d / %d / %d\n", m.Tasks, m.AndNodes, m.OrNodes, m.Edges)
+		fmt.Printf("total WCET / ACET     : %.3fms / %.3fms (mean α %.3f)\n",
+			m.TotalWCET*1e3, m.TotalACET*1e3, m.MeanAlpha)
+		fmt.Printf("critical path         : %.3fms (structural parallelism %.2f)\n",
+			m.CriticalPathWCET*1e3, m.StructuralParallelism)
+		fmt.Printf("expected work per run : %.3fms (probability-weighted over paths)\n", m.ExpectedWork*1e3)
+		fmt.Printf("sections / paths      : %d / %d (largest section %d nodes)\n",
+			m.Sections, m.Paths, m.MaxSectionTasks)
+		fmt.Printf("depth                 : %d nodes\n", m.Depth)
+		return nil
+	}
+	if !stats && !sections && !paths {
+		stats = true // default action
+	}
+
+	secs, err := andor.Decompose(g)
+	if err != nil {
+		return err
+	}
+	if stats {
+		var tasks, ands, ors, edges int
+		for _, n := range g.Nodes() {
+			edges += len(n.Succs())
+			switch n.Kind {
+			case andor.Compute:
+				tasks++
+			case andor.And:
+				ands++
+			case andor.Or:
+				ors++
+			}
+		}
+		fmt.Printf("graph      : %s (valid)\n", g.Name)
+		fmt.Printf("nodes      : %d tasks, %d AND, %d OR; %d edges\n", tasks, ands, ors, edges)
+		fmt.Printf("work       : total WCET %.3fms, total ACET %.3fms, structural critical path %.3fms\n",
+			g.TotalWCET()*1e3, g.TotalACET()*1e3, g.CriticalPathWCET()*1e3)
+		fmt.Printf("sections   : %d\n", len(secs.All))
+		fmt.Printf("paths      : %d\n", secs.NumPaths())
+	}
+	if sections {
+		for _, s := range secs.All {
+			exit := "END"
+			if s.Exit != nil {
+				exit = s.Exit.Name
+			}
+			fmt.Printf("section %-3d: %2d nodes, WCET %.3fms, ACET %.3fms, exit %s\n",
+				s.ID, len(s.Nodes), s.WCETSum()*1e3, s.ACETSum()*1e3, exit)
+			for _, n := range s.Nodes {
+				fmt.Printf("             %s\n", n)
+			}
+		}
+	}
+	if paths {
+		ps, err := secs.Paths(limit)
+		if err != nil {
+			return err
+		}
+		for i, p := range ps {
+			fmt.Printf("path %-3d p=%-8.4g WCET %.3fms ACET %.3fms  %s\n",
+				i, p.Prob, p.WCETSum()*1e3, p.ACETSum()*1e3, p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	data := make([]byte, 0, 1<<16)
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		data = append(data, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	return string(data), runErr
+}
+
+func TestStatsDefault(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("synthetic", false, false, false, false, false, false, false, false, 100)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"synthetic-fig3", "sections   : 11", "paths      : 16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSectionsAndPaths(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("atr", false, true, true, false, false, false, false, false, 100)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "section 0") || !strings.Contains(out, "path 0") {
+		t.Errorf("sections/paths output wrong:\n%s", out)
+	}
+}
+
+func TestExports(t *testing.T) {
+	dot, err := capture(t, func() error {
+		return run("synthetic", false, false, false, true, false, false, false, false, 100)
+	})
+	if err != nil || !strings.Contains(dot, "digraph") {
+		t.Errorf("dot export wrong: %v", err)
+	}
+	js, err := capture(t, func() error {
+		return run("synthetic", false, false, false, false, true, false, false, false, 100)
+	})
+	if err != nil || !strings.Contains(js, `"kind": "compute"`) {
+		t.Errorf("json export wrong: %v", err)
+	}
+	ao, err := capture(t, func() error {
+		return run("synthetic", false, false, false, false, false, true, false, false, 100)
+	})
+	if err != nil || !strings.Contains(ao, "app synthetic-fig3") {
+		t.Errorf("andor export wrong: %v", err)
+	}
+	me, err := capture(t, func() error {
+		return run("synthetic", false, false, false, false, false, false, false, true, 100)
+	})
+	if err != nil || !strings.Contains(me, "structural parallelism") {
+		t.Errorf("metrics output wrong: %v\n%s", err, me)
+	}
+}
+
+func TestPathLimit(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run("synthetic", false, false, true, false, false, false, false, false, 2)
+	}); err == nil {
+		t.Error("want path-limit error")
+	}
+}
+
+func TestBadWorkload(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run("bogus", true, false, false, false, false, false, false, false, 100)
+	}); err == nil {
+		t.Error("want workload error")
+	}
+}
+
+func TestSVGExport(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("synthetic", false, false, false, false, false, false, true, false, 100)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "rect", "ellipse", "polygon", "30%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG export missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Synthetic example: the paper's Figure 3 application, demonstrating the
+// effect of α (average-case over worst-case execution time) on each
+// scheme's energy — a reduced-resolution version of Figure 6 with live
+// commentary, plus an inspection of the application's execution paths.
+//
+//	go run ./examples/synthetic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"andorsched/internal/andor"
+	"andorsched/internal/core"
+	"andorsched/internal/experiments"
+	"andorsched/internal/power"
+	"andorsched/internal/workload"
+)
+
+func main() {
+	g := workload.Synthetic()
+	fmt.Printf("synthetic application (paper Figure 3): %d nodes\n", g.Len())
+
+	secs, err := andor.Decompose(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	paths, err := secs.Paths(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d program sections, %d execution paths:\n", len(secs.All), len(paths))
+	for i, p := range paths {
+		fmt.Printf("  path %2d  p=%6.4f  worst %5.1fms  avg %5.1fms\n",
+			i, p.Prob, p.WCETSum()*1e3, p.ACETSum()*1e3)
+	}
+
+	fmt.Printf("\nnormalized energy vs α on 2 × Intel XScale at load %.1f (%d runs/point):\n\n",
+		experiments.Fig6Load, 200)
+	se, err := experiments.EnergyVsAlpha(experiments.Config{
+		Graph:     g,
+		Procs:     2,
+		Platform:  power.IntelXScale(),
+		Overheads: power.DefaultOverheads(),
+		Schemes:   []core.Scheme{core.SPM, core.GSS, core.SS1, core.SS2, core.AS},
+		Runs:      200,
+		Seed:      6,
+	}, experiments.Fig6Load, []float64{0.2, 0.4, 0.6, 0.8, 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(se.Table())
+	fmt.Println("SPM barely moves with α (it only uses static slack), while the")
+	fmt.Println("dynamic schemes are best at moderate α: at low α dynamic slack is")
+	fmt.Println("plentiful but capped by f_min; at α = 1 only path slack remains (§5).")
+}

@@ -1,0 +1,3 @@
+module andorsched
+
+go 1.22

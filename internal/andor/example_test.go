@@ -1,0 +1,77 @@
+package andor_test
+
+import (
+	"fmt"
+
+	"andorsched/internal/andor"
+)
+
+// Example builds the paper's Figure 1b OR structure — a branch where only
+// one of two tasks executes — and inspects its program sections and
+// execution paths.
+func Example() {
+	g := andor.NewGraph("figure1b")
+	a := g.AddTask("A", 8e-3, 5e-3)
+	o3 := g.AddOr("O3")
+	f := g.AddTask("F", 8e-3, 6e-3)
+	gg := g.AddTask("G", 5e-3, 3e-3)
+	o4 := g.AddOr("O4")
+	done := g.AddTask("Done", 2e-3, 1e-3)
+	g.AddEdge(a, o3)
+	g.AddEdge(o3, f)
+	g.AddEdge(o3, gg)
+	g.SetBranchProbs(o3, 0.30, 0.70)
+	g.AddEdge(f, o4)
+	g.AddEdge(gg, o4)
+	g.AddEdge(o4, done)
+	if err := g.Validate(); err != nil {
+		fmt.Println("invalid:", err)
+		return
+	}
+
+	s, _ := andor.Decompose(g)
+	fmt.Printf("sections: %d, paths: %d\n", len(s.All), s.NumPaths())
+	paths, _ := s.Paths(0)
+	for _, p := range paths {
+		fmt.Printf("p=%.2f worst=%.0fms\n", p.Prob, p.WCETSum()*1e3)
+	}
+	// Output:
+	// sections: 4, paths: 2
+	// p=0.30 worst=18ms
+	// p=0.70 worst=15ms
+}
+
+// ExampleExpandLoop unrolls a loop that runs 1–3 times into its OR-graph
+// equivalent (§2.1 of the paper).
+func ExampleExpandLoop() {
+	g := andor.NewGraph("loop")
+	entry, exit := andor.ExpandLoop(g, "Retry", 4e-3, 2e-3, []float64{0.5, 0.3, 0.2})
+	fmt.Println("entry:", entry.Name, "exit:", exit.Name)
+	s, _ := andor.Decompose(g)
+	fmt.Println("paths:", s.NumPaths())
+	// The continue probability after the first iteration is
+	// P(more than 1 iteration) = 0.5.
+	o1 := g.NodeByName("Retry.it1")
+	fmt.Printf("P(stop after 1) = %.2f\n", o1.BranchProb(0))
+	// Output:
+	// entry: Retry#1 exit: Retry.join
+	// paths: 3
+	// P(stop after 1) = 0.50
+}
+
+// ExampleParseText reads an application from the .andor text format.
+func ExampleParseText() {
+	g, err := andor.ParseText(`
+app demo
+task Produce 4ms 2ms
+task Consume 2ms 1ms
+edge Produce -> Consume
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: %d nodes, total WCET %.0fms\n", g.Name, g.Len(), g.TotalWCET()*1e3)
+	// Output:
+	// demo: 2 nodes, total WCET 6ms
+}

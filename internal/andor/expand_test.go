@@ -1,0 +1,92 @@
+package andor
+
+import "testing"
+
+func TestExpandLoopStructure(t *testing.T) {
+	g := NewGraph("loop")
+	entry, exit := ExpandLoop(g, "L", 4e-3, 2e-3, []float64{0.50, 0.20, 0.05, 0.25})
+	if entry.Name != "L#1" || entry.Kind != Compute {
+		t.Errorf("entry = %v", entry)
+	}
+	if exit.Name != "L.join" || exit.Kind != Or {
+		t.Errorf("exit = %v", exit)
+	}
+	// 4 bodies + 3 decision ORs + 1 join.
+	if g.Len() != 8 {
+		t.Errorf("loop nodes = %d, want 8", g.Len())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The decision ORs' continue probabilities must reproduce the
+	// iteration distribution: P(stop after 1) = 0.5.
+	o1 := g.NodeByName("L.it1")
+	if !close(o1.BranchProb(0), 0.5) {
+		t.Errorf("P(stop@1) = %g, want 0.5", o1.BranchProb(0))
+	}
+	// P(stop after 2 | reached 2) = 0.2/0.5 = 0.4.
+	o2 := g.NodeByName("L.it2")
+	if !close(o2.BranchProb(0), 0.4) {
+		t.Errorf("P(stop@2) = %g, want 0.4", o2.BranchProb(0))
+	}
+	// P(stop after 3 | reached 3) = 0.05/0.30.
+	o3 := g.NodeByName("L.it3")
+	if !close(o3.BranchProb(0), 0.05/0.30) {
+		t.Errorf("P(stop@3) = %g, want %g", o3.BranchProb(0), 0.05/0.30)
+	}
+}
+
+func TestExpandLoopSingleIteration(t *testing.T) {
+	g := NewGraph("loop1")
+	entry, exit := ExpandLoop(g, "L", 1e-3, 1e-3, []float64{1})
+	if entry == nil || exit == nil || g.Len() != 2 {
+		t.Fatalf("single-iteration loop: %d nodes", g.Len())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandLoopFuncMultiTaskBody(t *testing.T) {
+	g := NewGraph("loopbody")
+	entry, exit := ExpandLoopFunc(g, "L", []float64{0.6, 0.4}, func(iter int) (*Node, *Node) {
+		a := g.AddTask("a", 1e-3, 1e-3)
+		b := g.AddTask("b", 2e-3, 1e-3)
+		g.AddEdge(a, b)
+		return a, b
+	})
+	end := g.AddTask("end", 1e-3, 1e-3)
+	g.AddEdge(exit, end)
+	_ = entry
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := s.Paths(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+}
+
+func TestExpandLoopPanics(t *testing.T) {
+	g := NewGraph("bad")
+	mustPanic(t, func() { ExpandLoop(g, "L", 1, 1, nil) })
+	mustPanic(t, func() { ExpandLoop(g, "L", 1, 1, []float64{0.5, 0.6}) })
+	mustPanic(t, func() { ExpandLoop(g, "L", 1, 1, []float64{-0.5, 1.5}) })
+	// Body entry with a pre-existing predecessor is rejected.
+	g2 := NewGraph("bad2")
+	pre := g2.AddTask("pre", 1, 1)
+	mustPanic(t, func() {
+		ExpandLoopFunc(g2, "L", []float64{1}, func(int) (*Node, *Node) {
+			x := g2.AddTask("x", 1, 1)
+			g2.AddEdge(pre, x)
+			return x, x
+		})
+	})
+}

@@ -1,0 +1,372 @@
+package andor
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the ".andor" text format: a small line-oriented
+// language for authoring AND/OR applications without writing Go, read by
+// ParseText and written by FormatText. Example:
+//
+//	# ATR-like fragment                (comments run to end of line)
+//	app demo
+//
+//	task Detect  8ms 5ms               # name, WCET, ACET (s/ms/us suffix)
+//	or   Branch
+//	task Fast 3ms 2ms
+//	task Slow 9ms 7ms
+//	or   Done
+//	task Report 2ms 1ms
+//
+//	edge Detect -> Branch
+//	edge Branch -> Fast Slow           # fan-out shorthand
+//	prob Branch 70% 30%                # branch probabilities, order of edges
+//	edge Fast Slow -> Done             # fan-in shorthand
+//	edge Done -> Report
+//
+//	loop Retry 4ms 2ms : 50% 20% 5% 25%   # unrolled loop; creates Retry#k
+//	edge Report -> Retry#1                # loop entry is <name>#1
+//	                                      # loop exit is <name>.join
+//
+// Directives: app, task, and, or, edge, chain (chain A B C ≡ A→B→C),
+// prob, loop. Durations accept the suffixes s, ms, us/µs. Probabilities
+// accept "30%" or "0.3". A '#' starts a comment only at the beginning of a
+// line or after whitespace, so loop-generated names like "Retry#1" remain
+// addressable.
+
+// stripComment removes a trailing comment: a '#' at the start of the line
+// or preceded by whitespace. A '#' inside a token (the unrolled-loop names
+// such as "Retry#1") is part of the name.
+func stripComment(line string) string {
+	for i := 0; i < len(line); i++ {
+		if line[i] == '#' && (i == 0 || line[i-1] == ' ' || line[i-1] == '\t') {
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// ParseText parses the .andor format. The returned graph is validated.
+func ParseText(src string) (*Graph, error) {
+	g := NewGraph("unnamed")
+	p := &textParser{g: g, nodes: map[string]*Node{}}
+	for i, raw := range strings.Split(src, "\n") {
+		fields := strings.Fields(stripComment(raw))
+		if len(fields) == 0 {
+			continue
+		}
+		if err := p.directive(fields); err != nil {
+			return nil, fmt.Errorf("andor: line %d: %w", i+1, err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+type textParser struct {
+	g     *Graph
+	nodes map[string]*Node
+}
+
+func (p *textParser) define(name string, n *Node) error {
+	if _, dup := p.nodes[name]; dup {
+		return fmt.Errorf("node %q defined twice", name)
+	}
+	p.nodes[name] = n
+	return nil
+}
+
+func (p *textParser) lookup(name string) (*Node, error) {
+	n, ok := p.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown node %q", name)
+	}
+	return n, nil
+}
+
+func (p *textParser) directive(f []string) error {
+	switch f[0] {
+	case "app":
+		if len(f) != 2 {
+			return fmt.Errorf("app wants one name")
+		}
+		p.g.Name = f[1]
+		return nil
+
+	case "task":
+		if len(f) != 4 {
+			return fmt.Errorf("task wants: task NAME WCET ACET")
+		}
+		w, err := parseDuration(f[2])
+		if err != nil {
+			return err
+		}
+		a, err := parseDuration(f[3])
+		if err != nil {
+			return err
+		}
+		if w <= 0 || a <= 0 || a > w {
+			return fmt.Errorf("task %q needs 0 < ACET ≤ WCET, got %v/%v", f[1], f[2], f[3])
+		}
+		return p.define(f[1], p.g.AddTask(f[1], w, a))
+
+	case "and":
+		if len(f) != 2 {
+			return fmt.Errorf("and wants one name")
+		}
+		return p.define(f[1], p.g.AddAnd(f[1]))
+
+	case "or":
+		if len(f) != 2 {
+			return fmt.Errorf("or wants one name")
+		}
+		return p.define(f[1], p.g.AddOr(f[1]))
+
+	case "edge":
+		// edge A [B C] -> X [Y Z]: full bipartite between sources and
+		// targets.
+		arrow := -1
+		for i, tok := range f {
+			if tok == "->" {
+				arrow = i
+			}
+		}
+		if arrow < 2 || arrow == len(f)-1 {
+			return fmt.Errorf("edge wants: edge SRC... -> DST...")
+		}
+		for _, sn := range f[1:arrow] {
+			src, err := p.lookup(sn)
+			if err != nil {
+				return err
+			}
+			for _, dn := range f[arrow+1:] {
+				dst, err := p.lookup(dn)
+				if err != nil {
+					return err
+				}
+				if src == dst {
+					return fmt.Errorf("self-loop on %q", sn)
+				}
+				for _, s := range src.Succs() {
+					if s == dst {
+						return fmt.Errorf("duplicate edge %q -> %q", sn, dn)
+					}
+				}
+				p.g.AddEdge(src, dst)
+			}
+		}
+		return nil
+
+	case "chain":
+		if len(f) < 3 {
+			return fmt.Errorf("chain wants at least two nodes")
+		}
+		prev, err := p.lookup(f[1])
+		if err != nil {
+			return err
+		}
+		for _, name := range f[2:] {
+			next, err := p.lookup(name)
+			if err != nil {
+				return err
+			}
+			p.g.AddEdge(prev, next)
+			prev = next
+		}
+		return nil
+
+	case "prob":
+		if len(f) < 3 {
+			return fmt.Errorf("prob wants: prob ORNAME p1 p2 ...")
+		}
+		or, err := p.lookup(f[1])
+		if err != nil {
+			return err
+		}
+		if or.Kind != Or {
+			return fmt.Errorf("%q is not an OR node", f[1])
+		}
+		probs := make([]float64, len(f)-2)
+		for i, tok := range f[2:] {
+			v, err := parseProb(tok)
+			if err != nil {
+				return err
+			}
+			probs[i] = v
+		}
+		if len(probs) != len(or.Succs()) {
+			return fmt.Errorf("%q has %d successors but %d probabilities (declare edges first)",
+				f[1], len(or.Succs()), len(probs))
+		}
+		p.g.SetBranchProbs(or, probs...)
+		return nil
+
+	case "loop":
+		// loop NAME WCET ACET : p1 p2 ... pN  (N = max iterations)
+		colon := -1
+		for i, tok := range f {
+			if tok == ":" {
+				colon = i
+			}
+		}
+		if colon != 4 || colon == len(f)-1 {
+			return fmt.Errorf("loop wants: loop NAME WCET ACET : p1 p2 ...")
+		}
+		w, err := parseDuration(f[2])
+		if err != nil {
+			return err
+		}
+		a, err := parseDuration(f[3])
+		if err != nil {
+			return err
+		}
+		probs := make([]float64, len(f)-colon-1)
+		var sum float64
+		for i, tok := range f[colon+1:] {
+			v, err := parseProb(tok)
+			if err != nil {
+				return err
+			}
+			probs[i] = v
+			sum += v
+		}
+		if sum < 1-1e-9 || sum > 1+1e-9 {
+			return fmt.Errorf("loop %q iteration probabilities sum to %g, want 1", f[1], sum)
+		}
+		if w <= 0 || a <= 0 || a > w {
+			return fmt.Errorf("loop %q needs 0 < ACET ≤ WCET", f[1])
+		}
+		entry, exit := ExpandLoop(p.g, f[1], w, a, probs)
+		// Register the generated names so edges can target them.
+		for _, n := range p.g.Nodes() {
+			if strings.HasPrefix(n.Name, f[1]+"#") || strings.HasPrefix(n.Name, f[1]+".") {
+				if _, taken := p.nodes[n.Name]; !taken {
+					p.nodes[n.Name] = n
+				}
+			}
+		}
+		_ = entry
+		_ = exit
+		return nil
+	}
+	return fmt.Errorf("unknown directive %q", f[0])
+}
+
+// parseDuration parses "8ms", "600us", "0.5s" into seconds.
+func parseDuration(tok string) (float64, error) {
+	unit := 1.0
+	num := tok
+	switch {
+	case strings.HasSuffix(tok, "ms"):
+		unit, num = 1e-3, tok[:len(tok)-2]
+	case strings.HasSuffix(tok, "us"):
+		unit, num = 1e-6, tok[:len(tok)-2]
+	case strings.HasSuffix(tok, "µs"):
+		unit, num = 1e-6, strings.TrimSuffix(tok, "µs")
+	case strings.HasSuffix(tok, "s"):
+		unit, num = 1, tok[:len(tok)-1]
+	default:
+		return 0, fmt.Errorf("duration %q needs a unit (s, ms, us)", tok)
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", tok)
+	}
+	return v * unit, nil
+}
+
+// parseProb parses "30%" or "0.3".
+func parseProb(tok string) (float64, error) {
+	scale := 1.0
+	num := tok
+	if strings.HasSuffix(tok, "%") {
+		scale, num = 0.01, tok[:len(tok)-1]
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad probability %q", tok)
+	}
+	v *= scale
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("probability %q outside [0,1]", tok)
+	}
+	return v, nil
+}
+
+// FormatText renders a graph in the .andor format, parseable by ParseText.
+// Loops that were expanded programmatically are emitted as their unrolled
+// nodes (the loop shorthand is input sugar only).
+func FormatText(g *Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "app %s\n\n", sanitizeName(g.Name))
+	for _, n := range g.Nodes() {
+		switch n.Kind {
+		case Compute:
+			fmt.Fprintf(&b, "task %s %s %s\n", sanitizeName(n.Name), formatDuration(n.WCET), formatDuration(n.ACET))
+		case And:
+			fmt.Fprintf(&b, "and %s\n", sanitizeName(n.Name))
+		case Or:
+			fmt.Fprintf(&b, "or %s\n", sanitizeName(n.Name))
+		}
+	}
+	b.WriteByte('\n')
+	for _, n := range g.Nodes() {
+		if len(n.Succs()) == 0 {
+			continue
+		}
+		names := make([]string, len(n.Succs()))
+		for i, s := range n.Succs() {
+			names[i] = sanitizeName(s.Name)
+		}
+		fmt.Fprintf(&b, "edge %s -> %s\n", sanitizeName(n.Name), strings.Join(names, " "))
+	}
+	var ors []*Node
+	for _, n := range g.Nodes() {
+		if n.Kind == Or && len(n.Succs()) > 1 {
+			ors = append(ors, n)
+		}
+	}
+	sort.Slice(ors, func(i, j int) bool { return ors[i].ID < ors[j].ID })
+	if len(ors) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, or := range ors {
+		fmt.Fprintf(&b, "prob %s", sanitizeName(or.Name))
+		for i := range or.Succs() {
+			fmt.Fprintf(&b, " %g", or.BranchProb(i))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatDuration(sec float64) string {
+	switch {
+	case sec >= 1:
+		return strconv.FormatFloat(sec, 'g', -1, 64) + "s"
+	case sec >= 1e-3:
+		return strconv.FormatFloat(sec*1e3, 'g', -1, 64) + "ms"
+	default:
+		return strconv.FormatFloat(sec*1e6, 'g', -1, 64) + "us"
+	}
+}
+
+// sanitizeName replaces whitespace (which the line format cannot quote)
+// with underscores. '#' is fine mid-token (comments require a preceding
+// space).
+func sanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' {
+			return '_'
+		}
+		return r
+	}, name)
+}

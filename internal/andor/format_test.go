@@ -1,0 +1,230 @@
+package andor
+
+import (
+	"testing"
+)
+
+const demoSrc = `
+# ATR-like fragment
+app demo
+
+task Detect  8ms 5ms
+or   Branch
+task Fast 3ms 2ms
+task Slow 9ms 7ms
+or   Done
+task Report 2ms 1ms
+
+edge Detect -> Branch
+edge Branch -> Fast Slow       # fan-out shorthand
+prob Branch 70% 30%
+edge Fast Slow -> Done         # fan-in shorthand
+edge Done -> Report
+`
+
+func TestParseText(t *testing.T) {
+	g, err := ParseText(demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "demo" {
+		t.Errorf("name = %q", g.Name)
+	}
+	if g.Len() != 6 {
+		t.Fatalf("nodes = %d, want 6", g.Len())
+	}
+	d := g.NodeByName("Detect")
+	if d.WCET != 8e-3 || d.ACET != 5e-3 {
+		t.Errorf("Detect times = %g/%g", d.WCET, d.ACET)
+	}
+	br := g.NodeByName("Branch")
+	if br.Kind != Or || len(br.Succs()) != 2 {
+		t.Fatalf("Branch wrong: %v", br)
+	}
+	if !close(br.BranchProb(0), 0.7) || !close(br.BranchProb(1), 0.3) {
+		t.Error("probabilities wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseTextChainAndLoop(t *testing.T) {
+	src := `
+app loopy
+task A 1ms 1ms
+task B 2ms 1ms
+task C 1ms 0.5ms
+chain A B C
+or End
+edge C -> End
+loop Retry 4ms 2ms : 50% 20% 5% 25%   # entry Retry#1, exit Retry.join
+edge End -> Retry#1
+task Final 1ms 1ms
+edge Retry.join -> Final
+`
+	g, err := ParseText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeByName("Retry#1") == nil || g.NodeByName("Retry#4") == nil {
+		t.Fatal("loop bodies missing")
+	}
+	s, err := Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPaths() != 4 {
+		t.Errorf("paths = %d, want 4", s.NumPaths())
+	}
+	// The chain directive wired A→B→C.
+	if g.NodeByName("B").Preds()[0] != g.NodeByName("A") {
+		t.Error("chain wiring wrong")
+	}
+	// An unconnected loop is simply another root: still a valid graph.
+	if _, err := ParseText("task A 1ms 1ms\nloop L 1ms 1ms : 1.0\n"); err != nil {
+		t.Errorf("parallel loop root should be valid: %v", err)
+	}
+}
+
+func TestParseTextLoopWiring(t *testing.T) {
+	// Wire the loop via the chain directive using generated names fetched
+	// after parsing a standalone loop app.
+	src := `
+app justloop
+loop Retry 4ms 2ms : 0.5 0.2 0.05 0.25
+`
+	g, err := ParseText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeByName("Retry#1") == nil || g.NodeByName("Retry.join") == nil {
+		t.Fatal("loop nodes missing")
+	}
+	s, err := Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPaths() != 4 {
+		t.Errorf("loop paths = %d, want 4", s.NumPaths())
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive": "frobnicate A",
+		"task arity":        "task A 1ms",
+		"bad duration":      "task A 1 2",
+		"bad acet":          "task A 1ms 2ms",
+		"dup node":          "task A 1ms 1ms\ntask A 1ms 1ms",
+		"and arity":         "and",
+		"edge no arrow":     "task A 1ms 1ms\ntask B 1ms 1ms\nedge A B",
+		"edge unknown":      "task A 1ms 1ms\nedge A -> Z",
+		"edge self":         "task A 1ms 1ms\nedge A -> A",
+		"edge dup":          "task A 1ms 1ms\ntask B 1ms 1ms\nedge A -> B\nedge A -> B",
+		"chain short":       "task A 1ms 1ms\nchain A",
+		"prob non-or":       "task A 1ms 1ms\nprob A 1",
+		"prob unknown":      "prob Z 1",
+		"prob count":        "task A 1ms 1ms\nor O\ntask B 1ms 1ms\nedge A -> O\nedge O -> B\nprob O 0.5 0.5",
+		"bad prob":          "task A 1ms 1ms\nor O\nedge A -> O\nprob O 150%",
+		"loop sum":          "loop L 1ms 1ms : 0.5 0.2",
+		"loop colon":        "loop L 1ms 1ms 0.5 0.5",
+		"bad percent":       "task A 1ms 1ms\nor O\nedge A -> O\nprob O x%",
+	}
+	for name, src := range cases {
+		if _, err := ParseText(src); err == nil {
+			t.Errorf("%s: no error for %q", name, src)
+		}
+	}
+}
+
+func TestFormatTextRoundTrip(t *testing.T) {
+	orig := orFork(t)
+	text := FormatText(orig)
+	back, err := ParseText(text)
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, text)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("round-trip changed size: %d vs %d", back.Len(), orig.Len())
+	}
+	for _, n := range orig.Nodes() {
+		bn := back.NodeByName(n.Name)
+		if bn == nil || bn.Kind != n.Kind || bn.WCET != n.WCET || bn.ACET != n.ACET {
+			t.Errorf("node %q lost in round-trip", n.Name)
+		}
+		if bn != nil && len(bn.Succs()) != len(n.Succs()) {
+			t.Errorf("node %q edges changed", n.Name)
+		}
+	}
+	o1 := back.NodeByName("O1")
+	if !close(o1.BranchProb(0), 0.3) {
+		t.Error("probabilities lost in round-trip")
+	}
+}
+
+func TestFormatTextRoundTripRandom(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		orig := RandomGraph(&fakeRand{state: seed}, DefaultRandomOpts())
+		back, err := ParseText(FormatText(orig))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Unit scaling in the text form may perturb times by 1 ulp.
+		if back.Len() != orig.Len() || !close(back.TotalWCET(), orig.TotalWCET()) {
+			t.Errorf("seed %d: round-trip changed the graph", seed)
+		}
+		if err := back.Validate(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestParseDurations(t *testing.T) {
+	cases := map[string]float64{
+		"1s": 1, "0.5s": 0.5, "8ms": 8e-3, "600us": 600e-6, "2µs": 2e-6,
+	}
+	for tok, want := range cases {
+		got, err := parseDuration(tok)
+		if err != nil || !close(got, want) {
+			t.Errorf("parseDuration(%q) = %g, %v", tok, got, err)
+		}
+	}
+	for _, tok := range []string{"5", "xms", "", "ms"} {
+		if _, err := parseDuration(tok); err == nil {
+			t.Errorf("parseDuration(%q) should fail", tok)
+		}
+	}
+}
+
+func TestComputeMetrics(t *testing.T) {
+	g := orFork(t)
+	m, err := ComputeMetrics(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tasks != 4 || m.OrNodes != 2 || m.AndNodes != 0 || m.Edges != 6 {
+		t.Errorf("counts wrong: %+v", m)
+	}
+	if !close(m.TotalWCET, 23e-3) {
+		t.Errorf("TotalWCET = %g", m.TotalWCET)
+	}
+	// Critical path treating both branches as present: A + B + D = 18ms.
+	if !close(m.CriticalPathWCET, 18e-3) {
+		t.Errorf("CriticalPathWCET = %g", m.CriticalPathWCET)
+	}
+	if m.Sections != 4 || m.Paths != 2 {
+		t.Errorf("sections/paths = %d/%d", m.Sections, m.Paths)
+	}
+	// Expected work: A(8) + 0.3·8 + 0.7·5 + D(2) = 15.9ms.
+	if !close(m.ExpectedWork, 15.9e-3) {
+		t.Errorf("ExpectedWork = %g, want 15.9ms", m.ExpectedWork)
+	}
+	// Depth in nodes: A → O1 → B → O2 → D = 5.
+	if m.Depth != 5 {
+		t.Errorf("Depth = %d, want 5", m.Depth)
+	}
+	if m.MeanAlpha <= 0 || m.MeanAlpha > 1 {
+		t.Errorf("MeanAlpha = %g", m.MeanAlpha)
+	}
+}

@@ -1,0 +1,105 @@
+package andor
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzGraphJSON checks that arbitrary bytes never panic the JSON decoder
+// and that everything surviving Unmarshal+Validate round-trips and
+// decomposes cleanly.
+func FuzzGraphJSON(f *testing.F) {
+	seed, err := json.Marshal(RandomGraph(&fakeRand{state: 1}, DefaultRandomOpts()))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"name":"x","nodes":[{"name":"a","kind":"compute","wcet":1,"acet":1}],"edges":[]}`))
+	f.Add([]byte(`{"name":"x","nodes":[],"edges":[[0,0]]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return // malformed input rejected: fine
+		}
+		if err := g.Validate(); err != nil {
+			return // structurally invalid: fine
+		}
+		// Valid graphs must decompose, enumerate, clone and re-encode.
+		s, err := Decompose(&g)
+		if err != nil {
+			t.Fatalf("validated graph failed to decompose: %v", err)
+		}
+		_ = s.NumPaths()
+		c := g.Clone()
+		if c.Len() != g.Len() {
+			t.Fatal("clone changed size")
+		}
+		if _, err := json.Marshal(&g); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		_ = g.DOT()
+	})
+}
+
+// FuzzDecompose drives the decomposition with structured inputs: random
+// node kinds and edges from fuzz bytes. Decompose must either reject the
+// graph with an error or produce a consistent section cover — never panic.
+func FuzzDecompose(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		g := NewGraph("fuzz")
+		n := int(data[0]%12) + 1
+		nodes := make([]*Node, n)
+		for i := 0; i < n; i++ {
+			kind := data[(i+1)%len(data)] % 3
+			switch kind {
+			case 0:
+				nodes[i] = g.AddTask("t", 1e-3, 0.5e-3)
+			case 1:
+				nodes[i] = g.AddAnd("a")
+			default:
+				nodes[i] = g.AddOr("o")
+			}
+		}
+		// Forward edges only (keeps the graph acyclic), selected by bits.
+		bit := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				idx := 1 + bit/8
+				if idx >= len(data) {
+					break
+				}
+				if data[idx]>>(bit%8)&1 == 1 {
+					g.AddEdge(nodes[i], nodes[j])
+				}
+				bit++
+			}
+		}
+		// Assign uniform probabilities to multi-successor Or nodes so
+		// probability errors don't mask structural ones.
+		for _, nd := range g.Nodes() {
+			if nd.Kind == Or && len(nd.Succs()) > 1 {
+				probs := make([]float64, len(nd.Succs()))
+				for i := range probs {
+					probs[i] = 1 / float64(len(probs))
+				}
+				g.SetBranchProbs(nd, probs...)
+			}
+		}
+		s, err := Decompose(g)
+		if err != nil {
+			return // rejected: fine
+		}
+		// Accepted graphs must cover every non-Or node exactly once.
+		for _, nd := range g.Nodes() {
+			if nd.Kind != Or && s.SectionOf[nd.ID] == nil {
+				t.Fatalf("accepted decomposition misses node %d", nd.ID)
+			}
+		}
+	})
+}

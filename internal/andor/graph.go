@@ -1,0 +1,199 @@
+package andor
+
+import "fmt"
+
+// Graph is a mutable AND/OR application graph. Build it with AddTask,
+// AddAnd, AddOr, AddEdge and SetBranchProbs, then call Validate before
+// handing it to a scheduler. A Graph is not safe for concurrent mutation;
+// once built and validated it may be shared read-only between goroutines.
+type Graph struct {
+	// Name labels the application in traces and reports.
+	Name  string
+	nodes []*Node
+}
+
+// NewGraph returns an empty graph with the given application name.
+func NewGraph(name string) *Graph {
+	return &Graph{Name: name}
+}
+
+// Len returns the number of nodes in the graph.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Nodes returns all nodes in creation (ID) order. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Node returns the node with the given ID. It panics on out-of-range IDs.
+func (g *Graph) Node(id int) *Node {
+	return g.nodes[id]
+}
+
+// NodeByName returns the first node with the given name, or nil.
+func (g *Graph) NodeByName(name string) *Node {
+	for _, n := range g.nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+func (g *Graph) add(n *Node) *Node {
+	n.ID = len(g.nodes)
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// AddTask adds a computation node with the given worst-case and
+// average-case execution times (seconds at maximum speed).
+// It panics if wcet <= 0 or acet is outside (0, wcet]; use Validate for
+// error reporting on programmatically built graphs instead of relying on
+// this programming-error check.
+func (g *Graph) AddTask(name string, wcet, acet float64) *Node {
+	if wcet <= 0 || acet <= 0 || acet > wcet {
+		panic(fmt.Sprintf("andor: task %q has invalid times wcet=%g acet=%g", name, wcet, acet))
+	}
+	return g.add(&Node{Name: name, Kind: Compute, WCET: wcet, ACET: acet})
+}
+
+// AddAnd adds an AND synchronization node.
+func (g *Graph) AddAnd(name string) *Node {
+	return g.add(&Node{Name: name, Kind: And})
+}
+
+// AddOr adds an OR synchronization node. If the node ends up with more than
+// one successor, branch probabilities must be assigned with SetBranchProbs.
+func (g *Graph) AddOr(name string) *Node {
+	return g.add(&Node{Name: name, Kind: Or})
+}
+
+// AddEdge adds the dependence edge from → to, meaning `to` depends on
+// `from`. Duplicate edges and self-loops panic (they are always bugs in the
+// builder, never data-dependent).
+func (g *Graph) AddEdge(from, to *Node) {
+	if from == to {
+		panic(fmt.Sprintf("andor: self-loop on %q", from.Name))
+	}
+	for _, s := range from.succ {
+		if s == to {
+			panic(fmt.Sprintf("andor: duplicate edge %q -> %q", from.Name, to.Name))
+		}
+	}
+	from.succ = append(from.succ, to)
+	to.pred = append(to.pred, from)
+}
+
+// Chain adds edges linking each node to the next: Chain(a,b,c) adds a→b and
+// b→c. It is a convenience for building pipelines.
+func (g *Graph) Chain(nodes ...*Node) {
+	for i := 1; i < len(nodes); i++ {
+		g.AddEdge(nodes[i-1], nodes[i])
+	}
+}
+
+// SetBranchProbs assigns the probability of each successor branch of an Or
+// node, in successor order (the order the edges were added). It panics if
+// or is not an Or node or the count does not match the successor count;
+// probability values themselves are checked by Validate.
+func (g *Graph) SetBranchProbs(or *Node, probs ...float64) {
+	if or.Kind != Or {
+		panic(fmt.Sprintf("andor: SetBranchProbs on %s node %q", or.Kind, or.Name))
+	}
+	if len(probs) != len(or.succ) {
+		panic(fmt.Sprintf("andor: SetBranchProbs on %q: %d probs for %d successors",
+			or.Name, len(probs), len(or.succ)))
+	}
+	or.prob = append([]float64(nil), probs...)
+}
+
+// Sources returns the nodes without predecessors (the application roots).
+func (g *Graph) Sources() []*Node {
+	var roots []*Node
+	for _, n := range g.nodes {
+		if n.IsSource() {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// Sinks returns the nodes without successors.
+func (g *Graph) Sinks() []*Node {
+	var sinks []*Node
+	for _, n := range g.nodes {
+		if n.IsSink() {
+			sinks = append(sinks, n)
+		}
+	}
+	return sinks
+}
+
+// ComputeNodes returns all computation nodes in ID order.
+func (g *Graph) ComputeNodes() []*Node {
+	var tasks []*Node
+	for _, n := range g.nodes {
+		if n.Kind == Compute {
+			tasks = append(tasks, n)
+		}
+	}
+	return tasks
+}
+
+// TotalWCET returns the sum of all computation nodes' worst-case execution
+// times — an upper bound on the total work of any single execution path.
+func (g *Graph) TotalWCET() float64 {
+	var sum float64
+	for _, n := range g.nodes {
+		sum += n.WCET
+	}
+	return sum
+}
+
+// TotalACET returns the sum of all computation nodes' average-case
+// execution times.
+func (g *Graph) TotalACET() float64 {
+	var sum float64
+	for _, n := range g.nodes {
+		sum += n.ACET
+	}
+	return sum
+}
+
+// ScaleACET sets every computation node's ACET to alpha times its WCET,
+// clamped to (0, WCET]. It is used by experiments that sweep the
+// average-to-worst-case ratio α of an application. Alpha must be in (0, 1].
+func (g *Graph) ScaleACET(alpha float64) {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("andor: ScaleACET alpha %g outside (0,1]", alpha))
+	}
+	for _, n := range g.nodes {
+		if n.Kind == Compute {
+			n.ACET = alpha * n.WCET
+		}
+	}
+}
+
+// Clone returns a deep copy of the graph. The copy's nodes have the same
+// IDs, names, kinds, attributes and edges as the original's, so analyses
+// performed on the clone (e.g. ACET scaling sweeps) do not disturb the
+// original.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.Name)
+	for _, n := range g.nodes {
+		c.add(&Node{Name: n.Name, Kind: n.Kind, WCET: n.WCET, ACET: n.ACET})
+	}
+	for _, n := range g.nodes {
+		cn := c.nodes[n.ID]
+		for _, s := range n.succ {
+			cn.succ = append(cn.succ, c.nodes[s.ID])
+		}
+		for _, p := range n.pred {
+			cn.pred = append(cn.pred, c.nodes[p.ID])
+		}
+		if n.prob != nil {
+			cn.prob = append([]float64(nil), n.prob...)
+		}
+	}
+	return c
+}

@@ -1,0 +1,164 @@
+package andor
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := orFork(t)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.Len() != orig.Len() {
+		t.Fatalf("roundtrip changed shape: %q %d", back.Name, back.Len())
+	}
+	for i := range orig.Nodes() {
+		a, b := orig.Node(i), back.Node(i)
+		if a.Name != b.Name || a.Kind != b.Kind || a.WCET != b.WCET || a.ACET != b.ACET {
+			t.Errorf("node %d differs after roundtrip", i)
+		}
+		if len(a.Succs()) != len(b.Succs()) {
+			t.Errorf("node %d successor count differs", i)
+		}
+	}
+	o1 := back.NodeByName("O1")
+	if !close(o1.BranchProb(0), 0.3) || !close(o1.BranchProb(1), 0.7) {
+		t.Error("branch probabilities lost in roundtrip")
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("roundtripped graph invalid: %v", err)
+	}
+}
+
+func TestJSONRoundTripRandom(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		orig := RandomGraph(&fakeRand{state: seed}, DefaultRandomOpts())
+		data, err := json.Marshal(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if err := back.Validate(); err != nil {
+			t.Errorf("seed %d: roundtripped graph invalid: %v", seed, err)
+		}
+		if back.TotalWCET() != orig.TotalWCET() {
+			t.Errorf("seed %d: total WCET changed", seed)
+		}
+	}
+}
+
+func TestJSONUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		`{"name":"x","nodes":[{"name":"a","kind":"martian"}],"edges":[]}`,
+		`{"name":"x","nodes":[{"name":"a","kind":"compute","wcet":0,"acet":0}],"edges":[]}`,
+		`{"name":"x","nodes":[{"name":"a","kind":"compute","wcet":1,"acet":2}],"edges":[]}`,
+		`{"name":"x","nodes":[{"name":"a","kind":"and"}],"edges":[[0,7]]}`,
+		`{not json`,
+	}
+	for _, c := range cases {
+		var g Graph
+		if err := json.Unmarshal([]byte(c), &g); err == nil {
+			t.Errorf("no error for %q", c)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := orFork(t)
+	dot := g.DOT()
+	for _, want := range []string{
+		"digraph", "shape=doublecircle", "shape=ellipse", "30%", "70%", "->",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// And nodes render as diamonds.
+	gd, _, _, _, _, _ := diamond(t)
+	if !strings.Contains(gd.DOT(), "shape=diamond") {
+		t.Error("DOT output missing diamond for And node")
+	}
+}
+
+func TestValidateCatchesBadGraphs(t *testing.T) {
+	t.Run("good", func(t *testing.T) {
+		g := orFork(t)
+		if err := g.Validate(); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("missing probs", func(t *testing.T) {
+		g := NewGraph("noprobs")
+		a := g.AddTask("a", 1, 1)
+		o := g.AddOr("o")
+		b := g.AddTask("b", 1, 1)
+		c := g.AddTask("c", 1, 1)
+		g.AddEdge(a, o)
+		g.AddEdge(o, b)
+		g.AddEdge(o, c)
+		if err := g.Validate(); err == nil {
+			t.Error("want missing-probabilities error")
+		}
+	})
+	t.Run("probs not summing", func(t *testing.T) {
+		g := NewGraph("badsum")
+		a := g.AddTask("a", 1, 1)
+		o := g.AddOr("o")
+		b := g.AddTask("b", 1, 1)
+		c := g.AddTask("c", 1, 1)
+		g.AddEdge(a, o)
+		g.AddEdge(o, b)
+		g.AddEdge(o, c)
+		g.SetBranchProbs(o, 0.5, 0.6)
+		if err := g.Validate(); err == nil {
+			t.Error("want probability-sum error")
+		}
+	})
+	t.Run("negative prob", func(t *testing.T) {
+		g := NewGraph("negprob")
+		a := g.AddTask("a", 1, 1)
+		o := g.AddOr("o")
+		b := g.AddTask("b", 1, 1)
+		c := g.AddTask("c", 1, 1)
+		g.AddEdge(a, o)
+		g.AddEdge(o, b)
+		g.AddEdge(o, c)
+		g.SetBranchProbs(o, -0.5, 1.5)
+		if err := g.Validate(); err == nil {
+			t.Error("want negative-probability error")
+		}
+	})
+	t.Run("isolated and", func(t *testing.T) {
+		g := NewGraph("isoand")
+		g.AddTask("a", 1, 1)
+		g.AddAnd("x")
+		if err := g.Validate(); err == nil {
+			t.Error("want isolated-And error")
+		}
+	})
+	t.Run("or without preds", func(t *testing.T) {
+		g := NewGraph("orphanor")
+		g.AddTask("a", 1, 1)
+		o := g.AddOr("o")
+		b := g.AddTask("b", 1, 1)
+		g.AddEdge(o, b)
+		if err := g.Validate(); err == nil {
+			t.Error("want or-without-preds error")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if err := NewGraph("e").Validate(); err == nil {
+			t.Error("want empty-graph error")
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package andor
+
+import "fmt"
+
+// Metrics summarizes an application graph's structure and workload for
+// reports and the graphtool CLI.
+type Metrics struct {
+	// Tasks, AndNodes, OrNodes and Edges count the graph's elements.
+	Tasks, AndNodes, OrNodes, Edges int
+	// TotalWCET and TotalACET sum all computation nodes (seconds); note
+	// that one execution runs only one path's subset.
+	TotalWCET, TotalACET float64
+	// CriticalPathWCET is the longest WCET-weighted chain with every
+	// branch treated as present (a structural lower bound on any single
+	// path's schedule; the scheduler computes exact per-path values).
+	CriticalPathWCET float64
+	// MeanAlpha is the task-count-weighted mean ACET/WCET ratio.
+	MeanAlpha float64
+	// Sections and Paths come from the program-section decomposition.
+	Sections, Paths int
+	// MaxSectionTasks is the largest section's node count.
+	MaxSectionTasks int
+	// Depth is the longest chain measured in nodes (including dummies).
+	Depth int
+	// StructuralParallelism is TotalWCET / CriticalPathWCET: the average
+	// width an infinite machine could exploit if every branch executed.
+	StructuralParallelism float64
+	// ExpectedWork is the probability-weighted WCET work of one execution
+	// (averaging over paths).
+	ExpectedWork float64
+}
+
+// ComputeMetrics analyzes a validated graph. It returns an error if the
+// graph does not decompose into sections.
+func ComputeMetrics(g *Graph) (Metrics, error) {
+	var m Metrics
+	for _, n := range g.Nodes() {
+		m.Edges += len(n.Succs())
+		switch n.Kind {
+		case Compute:
+			m.Tasks++
+			m.TotalWCET += n.WCET
+			m.TotalACET += n.ACET
+			m.MeanAlpha += n.ACET / n.WCET
+		case And:
+			m.AndNodes++
+		case Or:
+			m.OrNodes++
+		}
+	}
+	if m.Tasks > 0 {
+		m.MeanAlpha /= float64(m.Tasks)
+	}
+	m.CriticalPathWCET = g.CriticalPathWCET()
+	if m.CriticalPathWCET > 0 {
+		m.StructuralParallelism = m.TotalWCET / m.CriticalPathWCET
+	}
+
+	// Depth in nodes over a topological pass.
+	order, ok := g.TopoOrder()
+	if !ok {
+		return m, fmt.Errorf("andor: graph %q contains a cycle", g.Name)
+	}
+	depth := make([]int, g.Len())
+	for _, n := range order {
+		d := 1
+		for _, p := range n.Preds() {
+			if depth[p.ID]+1 > d {
+				d = depth[p.ID] + 1
+			}
+		}
+		depth[n.ID] = d
+		if d > m.Depth {
+			m.Depth = d
+		}
+	}
+
+	s, err := Decompose(g)
+	if err != nil {
+		return m, err
+	}
+	m.Sections = len(s.All)
+	m.Paths = s.NumPaths()
+	for _, sec := range s.All {
+		if len(sec.Nodes) > m.MaxSectionTasks {
+			m.MaxSectionTasks = len(sec.Nodes)
+		}
+	}
+
+	// Expected work: probability-weighted per-path WCET sums, computed on
+	// the section DAG by memoized recursion (cheap even with exponentially
+	// many paths).
+	memo := make(map[*Section]float64)
+	var expect func(sec *Section) float64
+	expect = func(sec *Section) float64 {
+		if v, ok := memo[sec]; ok {
+			return v
+		}
+		v := sec.WCETSum()
+		if sec.Exit != nil && len(sec.Exit.Succs()) > 0 {
+			for i, next := range s.Branch[sec.Exit.ID] {
+				v += sec.Exit.BranchProb(i) * expect(next)
+			}
+		}
+		memo[sec] = v
+		return v
+	}
+	m.ExpectedWork = expect(s.First)
+	return m, nil
+}

@@ -1,0 +1,86 @@
+package andor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fakeRand is a deterministic Rand for generator tests.
+type fakeRand struct{ state uint64 }
+
+func (f *fakeRand) next() uint64 {
+	f.state += 0x9e3779b97f4a7c15
+	z := f.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+func (f *fakeRand) Float64() float64 { return float64(f.next()>>11) / (1 << 53) }
+func (f *fakeRand) Intn(n int) int   { return int(f.next() % uint64(n)) }
+
+// TestRandomGraphAlwaysValid is the central generator property: every
+// generated graph passes Validate (and therefore decomposes into sections)
+// for any seed.
+func TestRandomGraphAlwaysValid(t *testing.T) {
+	prop := func(seed uint64) bool {
+		g := RandomGraph(&fakeRand{state: seed}, DefaultRandomOpts())
+		if err := g.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomGraphDeterministic(t *testing.T) {
+	a := RandomGraph(&fakeRand{state: 7}, DefaultRandomOpts())
+	b := RandomGraph(&fakeRand{state: 7}, DefaultRandomOpts())
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed produced different sizes: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Nodes() {
+		na, nb := a.Node(i), b.Node(i)
+		if na.Name != nb.Name || na.Kind != nb.Kind || na.WCET != nb.WCET {
+			t.Fatalf("node %d differs between same-seed graphs", i)
+		}
+	}
+}
+
+func TestRandomGraphPathProbabilitiesSumToOne(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		g := RandomGraph(&fakeRand{state: seed}, DefaultRandomOpts())
+		s, err := Decompose(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		paths, err := s.Paths(10000)
+		if err != nil {
+			continue // combinatorial blowup is fine; NumPaths covers it
+		}
+		var sum float64
+		for _, p := range paths {
+			sum += p.Prob
+		}
+		if !close(sum, 1) {
+			t.Errorf("seed %d: path probabilities sum to %g", seed, sum)
+		}
+	}
+}
+
+func TestRandomGraphRespectsTimeBounds(t *testing.T) {
+	opts := DefaultRandomOpts()
+	opts.WCETMin, opts.WCETMax = 2e-3, 3e-3
+	opts.Alpha = 0.5
+	g := RandomGraph(&fakeRand{state: 3}, opts)
+	for _, n := range g.ComputeNodes() {
+		if n.WCET < opts.WCETMin || n.WCET > opts.WCETMax {
+			t.Errorf("task %q WCET %g outside [%g,%g]", n.Name, n.WCET, opts.WCETMin, opts.WCETMax)
+		}
+		if !close(n.ACET, 0.5*n.WCET) {
+			t.Errorf("task %q ACET %g not α·WCET", n.Name, n.ACET)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package andor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Section is a maximal AND-only program section: the computation and And
+// nodes executed between two Or synchronization points (or between the
+// application's start/end and an Or node). Because all processors
+// synchronize at Or nodes, sections execute one at a time, and the off-line
+// phase of the scheduler builds one canonical schedule per section (paper
+// §3.2).
+type Section struct {
+	// ID indexes the section in Sections.All.
+	ID int
+	// Entries are the section's entry nodes: the application roots for the
+	// first section, or the single successor of an Or branch otherwise.
+	// Empty for a zero-length section (an Or branch leading directly to
+	// another Or node).
+	Entries []*Node
+	// Nodes lists the section's Compute and And nodes in topological order.
+	Nodes []*Node
+	// Exit is the Or node that terminates the section, or nil if the
+	// section ends the application.
+	Exit *Node
+}
+
+// WCETSum returns the total worst-case work (seconds at maximum speed) of
+// the section's computation nodes.
+func (s *Section) WCETSum() float64 {
+	var sum float64
+	for _, n := range s.Nodes {
+		sum += n.WCET
+	}
+	return sum
+}
+
+// ACETSum returns the total average-case work of the section's computation
+// nodes.
+func (s *Section) ACETSum() float64 {
+	var sum float64
+	for _, n := range s.Nodes {
+		sum += n.ACET
+	}
+	return sum
+}
+
+// Sections is the decomposition of an AND/OR graph into program sections
+// separated by Or nodes, plus the branching structure connecting them. It
+// is produced by Decompose and is immutable afterwards.
+type Sections struct {
+	// Graph is the graph the decomposition was computed from.
+	Graph *Graph
+	// All lists every section; All[i].ID == i. The first section has ID 0.
+	All []*Section
+	// First is the section containing the application roots (ID 0).
+	First *Section
+	// Branch[or.ID][i] is the section executed when Or node `or` selects
+	// its i-th successor. Indexed by node ID; nil entries for non-Or nodes.
+	Branch [][]*Section
+	// SectionOf[node.ID] is the section containing the (non-Or) node;
+	// nil for Or nodes.
+	SectionOf []*Section
+}
+
+// Decompose splits the graph into program sections. It returns an error if
+// the graph violates the structural restrictions of the paper's model:
+//
+//   - the graph must be a non-empty DAG;
+//   - from a section's entries, forward traversal (stopping at Or nodes)
+//     must reach at most one Or node — the section's exit — so that all
+//     processors can synchronize at a single point;
+//   - every dependence edge must stay within one section or be incident to
+//     an Or node: a non-entry node may not depend on nodes outside its
+//     section (such an edge would cross a synchronization barrier, or worse,
+//     reference a sibling branch that never executes);
+//   - the successor of an Or branch must have that Or node as its only
+//     predecessor (it is the entry of a fresh section).
+func Decompose(g *Graph) (*Sections, error) {
+	if g.Len() == 0 {
+		return nil, fmt.Errorf("andor: graph %q is empty", g.Name)
+	}
+	topo, ok := g.TopoOrder()
+	if !ok {
+		return nil, fmt.Errorf("andor: graph %q contains a cycle", g.Name)
+	}
+	topoIdx := make([]int, g.Len())
+	for i, n := range topo {
+		topoIdx[n.ID] = i
+	}
+
+	s := &Sections{
+		Graph:     g,
+		Branch:    make([][]*Section, g.Len()),
+		SectionOf: make([]*Section, g.Len()),
+	}
+	// Memoize sections by their single entry node (branch sections) and
+	// zero-length sections by their exit Or node, so joins share sections.
+	byEntry := make(map[*Node]*Section)
+	byEmptyExit := make(map[*Node]*Section)
+
+	var build func(entries []*Node) (*Section, error)
+	build = func(entries []*Node) (*Section, error) {
+		sec := &Section{ID: len(s.All), Entries: entries}
+		s.All = append(s.All, sec)
+
+		entrySet := make(map[*Node]bool, len(entries))
+		for _, e := range entries {
+			entrySet[e] = true
+		}
+		members := make(map[*Node]bool)
+		var exits []*Node
+		stack := append([]*Node(nil), entries...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v.Kind == Or {
+				dup := false
+				for _, e := range exits {
+					if e == v {
+						dup = true
+					}
+				}
+				if !dup {
+					exits = append(exits, v)
+				}
+				continue
+			}
+			if members[v] {
+				continue
+			}
+			members[v] = true
+			stack = append(stack, v.succ...)
+		}
+		if len(exits) > 1 {
+			names := make([]string, len(exits))
+			for i, e := range exits {
+				names[i] = e.Name
+			}
+			return nil, fmt.Errorf("andor: section starting at %v reaches %d OR nodes %v; processors can only synchronize at one",
+				sectionEntryNames(entries), len(exits), names)
+		}
+		if len(exits) == 1 {
+			sec.Exit = exits[0]
+		}
+
+		// Membership checks: non-entry nodes must depend only on section
+		// members; entry nodes are checked by the caller.
+		for v := range members {
+			if entrySet[v] {
+				continue
+			}
+			for _, p := range v.pred {
+				if !members[p] {
+					return nil, fmt.Errorf("andor: edge %q -> %q crosses a section boundary",
+						p.Name, v.Name)
+				}
+			}
+		}
+
+		sec.Nodes = make([]*Node, 0, len(members))
+		for v := range members {
+			sec.Nodes = append(sec.Nodes, v)
+		}
+		sort.Slice(sec.Nodes, func(i, j int) bool {
+			return topoIdx[sec.Nodes[i].ID] < topoIdx[sec.Nodes[j].ID]
+		})
+		for _, v := range sec.Nodes {
+			if s.SectionOf[v.ID] != nil {
+				return nil, fmt.Errorf("andor: node %q belongs to two sections", v.Name)
+			}
+			s.SectionOf[v.ID] = sec
+		}
+
+		if sec.Exit != nil {
+			if err := buildBranches(sec.Exit, s, byEntry, byEmptyExit, build); err != nil {
+				return nil, err
+			}
+		}
+		return sec, nil
+	}
+
+	roots := g.Sources()
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("andor: graph %q has no source nodes", g.Name)
+	}
+	for _, r := range roots {
+		if r.Kind == Or {
+			return nil, fmt.Errorf("andor: root node %q is an OR node; the application must start with computation or AND nodes", r.Name)
+		}
+	}
+	first, err := build(roots)
+	if err != nil {
+		return nil, err
+	}
+	s.First = first
+
+	// Every node must be covered: non-Or nodes by a section, Or nodes by
+	// having their branches resolved.
+	for _, n := range g.nodes {
+		if n.Kind == Or {
+			if s.Branch[n.ID] == nil && len(n.succ) > 0 {
+				return nil, fmt.Errorf("andor: OR node %q is unreachable from the roots", n.Name)
+			}
+			continue
+		}
+		if s.SectionOf[n.ID] == nil {
+			return nil, fmt.Errorf("andor: node %q is unreachable from the roots", n.Name)
+		}
+	}
+	return s, nil
+}
+
+// buildBranches resolves the sections reached by each successor branch of an
+// Or node, memoizing shared join sections.
+func buildBranches(or *Node, s *Sections, byEntry, byEmptyExit map[*Node]*Section,
+	build func([]*Node) (*Section, error)) error {
+	if s.Branch[or.ID] != nil {
+		return nil
+	}
+	branches := make([]*Section, len(or.succ))
+	s.Branch[or.ID] = branches // set before recursing; DAG guarantees no revisit loop
+	for i, succ := range or.succ {
+		if succ.Kind == Or {
+			// Zero-length section: the branch leads directly to another
+			// barrier.
+			sec, ok := byEmptyExit[succ]
+			if !ok {
+				sec = &Section{ID: len(s.All), Exit: succ}
+				s.All = append(s.All, sec)
+				byEmptyExit[succ] = sec
+				if err := buildBranches(succ, s, byEntry, byEmptyExit, build); err != nil {
+					return err
+				}
+			}
+			branches[i] = sec
+			continue
+		}
+		if sec, ok := byEntry[succ]; ok {
+			branches[i] = sec
+			continue
+		}
+		if len(succ.pred) != 1 {
+			return fmt.Errorf("andor: node %q follows OR node %q but has %d predecessors; a branch entry may only depend on its OR node",
+				succ.Name, or.Name, len(succ.pred))
+		}
+		sec, err := build([]*Node{succ})
+		if err != nil {
+			return err
+		}
+		byEntry[succ] = sec
+		branches[i] = sec
+	}
+	return nil
+}
+
+func sectionEntryNames(entries []*Node) []string {
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+	}
+	return names
+}

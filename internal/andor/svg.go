@@ -1,0 +1,131 @@
+package andor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SVG renders the graph as a self-contained SVG drawing using a simple
+// layered layout (nodes at their depth, ordered to follow their
+// predecessors), so applications can be visualized without Graphviz.
+// Computation nodes are rounded rectangles labeled "name wcet/acet" (ms),
+// And nodes diamonds, Or nodes double circles; Or branch edges carry their
+// probabilities.
+func (g *Graph) SVG() string {
+	order, ok := g.TopoOrder()
+	if !ok || len(order) == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="220" height="40"><text x="8" y="24">invalid graph</text></svg>`
+	}
+	// Layer = longest-chain depth.
+	depth := make([]int, g.Len())
+	maxDepth := 0
+	for _, n := range order {
+		d := 0
+		for _, p := range n.Preds() {
+			if depth[p.ID]+1 > d {
+				d = depth[p.ID] + 1
+			}
+		}
+		depth[n.ID] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	layers := make([][]*Node, maxDepth+1)
+	for _, n := range order {
+		layers[depth[n.ID]] = append(layers[depth[n.ID]], n)
+	}
+	// Order nodes within a layer by the mean position of their
+	// predecessors (one barycenter pass keeps most edges short).
+	pos := make([]float64, g.Len())
+	for li, layer := range layers {
+		if li > 0 {
+			sort.SliceStable(layer, func(a, b int) bool {
+				return bary(layer[a], pos) < bary(layer[b], pos)
+			})
+		}
+		for i, n := range layer {
+			pos[n.ID] = float64(i)
+		}
+	}
+
+	const (
+		nodeW, nodeH = 110, 34
+		gapX, gapY   = 28, 56
+		margin       = 24
+	)
+	width := 0
+	for _, layer := range layers {
+		if w := len(layer)*(nodeW+gapX) - gapX; w > width {
+			width = w
+		}
+	}
+	width += 2 * margin
+	height := (maxDepth+1)*(nodeH+gapY) - gapY + 2*margin
+
+	x := func(n *Node) float64 {
+		layer := layers[depth[n.ID]]
+		total := len(layer)*(nodeW+gapX) - gapX
+		offset := (width - total) / 2
+		return float64(offset) + pos[n.ID]*(nodeW+gapX) + nodeW/2
+	}
+	y := func(n *Node) float64 {
+		return float64(margin) + float64(depth[n.ID])*(nodeH+gapY) + nodeH/2
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="10">`,
+		width, height)
+	// Edges first so nodes draw on top.
+	for _, n := range g.Nodes() {
+		for i, s := range n.Succs() {
+			fmt.Fprintf(&b, `<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="#99a" stroke-width="1"/>`,
+				x(n), y(n)+nodeH/2, x(s), y(s)-nodeH/2)
+			if n.Kind == Or && len(n.Succs()) > 1 {
+				mx, my := (x(n)+x(s))/2, (y(n)+y(s))/2
+				fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" fill="#667">%.0f%%</text>`,
+					mx+3, my, n.BranchProb(i)*100)
+			}
+		}
+	}
+	for _, n := range g.Nodes() {
+		cx, cy := x(n), y(n)
+		switch n.Kind {
+		case Compute:
+			fmt.Fprintf(&b, `<rect x="%.0f" y="%.0f" width="%d" height="%d" rx="6" fill="#eaf1fb" stroke="#456"/>`,
+				cx-nodeW/2, cy-nodeH/2, nodeW, nodeH)
+			fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" text-anchor="middle">%s</text>`, cx, cy-2, svgEscape(n.Name))
+			fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" text-anchor="middle" fill="#567">%.3g/%.3g ms</text>`,
+				cx, cy+11, n.WCET*1e3, n.ACET*1e3)
+		case And:
+			fmt.Fprintf(&b, `<polygon points="%.0f,%.0f %.0f,%.0f %.0f,%.0f %.0f,%.0f" fill="#fdf3d8" stroke="#a85"/>`,
+				cx, cy-nodeH/2, cx+nodeW/3, cy, cx, cy+nodeH/2, cx-nodeW/3, cy)
+			fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" text-anchor="middle">%s</text>`, cx, cy+4, svgEscape(n.Name))
+		case Or:
+			fmt.Fprintf(&b, `<ellipse cx="%.0f" cy="%.0f" rx="%d" ry="%d" fill="#fde8e8" stroke="#a55"/>`,
+				cx, cy, nodeW/3, nodeH/2)
+			fmt.Fprintf(&b, `<ellipse cx="%.0f" cy="%.0f" rx="%d" ry="%d" fill="none" stroke="#a55"/>`,
+				cx, cy, nodeW/3-3, nodeH/2-3)
+			fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" text-anchor="middle">%s</text>`, cx, cy+4, svgEscape(n.Name))
+		}
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func bary(n *Node, pos []float64) float64 {
+	if len(n.Preds()) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range n.Preds() {
+		sum += pos[p.ID]
+	}
+	return sum / float64(len(n.Preds()))
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

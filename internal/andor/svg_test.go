@@ -1,0 +1,73 @@
+package andor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphSVG(t *testing.T) {
+	g := orFork(t)
+	svg := g.SVG()
+	for _, want := range []string{
+		"<svg", "</svg>",
+		"rect",    // compute nodes
+		"ellipse", // or nodes
+		"30%",     // branch probability label
+		"A", "B", "C", "D", "O1", "O2",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// And nodes render as diamonds (polygons).
+	gd, _, _, _, _, _ := diamond(t)
+	if !strings.Contains(gd.SVG(), "polygon") {
+		t.Error("And node diamond missing")
+	}
+	// Every node drawn exactly once: count <rect for compute nodes.
+	if got := strings.Count(svg, "<rect"); got != 4 {
+		t.Errorf("rects = %d, want 4", got)
+	}
+	// One line per edge.
+	if got := strings.Count(svg, "<line"); got != 6 {
+		t.Errorf("edges = %d, want 6", got)
+	}
+}
+
+func TestGraphSVGLargeWorkloads(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g := RandomGraph(&fakeRand{state: seed}, DefaultRandomOpts())
+		svg := g.SVG()
+		if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+			t.Fatalf("seed %d: malformed SVG", seed)
+		}
+		// Exactly one shape per node.
+		shapes := strings.Count(svg, "<rect") + strings.Count(svg, "<polygon") +
+			strings.Count(svg, "<ellipse")/2 // or nodes draw two ellipses
+		// The /2 assumes all ellipses are or-node pairs.
+		var ors int
+		for _, n := range g.Nodes() {
+			if n.Kind == Or {
+				ors++
+			}
+		}
+		if strings.Count(svg, "<ellipse") != 2*ors {
+			t.Errorf("seed %d: ellipse count %d for %d or nodes", seed, strings.Count(svg, "<ellipse"), ors)
+		}
+		if shapes != g.Len() {
+			t.Errorf("seed %d: %d shapes for %d nodes", seed, shapes, g.Len())
+		}
+	}
+}
+
+func TestGraphSVGEscapesNames(t *testing.T) {
+	g := NewGraph("esc")
+	g.AddTask("a<b&c", 1e-3, 1e-3)
+	svg := g.SVG()
+	if strings.Contains(svg, "a<b") {
+		t.Error("name not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b&amp;c") {
+		t.Error("escaped name missing")
+	}
+}

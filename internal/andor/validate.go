@@ -1,0 +1,70 @@
+package andor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Validate checks that the graph is a well-formed AND/OR application:
+//
+//   - non-empty and acyclic;
+//   - computation nodes have 0 < ACET <= WCET;
+//   - And nodes have at least one predecessor and one successor (a dummy
+//     node with neither would be an isolated vertex);
+//   - Or nodes with more than one successor carry branch probabilities that
+//     are non-negative and sum to 1 (within 1e-9);
+//   - the graph decomposes into program sections (see Decompose for the
+//     structural rules that encode the paper's "all processors synchronize
+//     at an OR node" restriction).
+//
+// It returns the first violation found, or nil.
+func (g *Graph) Validate() error {
+	if g.Len() == 0 {
+		return fmt.Errorf("andor: graph %q is empty", g.Name)
+	}
+	if _, ok := g.TopoOrder(); !ok {
+		return fmt.Errorf("andor: graph %q contains a cycle", g.Name)
+	}
+	for _, n := range g.nodes {
+		switch n.Kind {
+		case Compute:
+			if n.WCET <= 0 {
+				return fmt.Errorf("andor: task %q has non-positive WCET %g", n.Name, n.WCET)
+			}
+			if n.ACET <= 0 || n.ACET > n.WCET {
+				return fmt.Errorf("andor: task %q has ACET %g outside (0, WCET=%g]", n.Name, n.ACET, n.WCET)
+			}
+		case And:
+			if len(n.pred) == 0 || len(n.succ) == 0 {
+				return fmt.Errorf("andor: AND node %q must have predecessors and successors (has %d/%d)",
+					n.Name, len(n.pred), len(n.succ))
+			}
+		case Or:
+			if len(n.pred) == 0 {
+				return fmt.Errorf("andor: OR node %q has no predecessors", n.Name)
+			}
+			if len(n.succ) > 1 {
+				if n.prob == nil {
+					return fmt.Errorf("andor: OR node %q has %d successors but no branch probabilities",
+						n.Name, len(n.succ))
+				}
+				var sum float64
+				for i, p := range n.prob {
+					if p < 0 {
+						return fmt.Errorf("andor: OR node %q branch %d has negative probability %g", n.Name, i, p)
+					}
+					sum += p
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					return fmt.Errorf("andor: OR node %q branch probabilities sum to %g, want 1", n.Name, sum)
+				}
+			}
+		default:
+			return fmt.Errorf("andor: node %q has unknown kind %d", n.Name, n.Kind)
+		}
+	}
+	if _, err := Decompose(g); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Package cli holds the flag-value parsers shared by the command-line
+// tools in cmd/: workload and platform selection by name.
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"andorsched/internal/andor"
+	"andorsched/internal/power"
+	"andorsched/internal/workload"
+)
+
+// ParseWorkload resolves a -workload flag value:
+//
+//	atr             the ATR application with default parameters
+//	synthetic       the paper's Figure 3 application
+//	random[:seed]   a random AND/OR application (default seed 1)
+//	<path>.json     a graph serialized by graphtool -json
+//	<path>.andor    a graph in the .andor text format (see graphtool -andor)
+func ParseWorkload(spec string) (*andor.Graph, error) {
+	switch {
+	case spec == "atr":
+		return workload.ATR(workload.DefaultATRConfig()), nil
+	case spec == "synthetic":
+		return workload.Synthetic(), nil
+	case spec == "random" || strings.HasPrefix(spec, "random:"):
+		seed := uint64(1)
+		if rest, ok := strings.CutPrefix(spec, "random:"); ok && rest != "" {
+			v, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cli: bad random seed %q: %v", rest, err)
+			}
+			seed = v
+		}
+		return workload.Random(seed, andor.DefaultRandomOpts()), nil
+	case strings.HasSuffix(spec, ".json"):
+		data, err := os.ReadFile(spec)
+		if err != nil {
+			return nil, fmt.Errorf("cli: %v", err)
+		}
+		g := andor.NewGraph("")
+		if err := json.Unmarshal(data, g); err != nil {
+			return nil, fmt.Errorf("cli: %s: %v", spec, err)
+		}
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		return g, nil
+	case strings.HasSuffix(spec, ".andor"):
+		data, err := os.ReadFile(spec)
+		if err != nil {
+			return nil, fmt.Errorf("cli: %v", err)
+		}
+		g, err := andor.ParseText(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("cli: %s: %w", spec, err)
+		}
+		return g, nil
+	}
+	return nil, fmt.Errorf("cli: unknown workload %q (want atr, synthetic, random[:seed], a .json file or an .andor file)", spec)
+}
+
+// ParsePlatform resolves a -platform flag value:
+//
+//	transmeta                      Transmeta Crusoe TM5400 (Table 1)
+//	xscale                         Intel XScale (Table 2)
+//	synthetic:N:fminMHz:fmaxMHz    N evenly spaced levels (volts 0.8–1.8)
+func ParsePlatform(spec string) (*power.Platform, error) {
+	switch {
+	case spec == "transmeta":
+		return power.Transmeta5400(), nil
+	case spec == "xscale":
+		return power.IntelXScale(), nil
+	case strings.HasPrefix(spec, "synthetic:"):
+		parts := strings.Split(spec, ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("cli: synthetic platform wants synthetic:N:fminMHz:fmaxMHz")
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad level count %q", parts[1])
+		}
+		fmin, err1 := strconv.ParseFloat(parts[2], 64)
+		fmax, err2 := strconv.ParseFloat(parts[3], 64)
+		if err1 != nil || err2 != nil || fmin <= 0 || fmax <= fmin {
+			return nil, fmt.Errorf("cli: bad synthetic frequency range %q:%q", parts[2], parts[3])
+		}
+		return power.Synthetic(n, fmin, fmax, 0.8, 1.8), nil
+	}
+	return nil, fmt.Errorf("cli: unknown platform %q (want transmeta, xscale or synthetic:N:fmin:fmax)", spec)
+}

@@ -1,0 +1,106 @@
+package cli
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"andorsched/internal/andor"
+	"andorsched/internal/workload"
+)
+
+func TestParseWorkloadBuiltins(t *testing.T) {
+	for _, spec := range []string{"atr", "synthetic", "random", "random:9"} {
+		g, err := ParseWorkload(spec)
+		if err != nil {
+			t.Errorf("%s: %v", spec, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: invalid graph: %v", spec, err)
+		}
+	}
+	// Seeds select different random graphs.
+	a, _ := ParseWorkload("random:1")
+	b, _ := ParseWorkload("random:2")
+	if a.Len() == b.Len() && a.TotalWCET() == b.TotalWCET() {
+		t.Error("different random seeds produced an identical graph (suspicious)")
+	}
+}
+
+func TestParseWorkloadJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	g := workload.Synthetic()
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "app.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != g.Len() {
+		t.Error("JSON file round-trip changed the graph")
+	}
+}
+
+func TestParseWorkloadAndorFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "app.andor")
+	src := andor.FormatText(workload.Synthetic())
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "synthetic-fig3" {
+		t.Errorf("name = %q", g.Name)
+	}
+}
+
+func TestParseWorkloadErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "bogus", "random:x", "/does/not/exist.json", "/does/not/exist.andor",
+	} {
+		if _, err := ParseWorkload(spec); err == nil {
+			t.Errorf("%q: want error", spec)
+		}
+	}
+	// A JSON file holding an invalid graph is rejected.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"name":"x","nodes":[{"name":"o","kind":"or"}],"edges":[]}`), 0o644)
+	if _, err := ParseWorkload(bad); err == nil {
+		t.Error("invalid graph file accepted")
+	}
+}
+
+func TestParsePlatform(t *testing.T) {
+	p, err := ParsePlatform("transmeta")
+	if err != nil || p.NumLevels() != 16 {
+		t.Errorf("transmeta: %v %v", p, err)
+	}
+	p, err = ParsePlatform("xscale")
+	if err != nil || p.NumLevels() != 5 {
+		t.Errorf("xscale: %v %v", p, err)
+	}
+	p, err = ParsePlatform("synthetic:4:100:400")
+	if err != nil || p.NumLevels() != 4 || p.Min().Freq != 100e6 {
+		t.Errorf("synthetic: %v %v", p, err)
+	}
+	for _, spec := range []string{
+		"", "pentium", "synthetic:4:100", "synthetic:x:100:400",
+		"synthetic:4:400:100", "synthetic:4:abc:400",
+	} {
+		if _, err := ParsePlatform(spec); err == nil {
+			t.Errorf("%q: want error", spec)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"andorsched/internal/power"
+	"andorsched/internal/workload"
+)
+
+func TestDescribe(t *testing.T) {
+	plan, err := NewPlan(orForkGraph(), 2, pow2Plat(), power.NoOverheads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := plan.Describe(36e-3)
+	for _, want := range []string{
+		"CT_worst = 18.000ms",
+		"CT_avg   = 9.900ms",
+		"load 0.500",
+		"feasible: true",
+		"SPM 500MHz",
+		"exit O1",
+		"exit O2",
+		"exit END",
+		"A ", "B ", "C ", "D ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q\n%s", want, out)
+		}
+	}
+	// D's latest finish is the deadline itself.
+	if !strings.Contains(out, "36.000ms") {
+		t.Errorf("Describe missing the terminal LFT:\n%s", out)
+	}
+	// Zero-length sections render.
+	g := workload.Synthetic()
+	plan2, err := NewPlan(g, 2, power.Transmeta5400(), power.DefaultOverheads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := plan2.Describe(plan2.CTWorst); !strings.Contains(out, "zero-length section") {
+		t.Error("Describe should mention zero-length sections for loop OR chains")
+	}
+}
+
+// TestPaperWorkloadCanonicalValues pins the reconstructed workloads'
+// canonical lengths (no overheads, 2 CPUs, hand-computed):
+//
+//	synthetic: 17 (A;B‖D;C) + 25 (H;I‖J;K) + 9 (E;L#1) + 3×4 (L#2..4)
+//	           + 5 (S) + 14 (U;V) = 82ms along the longest path.
+func TestPaperWorkloadCanonicalValues(t *testing.T) {
+	plan, err := NewPlan(workload.Synthetic(), 2, pow2Plat(), power.NoOverheads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !closeTo(plan.CTWorst, 82e-3) {
+		t.Errorf("synthetic CTWorst = %g, want 82ms", plan.CTWorst)
+	}
+	// ATR on 2 CPUs: Detect(8) + 4-ROI branch + Report(4). The 4-ROI
+	// branch list-schedules 4×(3+4×5+2)ms of pipeline work on 2 CPUs; its
+	// canonical length is pinned by regression rather than by hand:
+	atr, err := NewPlan(workload.ATR(workload.DefaultATRConfig()), 2, pow2Plat(), power.NoOverheads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atr.CTWorst <= 8e-3+4e-3 || atr.CTWorst > 82e-3 {
+		t.Errorf("ATR CTWorst = %g out of plausible range", atr.CTWorst)
+	}
+	// The ATR longest path must dominate every other path's canonical
+	// length: check via per-path worst-case runs at the tightest deadline.
+	for b := 0; b < 4; b++ {
+		res, err := atr.Run(RunConfig{
+			Scheme: NPM, Deadline: atr.CTWorst, WorstCase: true, ForceBranches: []int{b},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Finish > atr.CTWorst*(1+1e-9) {
+			t.Errorf("branch %d canonical exceeds CTWorst", b)
+		}
+	}
+}

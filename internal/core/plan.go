@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"andorsched/internal/andor"
+	"andorsched/internal/power"
+	"andorsched/internal/sim"
+)
+
+// Plan is the result of the off-line phase for one application on one
+// system configuration (processor count, platform, overheads). It is
+// deadline-independent: the shifting step only moves schedules rigidly, so
+// latest finish times are stored relative to the deadline and resolved when
+// Run is called. A Plan is immutable and safe for concurrent Runs.
+type Plan struct {
+	// Graph is the application.
+	Graph *andor.Graph
+	// Sections is its program-section decomposition.
+	Sections *andor.Sections
+	// Procs is the number of processors m.
+	Procs int
+	// Platform is the processors' DVS model.
+	Platform *power.Platform
+	// Overheads are the power-management costs assumed by the dynamic
+	// schemes. The off-line phase pads every task's worst case by
+	// Overheads.PadTime so run-time speed management can never cause a
+	// deadline miss.
+	Overheads power.Overheads
+
+	// CTWorst is the canonical completion time of the longest execution
+	// path (the paper's T_worst stored in the first PMP): the minimum
+	// feasible deadline.
+	CTWorst float64
+	// CTAvg is the probability-weighted average-case completion time over
+	// all execution paths (the paper's T_avg), used by the speculative
+	// schemes.
+	CTAvg float64
+
+	secs []*secPlan // indexed by section ID
+	fmax float64
+}
+
+// secPlan is the off-line data of one program section.
+type secPlan struct {
+	sec *andor.Section
+	// lenW and lenA are the canonical schedule lengths using padded worst-
+	// and average-case execution times.
+	lenW, lenA float64
+	// remWorst and remAvg are the completion times of the work remaining
+	// after this section's exit barrier: the max (resp. probability-
+	// weighted mean) over the exit Or node's branches of that branch's
+	// length plus its own remainder. Zero for terminal sections. These are
+	// the per-path PMP values of §2.2.
+	remWorst, remAvg float64
+	// tasks are the section's schedulable units in canonical dispatch
+	// order; templates[i] lacks only the run-specific WorkA and LFT.
+	tasks []taskPlan
+}
+
+// taskPlan pairs a graph node with its engine-task template.
+type taskPlan struct {
+	node *andor.Node
+	// tmpl has Node, Name, Dummy, WorkW (padded worst-case cycles), Order,
+	// Preds and Succs filled in.
+	tmpl sim.Task
+	// relLFT is the task's latest finish time minus the deadline (always
+	// ≤ 0): LFT = D + relLFT. It equals the task's finish time in the
+	// section's canonical schedule minus the worst-case time from the
+	// section's start to the application's end.
+	relLFT float64
+}
+
+// NewPlan runs the off-line phase: it validates the application, decomposes
+// it into program sections, builds each section's canonical longest-task-
+// first schedule on m processors at maximum speed, aggregates worst- and
+// average-case completion times over the section graph, and derives each
+// task's canonical dispatch order and relative latest finish time.
+//
+// It returns an error if the graph is invalid or m is not positive.
+// Deadline feasibility (CTWorst ≤ D) is checked by Run, which knows the
+// deadline.
+func NewPlan(g *andor.Graph, m int, platform *power.Platform, ov power.Overheads) (*Plan, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("core: processor count %d must be positive", m)
+	}
+	if platform == nil {
+		return nil, fmt.Errorf("core: nil platform")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	secs, err := andor.Decompose(g)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Graph:     g,
+		Sections:  secs,
+		Procs:     m,
+		Platform:  platform,
+		Overheads: ov,
+		fmax:      platform.Max().Freq,
+		secs:      make([]*secPlan, len(secs.All)),
+	}
+	pad := ov.PadTime(platform)
+	for _, sec := range secs.All {
+		sp, err := p.planSection(sec, pad)
+		if err != nil {
+			return nil, err
+		}
+		p.secs[sec.ID] = sp
+	}
+	p.aggregate()
+	for _, sp := range p.secs {
+		base := sp.remWorst + sp.lenW // worst time from section start to app end
+		for i := range sp.tasks {
+			sp.tasks[i].relLFT -= base
+		}
+	}
+	p.CTWorst = p.secs[secs.First.ID].lenW + p.secs[secs.First.ID].remWorst
+	p.CTAvg = p.secs[secs.First.ID].lenA + p.secs[secs.First.ID].remAvg
+	return p, nil
+}
+
+// planSection builds one section's canonical schedules and task templates.
+// pad is the per-task worst-case allowance for power-management overheads.
+func (p *Plan) planSection(sec *andor.Section, pad float64) (*secPlan, error) {
+	sp := &secPlan{sec: sec}
+	if len(sec.Nodes) == 0 {
+		return sp, nil // zero-length section (Or chained to Or)
+	}
+	local := make(map[*andor.Node]int, len(sec.Nodes))
+	for i, n := range sec.Nodes {
+		local[n] = i
+	}
+	sp.tasks = make([]taskPlan, len(sec.Nodes))
+	for i, n := range sec.Nodes {
+		t := sim.Task{Node: n.ID, Name: n.Name, Dummy: n.Kind == andor.And}
+		if n.Kind == andor.Compute {
+			t.WorkW = (n.WCET + pad) * p.fmax
+		}
+		for _, pr := range n.Preds() {
+			if j, ok := local[pr]; ok {
+				t.Preds = append(t.Preds, j)
+			}
+			// Predecessors outside the section are Or nodes (entries);
+			// the barrier discipline satisfies them implicitly.
+		}
+		for _, su := range n.Succs() {
+			if j, ok := local[su]; ok {
+				t.Succs = append(t.Succs, j)
+			}
+		}
+		sp.tasks[i] = taskPlan{node: n, tmpl: t}
+	}
+
+	// Worst-case canonical schedule: padded WCETs at f_max, longest task
+	// first. It defines the section length, the dispatch orders and the
+	// per-task canonical finish times used for shifting.
+	worst := p.canonicalTasks(sp, func(tp *taskPlan) float64 { return tp.tmpl.WorkW })
+	resW, err := sim.Run(sim.Config{
+		Platform: p.Platform, Mode: sim.ByPriority, Procs: p.Procs,
+	}, worst)
+	if err != nil {
+		return nil, fmt.Errorf("core: canonical schedule of section %d: %w", sec.ID, err)
+	}
+	sp.lenW = resW.Finish
+	for k, rec := range resW.Records {
+		sp.tasks[rec.Task].tmpl.Order = k
+		sp.tasks[rec.Task].relLFT = rec.Finish // made deadline-relative by NewPlan
+	}
+
+	// Average-case canonical schedule: same heuristic with padded ACETs.
+	// Only its length is kept (the paper's T*_k PMP values for
+	// speculation).
+	avg := p.canonicalTasks(sp, func(tp *taskPlan) float64 {
+		if tp.node.Kind != andor.Compute {
+			return 0
+		}
+		return (tp.node.ACET + pad) * p.fmax
+	})
+	resA, err := sim.Run(sim.Config{
+		Platform: p.Platform, Mode: sim.ByPriority, Procs: p.Procs,
+	}, avg)
+	if err != nil {
+		return nil, fmt.Errorf("core: average canonical schedule of section %d: %w", sec.ID, err)
+	}
+	sp.lenA = resA.Finish
+	// Per-task remaining average-case time within the section (the PMP
+	// statistic the per-PMP speculation scheme reads): the average
+	// canonical length minus the task's average canonical dispatch time.
+	for _, rec := range resA.Records {
+		sp.tasks[rec.Task].tmpl.SpecRemain = sp.lenA - rec.Dispatch
+	}
+	return sp, nil
+}
+
+// canonicalTasks copies the section's task templates with WorkA set by
+// dur (cycles), for an off-line engine run.
+func (p *Plan) canonicalTasks(sp *secPlan, dur func(*taskPlan) float64) []*sim.Task {
+	out := make([]*sim.Task, len(sp.tasks))
+	for i := range sp.tasks {
+		t := sp.tasks[i].tmpl // copy
+		t.WorkA = dur(&sp.tasks[i])
+		out[i] = &t
+	}
+	return out
+}
+
+// aggregate fills remWorst/remAvg by memoized recursion over the section
+// DAG (the paper's per-PMP worst/average remaining times).
+func (p *Plan) aggregate() {
+	done := make([]bool, len(p.secs))
+	var visit func(sp *secPlan)
+	visit = func(sp *secPlan) {
+		if done[sp.sec.ID] {
+			return
+		}
+		done[sp.sec.ID] = true
+		exit := sp.sec.Exit
+		if exit == nil || len(exit.Succs()) == 0 {
+			return // terminal section: nothing remains
+		}
+		branches := p.Sections.Branch[exit.ID]
+		var worst, avg float64
+		for i, next := range branches {
+			nsp := p.secs[next.ID]
+			visit(nsp)
+			w := nsp.lenW + nsp.remWorst
+			if w > worst {
+				worst = w
+			}
+			avg += exit.BranchProb(i) * (nsp.lenA + nsp.remAvg)
+		}
+		sp.remWorst, sp.remAvg = worst, avg
+	}
+	for _, sp := range p.secs {
+		visit(sp)
+	}
+}
+
+// Feasible reports whether the application is guaranteed to meet the given
+// deadline: the canonical schedule of the longest path finishes by D
+// (Theorem 1's precondition).
+func (p *Plan) Feasible(deadline float64) bool {
+	return p.CTWorst <= deadline*(1+1e-12)
+}
+
+// MinDeadline returns the smallest feasible deadline, CTWorst.
+func (p *Plan) MinDeadline() float64 { return p.CTWorst }
+
+// SectionAvgRemaining returns, for the section with the given ID, the
+// average-case time to complete the application from that section's start:
+// its own average canonical length plus the probability-weighted remainder
+// after its exit barrier. The adaptive speculation scheme divides this by
+// the time to the deadline.
+func (p *Plan) SectionAvgRemaining(sectionID int) float64 {
+	sp := p.secs[sectionID]
+	return sp.lenA + sp.remAvg
+}
+
+// SectionWorstRemaining returns the worst-case analogue of
+// SectionAvgRemaining.
+func (p *Plan) SectionWorstRemaining(sectionID int) float64 {
+	sp := p.secs[sectionID]
+	return sp.lenW + sp.remWorst
+}
+
+// NumSections returns the number of program sections.
+func (p *Plan) NumSections() int { return len(p.secs) }
+
+// SpeculativeSpeed returns the paper's static speculative speed
+// f_max·CT_avg/D for the given deadline (before level quantization).
+func (p *Plan) SpeculativeSpeed(deadline float64) float64 {
+	if deadline <= 0 {
+		return math.Inf(1)
+	}
+	return p.fmax * p.CTAvg / deadline
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+
+	"andorsched/internal/power"
+	"andorsched/internal/sim"
+)
+
+// feasTol absorbs floating-point noise in feasibility comparisons.
+const feasTol = 1e-9
+
+// policy implements sim.Policy for all six schemes. The zero-cost static
+// schemes (NPM, SPM) use a fixed level; the dynamic schemes combine the
+// greedy slack-sharing level with a scheme-specific speculative floor.
+type policy struct {
+	plan *Plan
+	d    float64 // deadline
+
+	scheme Scheme
+	fixed  int // NPM/SPM: the constant level index
+
+	// SS1/SS2/AS: floorAt returns the speculative floor level at time t.
+	// For SS1 it is constant; for SS2 it switches from low to high at
+	// switchAt; for AS it is resetSection'd at each barrier.
+	floorLow, floorHigh int
+	switchAt            float64
+
+	// ASP: the remaining average-case time after the current section's
+	// exit barrier, refreshed at each barrier; combined with each task's
+	// SpecRemain statistic at pickup time.
+	remAvgAfter float64
+
+	// maxChange is the worst-case cost of one voltage/speed change on the
+	// platform, budgeted before the target level (and thus the actual
+	// voltage swing) is known.
+	maxChange float64
+}
+
+// newPolicy builds the scheme's policy for one run with deadline d.
+func newPolicy(p *Plan, scheme Scheme, d float64) *policy {
+	pol := &policy{plan: p, d: d, scheme: scheme,
+		maxChange: p.Overheads.MaxChangeTime(p.Platform)}
+	switch scheme {
+	case NPM:
+		pol.fixed = p.Platform.MaxIndex()
+	case SPM:
+		// Static power management: stretch the canonical worst case of the
+		// longest path over the whole deadline, rounded up to a level.
+		pol.fixed = p.Platform.QuantizeUp(p.fmax * p.CTWorst / d)
+	case SS1:
+		pol.floorLow = p.Platform.QuantizeUp(p.SpeculativeSpeed(d))
+		pol.floorHigh = pol.floorLow
+	case SS2:
+		// Two-speed static speculation: run at the level just below the
+		// speculative speed until T_s, then at the level just above, where
+		// T_s balances the average-case work over the deadline:
+		// f_low·T_s + f_high·(D − T_s) = f_max·CT_avg.
+		fspec := p.SpeculativeSpeed(d)
+		pol.floorLow = p.Platform.QuantizeDown(fspec)
+		pol.floorHigh = p.Platform.QuantizeUp(fspec)
+		if pol.floorLow == pol.floorHigh {
+			pol.switchAt = 0
+		} else {
+			fl := p.Platform.Levels()[pol.floorLow].Freq
+			fh := p.Platform.Levels()[pol.floorHigh].Freq
+			pol.switchAt = d * (fh - fspec) / (fh - fl)
+		}
+	case AS:
+		// resetSection sets the floor before the first task runs.
+		pol.floorLow = p.Platform.MinIndex()
+		pol.floorHigh = pol.floorLow
+	}
+	return pol
+}
+
+// resetSection recomputes the adaptive-speculation floor when execution
+// reaches the section with the given ID at time now (at the start and after
+// every OR synchronization node, §4.2):
+// f_spec = f_max · T_avg,remaining / (D − now).
+func (pol *policy) resetSection(sectionID int, now float64) {
+	switch pol.scheme {
+	case AS:
+		left := pol.d - now
+		if left <= 0 {
+			pol.floorLow = pol.plan.Platform.MaxIndex()
+		} else {
+			f := pol.plan.fmax * pol.plan.SectionAvgRemaining(sectionID) / left
+			pol.floorLow = pol.plan.Platform.QuantizeUp(f)
+		}
+		pol.floorHigh = pol.floorLow
+	case ASP:
+		pol.remAvgAfter = pol.plan.secs[sectionID].remAvg
+	}
+}
+
+// floorAt returns the speculative floor level for task t picked at time
+// `now` (SS1/SS2/AS/ASP), or -1 when the scheme has none (GSS).
+func (pol *policy) floorAt(t *sim.Task, now float64) int {
+	switch pol.scheme {
+	case SS1, AS:
+		return pol.floorLow
+	case SS2:
+		if now < pol.switchAt {
+			return pol.floorLow
+		}
+		return pol.floorHigh
+	case ASP:
+		// Per-PMP speculation: remaining average-case work is the task's
+		// within-section PMP statistic plus the average remainder after
+		// the section's barrier.
+		left := pol.d - now
+		if left <= 0 {
+			return pol.plan.Platform.MaxIndex()
+		}
+		f := pol.plan.fmax * (t.SpecRemain + pol.remAvgAfter) / left
+		return pol.plan.Platform.QuantizeUp(f)
+	}
+	return -1
+}
+
+// PickLevel implements sim.Policy.
+func (pol *policy) PickLevel(t *sim.Task, now float64, cur int) int {
+	switch pol.scheme {
+	case NPM, SPM, CLV:
+		return pol.fixed
+	}
+	g := pol.gssPick(t, now, cur)
+	flr := pol.floorAt(t, now)
+	if flr <= g {
+		return g
+	}
+	// The speculative floor is above the slack-sharing level. Running
+	// faster is always timing-safe provided the change overhead (if any)
+	// still fits the allocation.
+	if flr == cur {
+		return cur
+	}
+	lv := pol.plan.Platform.Levels()
+	ov := pol.plan.Overheads
+	avail := t.LFT - now - ov.CompTime(lv[cur].Freq) - pol.maxChange
+	if avail > 0 && lv[flr].Freq*avail >= t.WorkW*(1-feasTol) {
+		return flr
+	}
+	return g
+}
+
+// gssPick is the greedy slack-sharing level choice with overhead
+// accounting (§3.2 and [20]): the task's allocation is everything up to its
+// latest finish time; after paying the speed-computation overhead (and the
+// change overhead if the level would change), the slowest level that still
+// covers the worst-case work is selected. If no change can be afforded the
+// processor keeps its current speed when that is fast enough, and falls
+// back to maximum speed otherwise.
+func (pol *policy) gssPick(t *sim.Task, now float64, cur int) int {
+	plat := pol.plan.Platform
+	lv := plat.Levels()
+	ov := pol.plan.Overheads
+
+	availNC := t.LFT - now - ov.CompTime(lv[cur].Freq)
+	needNC := math.Inf(1)
+	if availNC > 0 {
+		needNC = t.WorkW / availNC
+	}
+	curOK := lv[cur].Freq >= needNC*(1-feasTol)
+
+	availC := availNC - pol.maxChange
+	lvlC := plat.MaxIndex()
+	feasC := false
+	if availC > 0 {
+		lvlC = plat.QuantizeUp(t.WorkW / availC)
+		feasC = lv[lvlC].Freq*availC >= t.WorkW*(1-feasTol)
+	}
+
+	if curOK {
+		// Slow down only if a change is affordable and strictly saves.
+		if feasC && lvlC < cur {
+			return lvlC
+		}
+		return cur
+	}
+	// The current level is too slow: a change is mandatory; if even the
+	// change-adjusted choice cannot make it, run flat out (best effort —
+	// cannot occur when the off-line padding is in effect).
+	return lvlC
+}
+
+var _ sim.Policy = (*policy)(nil)
+
+// SPMLevel returns the level index SPM would use for the given deadline —
+// exposed for tests and reporting.
+func (p *Plan) SPMLevel(deadline float64) power.Level {
+	return p.Platform.Levels()[p.Platform.QuantizeUp(p.fmax*p.CTWorst/deadline)]
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"andorsched/internal/andor"
+	"andorsched/internal/exectime"
+	"andorsched/internal/power"
+	"andorsched/internal/sim"
+)
+
+// RunConfig parameterizes one on-line execution of a planned application.
+type RunConfig struct {
+	// Scheme selects the power management scheme.
+	Scheme Scheme
+	// Deadline is the application deadline D in seconds. Run fails if the
+	// plan is infeasible for it.
+	Deadline float64
+	// Sampler supplies actual execution times and drives OR branch
+	// selection. Required unless both WorstCase and ForceBranches cover
+	// the run.
+	Sampler exectime.TimeSampler
+	// WorstCase, if set, makes every task consume its full WCET instead of
+	// a sampled actual time (used by correctness tests).
+	WorstCase bool
+	// ForceBranches, if non-empty, overrides OR branch selection: the k-th
+	// OR node resolved during the run takes branch ForceBranches[k]. When
+	// the list is exhausted selection falls back to the sampler (or to
+	// branch 0 if there is none).
+	ForceBranches []int
+	// CollectTrace records a Gantt entry per task execution.
+	CollectTrace bool
+	// Validate cross-checks every section's schedule against the machine
+	// model's invariants (occupancy, precedence, order gating, duration
+	// and overhead arithmetic) via sim.ValidateResult. Intended for tests;
+	// costs one extra pass per section.
+	Validate bool
+}
+
+// RunResult reports one on-line execution.
+type RunResult struct {
+	// Scheme and Deadline echo the configuration.
+	Scheme   Scheme
+	Deadline float64
+	// Finish is the application completion time.
+	Finish float64
+	// MetDeadline reports Finish ≤ Deadline (up to rounding).
+	MetDeadline bool
+	// LSTViolations counts tasks dispatched after their latest start time.
+	// Theorem 1 guarantees zero; the run driver verifies it.
+	LSTViolations int
+
+	// ActiveEnergy is the energy (joules) spent executing task work;
+	// OverheadEnergy the energy of speed computations and changes;
+	// IdleEnergy the energy of idle processors over the horizon
+	// [0, max(Deadline, Finish)] at the platform's idle power.
+	ActiveEnergy, OverheadEnergy, IdleEnergy float64
+	// SpeedChanges counts voltage/speed transitions.
+	SpeedChanges int
+	// BusyTime and OverheadTime are the summed per-processor seconds.
+	BusyTime, OverheadTime float64
+	// LevelTime[i] is the total task-execution time spent at platform
+	// level i, summed over processors (the speed residency profile).
+	LevelTime []float64
+	// FinalLevels is each processor's level index when the application
+	// finished; a stream of frames carries it into the next frame.
+	FinalLevels []int
+	// Path records the OR branch decisions taken.
+	Path []andor.Choice
+	// Trace holds per-task execution rows when CollectTrace was set.
+	Trace []sim.GanttEntry
+}
+
+// Energy returns the total energy consumed: active + overhead + idle.
+func (r *RunResult) Energy() float64 {
+	return r.ActiveEnergy + r.OverheadEnergy + r.IdleEnergy
+}
+
+// script is one run's pre-resolved execution: the sections visited, each
+// task's sampled actual work, and the OR branch decisions. Resolving it up
+// front decouples the random draws from the scheduling policy, so the same
+// script can be replayed under different speed schedules (the clairvoyant
+// bound does exactly that).
+type script struct {
+	sections []*secPlan
+	works    [][]float64 // actual cycles, indexed [step][task]
+	choices  []andor.Choice
+}
+
+// resolve walks the section graph once, sampling actual execution times
+// and branch outcomes in the same order Run consumes them.
+func (p *Plan) resolve(cfg RunConfig) *script {
+	sc := &script{}
+	sec := p.Sections.First
+	orCount := 0
+	for {
+		sp := p.secs[sec.ID]
+		sc.sections = append(sc.sections, sp)
+		works := make([]float64, len(sp.tasks))
+		for i := range sp.tasks {
+			n := sp.tasks[i].node
+			if n.Kind != andor.Compute {
+				continue
+			}
+			if cfg.WorstCase {
+				works[i] = n.WCET * p.fmax
+			} else {
+				works[i] = cfg.Sampler.Sample(n.WCET, n.ACET) * p.fmax
+			}
+		}
+		sc.works = append(sc.works, works)
+		exit := sp.sec.Exit
+		if exit == nil || len(exit.Succs()) == 0 {
+			return sc
+		}
+		branch := p.chooseBranch(exit, orCount, cfg)
+		orCount++
+		sc.choices = append(sc.choices, andor.Choice{Or: exit, Branch: branch})
+		sec = p.Sections.Branch[exit.ID][branch]
+	}
+}
+
+// Run executes the application once under the configured scheme. The
+// returned result is self-contained; Run may be called concurrently on the
+// same Plan with independent samplers.
+func (p *Plan) Run(cfg RunConfig) (*RunResult, error) {
+	d := cfg.Deadline
+	if d <= 0 {
+		return nil, fmt.Errorf("core: non-positive deadline %g", d)
+	}
+	if !p.Feasible(d) {
+		return nil, fmt.Errorf("core: infeasible deadline %g < canonical worst case %g", d, p.CTWorst)
+	}
+	if cfg.Sampler == nil && !cfg.WorstCase {
+		return nil, fmt.Errorf("core: RunConfig needs a Sampler unless WorstCase is set")
+	}
+	sc := p.resolve(cfg)
+	if cfg.Scheme == CLV {
+		return p.runClairvoyant(cfg, sc)
+	}
+	return p.execute(cfg, sc, newPolicy(p, cfg.Scheme, d), nil)
+}
+
+// execute replays a resolved script under the given policy. levelsOverride,
+// if non-nil, sets the processors' initial levels (the clairvoyant bound
+// starts directly at its chosen level); otherwise the policy's initial
+// level is used.
+func (p *Plan) execute(cfg RunConfig, sc *script, pol *policy, levelsOverride []int) (*RunResult, error) {
+	d := cfg.Deadline
+	// Dynamic schemes pay the power-management overheads; NPM, SPM and the
+	// clairvoyant bound perform no run-time speed computation.
+	var ov power.Overheads
+	if cfg.Scheme.Dynamic() {
+		ov = p.Overheads
+	}
+	// Processors start at the scheme's initial speed: f_max for the
+	// dynamic schemes and NPM, the static speed for SPM (set once before
+	// release, as in [11]).
+	levels := levelsOverride
+	if levels == nil {
+		levels = make([]int, p.Procs)
+		for i := range levels {
+			levels[i] = pol.initialLevel()
+		}
+	}
+
+	res := &RunResult{
+		Scheme: cfg.Scheme, Deadline: d,
+		LevelTime: make([]float64, p.Platform.NumLevels()),
+	}
+	now := 0.0
+	for step, sp := range sc.sections {
+		pol.resetSection(sp.sec.ID, now)
+		tasks := p.runtimeTasks(sp, d, sc.works[step])
+		sr, err := sim.Run(sim.Config{
+			Platform:      p.Platform,
+			Overheads:     ov,
+			Mode:          sim.ByOrder,
+			Policy:        pol,
+			Start:         now,
+			InitialLevels: levels,
+		}, tasks)
+		if err != nil {
+			return nil, fmt.Errorf("core: section %d: %w", sp.sec.ID, err)
+		}
+		if cfg.Validate {
+			if err := sim.ValidateResult(p.Platform, sim.ByOrder, now, tasks, sr); err != nil {
+				return nil, fmt.Errorf("core: section %d: %w", sp.sec.ID, err)
+			}
+		}
+		res.ActiveEnergy += sr.ActiveEnergy
+		res.OverheadEnergy += sr.OverheadEnergy
+		res.SpeedChanges += sr.SpeedChanges
+		for i := range sr.BusyTime {
+			res.BusyTime += sr.BusyTime[i]
+			res.OverheadTime += sr.OverheadTime[i]
+		}
+		for _, rec := range sr.Records {
+			t := tasks[rec.Task]
+			res.LevelTime[rec.Level] += rec.Finish - rec.Start
+			if !t.Dummy && cfg.Scheme != CLV {
+				lst := t.LFT - t.WorkW/p.fmax
+				if rec.Dispatch > lst*(1+feasTol)+feasTol {
+					res.LSTViolations++
+				}
+			}
+		}
+		if cfg.CollectTrace {
+			res.Trace = append(res.Trace, sim.Entries(tasks, sr.Records)...)
+		}
+		now = sr.Finish
+		levels = sr.FinalLevels
+	}
+	res.Path = sc.choices
+	res.FinalLevels = levels
+
+	res.Finish = now
+	res.MetDeadline = now <= d*(1+feasTol)
+	horizon := math.Max(d, now)
+	idleTime := float64(p.Procs)*horizon - res.BusyTime - res.OverheadTime
+	if idleTime < 0 {
+		idleTime = 0
+	}
+	res.IdleEnergy = p.Platform.IdlePower() * idleTime
+	return res, nil
+}
+
+// runtimeTasks instantiates the section's task templates for one step of a
+// script: actual works installed, latest finish times resolved against the
+// deadline.
+func (p *Plan) runtimeTasks(sp *secPlan, d float64, works []float64) []*sim.Task {
+	out := make([]*sim.Task, len(sp.tasks))
+	for i := range sp.tasks {
+		t := sp.tasks[i].tmpl // copy
+		t.LFT = d + sp.tasks[i].relLFT
+		t.WorkA = works[i]
+		out[i] = &t
+	}
+	return out
+}
+
+// chooseBranch resolves an OR node: forced branches first, then the
+// sampler's distribution, then branch 0.
+func (p *Plan) chooseBranch(or *andor.Node, orCount int, cfg RunConfig) int {
+	if orCount < len(cfg.ForceBranches) {
+		b := cfg.ForceBranches[orCount]
+		if b >= 0 && b < len(or.Succs()) {
+			return b
+		}
+	}
+	if len(or.Succs()) == 1 {
+		return 0
+	}
+	if cfg.Sampler != nil {
+		probs := make([]float64, len(or.Succs()))
+		for i := range probs {
+			probs[i] = or.BranchProb(i)
+		}
+		return cfg.Sampler.Source().Pick(probs)
+	}
+	return 0
+}
+
+// initialLevel is the level processors hold before the first task.
+func (pol *policy) initialLevel() int {
+	switch pol.scheme {
+	case SPM, CLV:
+		return pol.fixed
+	default:
+		return pol.plan.Platform.MaxIndex()
+	}
+}
+
+// runClairvoyant computes the single-speed oracle the paper's §3.3 intuition
+// appeals to: "a clairvoyant algorithm can achieve minimal energy
+// consumption ... by running all tasks with a single speed setting if the
+// actual running time of every task is known". Knowing the resolved script
+// (actual times and path), it measures the schedule length at f_max, picks
+// the slowest level that still meets the deadline — execution scales
+// exactly linearly in 1/f, barriers included — and replays the script at
+// that constant speed with no power-management costs. CLV is not one of the
+// paper's schemes; it bounds what speculation can hope to achieve and is
+// used by the ablation benches.
+func (p *Plan) runClairvoyant(cfg RunConfig, sc *script) (*RunResult, error) {
+	probeCfg := cfg
+	probeCfg.CollectTrace = false
+	probeCfg.Validate = false
+	probe := &policy{plan: p, d: cfg.Deadline, scheme: CLV, fixed: p.Platform.MaxIndex()}
+	base, err := p.execute(probeCfg, sc, probe, nil)
+	if err != nil {
+		return nil, err
+	}
+	idx := p.Platform.QuantizeUp(p.fmax * base.Finish / cfg.Deadline)
+	pol := &policy{plan: p, d: cfg.Deadline, scheme: CLV, fixed: idx}
+	levels := make([]int, p.Procs)
+	for i := range levels {
+		levels[i] = idx
+	}
+	return p.execute(cfg, sc, pol, levels)
+}

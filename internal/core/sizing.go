@@ -1,0 +1,36 @@
+package core
+
+import (
+	"fmt"
+
+	"andorsched/internal/andor"
+	"andorsched/internal/power"
+)
+
+// MinFeasibleProcs returns the smallest processor count m ≤ maxProcs for
+// which the application's canonical schedule meets the deadline, together
+// with that plan. It returns an error when even maxProcs is infeasible or
+// the graph is invalid.
+//
+// List scheduling is not monotone in the processor count in general
+// (Graham's timing anomalies), so the search is linear from 1 and returns
+// the first feasible count rather than assuming bisection is safe.
+func MinFeasibleProcs(g *andor.Graph, platform *power.Platform, ov power.Overheads,
+	deadline float64, maxProcs int) (int, *Plan, error) {
+	if maxProcs < 1 {
+		return 0, nil, fmt.Errorf("core: maxProcs %d must be at least 1", maxProcs)
+	}
+	var lastErr error
+	for m := 1; m <= maxProcs; m++ {
+		plan, err := NewPlan(g, m, platform, ov)
+		if err != nil {
+			return 0, nil, err
+		}
+		if plan.Feasible(deadline) {
+			return m, plan, nil
+		}
+		lastErr = fmt.Errorf("core: %d processors: canonical worst case %g exceeds deadline %g",
+			m, plan.CTWorst, deadline)
+	}
+	return 0, nil, fmt.Errorf("core: no feasible processor count up to %d: %w", maxProcs, lastErr)
+}

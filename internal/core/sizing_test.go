@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"andorsched/internal/power"
+	"andorsched/internal/workload"
+)
+
+func TestMinFeasibleProcs(t *testing.T) {
+	g := workload.ATR(workload.DefaultATRConfig())
+	plat := power.Transmeta5400()
+	ov := power.NoOverheads()
+
+	// Establish the single- and dual-processor canonical lengths.
+	p1, err := NewPlan(g, 1, plat, ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPlan(g, 2, plat, ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.CTWorst >= p1.CTWorst {
+		t.Fatalf("2 CPUs should shorten the ATR canonical schedule: %g vs %g", p2.CTWorst, p1.CTWorst)
+	}
+
+	// A deadline between the two: needs exactly 2 processors.
+	d := (p1.CTWorst + p2.CTWorst) / 2
+	m, plan, err := MinFeasibleProcs(g, plat, ov, d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 2 || plan.Procs != 2 {
+		t.Errorf("MinFeasibleProcs = %d, want 2", m)
+	}
+
+	// A generous deadline: one processor suffices.
+	m, _, err = MinFeasibleProcs(g, plat, ov, p1.CTWorst*2, 8)
+	if err != nil || m != 1 {
+		t.Errorf("MinFeasibleProcs = %d (%v), want 1", m, err)
+	}
+
+	// An impossible deadline: error.
+	if _, _, err := MinFeasibleProcs(g, plat, ov, 1e-6, 8); err == nil {
+		t.Error("want infeasibility error")
+	}
+	if _, _, err := MinFeasibleProcs(g, plat, ov, d, 0); err == nil {
+		t.Error("want maxProcs error")
+	}
+}

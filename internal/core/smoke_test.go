@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"andorsched/internal/andor"
+	"andorsched/internal/exectime"
+	"andorsched/internal/power"
+	"andorsched/internal/workload"
+)
+
+// TestSmokeAllSchemes runs every scheme once on both paper workloads and
+// platforms as an end-to-end sanity check: deadlines met, no LST
+// violations, positive energies.
+func TestSmokeAllSchemes(t *testing.T) {
+	builders := map[string]func() *andor.Graph{
+		"atr":       func() *andor.Graph { return workload.ATR(workload.DefaultATRConfig()) },
+		"synthetic": workload.Synthetic,
+	}
+	for _, plat := range []*power.Platform{power.Transmeta5400(), power.IntelXScale()} {
+		for wname, build := range builders {
+			plan, err := NewPlan(build(), 2, plat, power.DefaultOverheads())
+			if err != nil {
+				t.Fatalf("%s/%s: NewPlan: %v", plat.Name, wname, err)
+			}
+			d := plan.CTWorst / 0.5 // load 0.5
+			for _, s := range Schemes {
+				src := exectime.NewSource(42)
+				res, err := plan.Run(RunConfig{
+					Scheme: s, Deadline: d,
+					Sampler: exectime.NewSampler(src),
+				})
+				if err != nil {
+					t.Fatalf("%s/%s/%s: Run: %v", plat.Name, wname, s, err)
+				}
+				if !res.MetDeadline {
+					t.Errorf("%s/%s/%s: missed deadline: finish %g > %g", plat.Name, wname, s, res.Finish, d)
+				}
+				if res.LSTViolations != 0 {
+					t.Errorf("%s/%s/%s: %d LST violations", plat.Name, wname, s, res.LSTViolations)
+				}
+				if res.Energy() <= 0 {
+					t.Errorf("%s/%s/%s: non-positive energy %g", plat.Name, wname, s, res.Energy())
+				}
+				t.Logf("%-14s %-9s %-3s: finish=%7.3fms/%7.3fms energy=%.4gJ changes=%d",
+					plat.Name, wname, s, res.Finish*1e3, d*1e3, res.Energy(), res.SpeedChanges)
+			}
+		}
+	}
+}

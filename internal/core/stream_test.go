@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"andorsched/internal/exectime"
+	"andorsched/internal/power"
+	"andorsched/internal/workload"
+)
+
+func streamPlan(t *testing.T) *Plan {
+	t.Helper()
+	plan, err := NewPlan(workload.ATR(workload.DefaultATRConfig()), 2,
+		power.Transmeta5400(), power.DefaultOverheads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestRunStreamBasics(t *testing.T) {
+	plan := streamPlan(t)
+	const frames = 50
+	res, err := plan.RunStream(StreamConfig{
+		Scheme: GSS, Period: plan.CTWorst / 0.6, Frames: frames,
+		Sampler: exectime.NewSampler(exectime.NewSource(4)), CarryLevels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != frames || res.FinishStats.N() != frames {
+		t.Errorf("frame accounting wrong: %d/%d", res.Frames, res.FinishStats.N())
+	}
+	if res.DeadlineMisses != 0 || res.LSTViolations != 0 {
+		t.Errorf("timing violated: %d misses, %d LST violations", res.DeadlineMisses, res.LSTViolations)
+	}
+	if res.Energy() <= 0 {
+		t.Error("non-positive stream energy")
+	}
+	if res.FinishStats.Max() > plan.CTWorst/0.6 {
+		t.Error("a frame finished after its period")
+	}
+	var resid float64
+	for _, v := range res.LevelTime {
+		resid += v
+	}
+	if resid <= 0 {
+		t.Error("empty residency profile")
+	}
+}
+
+// TestRunStreamNPMIsFrameSum: NPM has no cross-frame state (always f_max),
+// so the stream energy equals the sum of independent runs with the same
+// per-frame randomness.
+func TestRunStreamNPMIsFrameSum(t *testing.T) {
+	plan := streamPlan(t)
+	period := plan.CTWorst / 0.5
+	const frames = 20
+	stream, err := plan.RunStream(StreamConfig{
+		Scheme: NPM, Period: period, Frames: frames,
+		Sampler: exectime.NewSampler(exectime.NewSource(31)), CarryLevels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay the same sampler stream frame by frame.
+	sampler := exectime.NewSampler(exectime.NewSource(31))
+	var sum float64
+	for f := 0; f < frames; f++ {
+		res, err := plan.Run(RunConfig{Scheme: NPM, Deadline: period, Sampler: sampler})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.Energy()
+	}
+	if !closeTo(stream.Energy(), sum) {
+		t.Errorf("stream energy %g != frame sum %g", stream.Energy(), sum)
+	}
+}
+
+// TestRunStreamCarryReducesChanges: carrying levels across frames avoids
+// re-establishing the working speed every frame, so a GSS stream performs
+// no more changes with carry than without.
+func TestRunStreamCarryReducesChanges(t *testing.T) {
+	plan := streamPlan(t)
+	period := plan.CTWorst / 0.4
+	run := func(carry bool) *StreamResult {
+		res, err := plan.RunStream(StreamConfig{
+			Scheme: GSS, Period: period, Frames: 100,
+			Sampler: exectime.NewSampler(exectime.NewSource(8)), CarryLevels: carry,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	with, without := run(true), run(false)
+	if with.SpeedChanges > without.SpeedChanges {
+		t.Errorf("carrying levels increased changes: %d > %d", with.SpeedChanges, without.SpeedChanges)
+	}
+	if with.DeadlineMisses != 0 || without.DeadlineMisses != 0 {
+		t.Error("stream missed deadlines")
+	}
+}
+
+func TestRunStreamAllSchemes(t *testing.T) {
+	plan := streamPlan(t)
+	for _, s := range append(append([]Scheme(nil), Schemes...), ExtendedSchemes...) {
+		res, err := plan.RunStream(StreamConfig{
+			Scheme: s, Period: plan.CTWorst / 0.7, Frames: 25,
+			Sampler: exectime.NewSampler(exectime.NewSource(2)), CarryLevels: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if res.DeadlineMisses != 0 {
+			t.Errorf("%s: %d misses", s, res.DeadlineMisses)
+		}
+	}
+}
+
+func TestRunStreamErrors(t *testing.T) {
+	plan := streamPlan(t)
+	sampler := exectime.NewSampler(exectime.NewSource(1))
+	if _, err := plan.RunStream(StreamConfig{Scheme: GSS, Period: plan.CTWorst, Frames: 0, Sampler: sampler}); err == nil {
+		t.Error("want frame-count error")
+	}
+	if _, err := plan.RunStream(StreamConfig{Scheme: GSS, Period: plan.CTWorst, Frames: 1}); err == nil {
+		t.Error("want sampler error")
+	}
+	if _, err := plan.RunStream(StreamConfig{Scheme: GSS, Period: plan.CTWorst / 2, Frames: 1, Sampler: sampler}); err == nil {
+		t.Error("want infeasible-period error")
+	}
+}

@@ -1,0 +1,97 @@
+package exectime
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Empirical is a distribution of execution-time *fractions* of the WCET,
+// built from profiled samples. The paper's evaluation draws actual times
+// from a normal distribution; when real profiling data exists (e.g. the
+// per-frame times of an ATR run), an empirical distribution reproduces the
+// measured behavior — multimodality included — instead of assuming a
+// shape.
+//
+// Samples are stored as fractions in (0, 1] so one profile can drive tasks
+// with different WCETs. Draws use inverse-transform sampling with linear
+// interpolation between order statistics.
+type Empirical struct {
+	fracs []float64 // sorted ascending
+}
+
+// NewEmpirical builds a distribution from observed WCET fractions. It
+// returns an error when no samples are given or any sample lies outside
+// (0, 1] — an observation above the WCET would contradict the WCET.
+func NewEmpirical(fracs []float64) (*Empirical, error) {
+	if len(fracs) == 0 {
+		return nil, fmt.Errorf("exectime: empirical distribution needs samples")
+	}
+	fs := append([]float64(nil), fracs...)
+	for _, f := range fs {
+		if f <= 0 || f > 1 {
+			return nil, fmt.Errorf("exectime: empirical sample %g outside (0,1]", f)
+		}
+	}
+	sort.Float64s(fs)
+	return &Empirical{fracs: fs}, nil
+}
+
+// NewEmpiricalFromTimes builds the distribution from absolute observed
+// execution times of one task with the given WCET.
+func NewEmpiricalFromTimes(times []float64, wcet float64) (*Empirical, error) {
+	if wcet <= 0 {
+		return nil, fmt.Errorf("exectime: non-positive WCET %g", wcet)
+	}
+	fracs := make([]float64, len(times))
+	for i, t := range times {
+		fracs[i] = t / wcet
+	}
+	return NewEmpirical(fracs)
+}
+
+// Mean returns the distribution's mean fraction — the α it induces.
+func (e *Empirical) Mean() float64 {
+	var sum float64
+	for _, f := range e.fracs {
+		sum += f
+	}
+	return sum / float64(len(e.fracs))
+}
+
+// quantile returns the u-th (0 ≤ u < 1) quantile by linear interpolation
+// between the sorted samples.
+func (e *Empirical) quantile(u float64) float64 {
+	n := len(e.fracs)
+	if n == 1 {
+		return e.fracs[0]
+	}
+	pos := u * float64(n-1)
+	i := int(pos)
+	if i >= n-1 {
+		return e.fracs[n-1]
+	}
+	frac := pos - float64(i)
+	return e.fracs[i]*(1-frac) + e.fracs[i+1]*frac
+}
+
+// EmpiricalSampler adapts an Empirical distribution to the Sampler
+// interface shape used by core.RunConfig: Sample draws an actual execution
+// time for a task as quantile(U)·WCET, ignoring the task's ACET (the
+// profile already encodes the average behavior).
+type EmpiricalSampler struct {
+	src  *Source
+	dist *Empirical
+}
+
+// NewEmpiricalSampler couples a distribution with a random source.
+func NewEmpiricalSampler(src *Source, dist *Empirical) *EmpiricalSampler {
+	return &EmpiricalSampler{src: src, dist: dist}
+}
+
+// Sample draws one actual execution time in (0, wcet].
+func (s *EmpiricalSampler) Sample(wcet, acet float64) float64 {
+	return s.dist.quantile(s.src.Float64()) * wcet
+}
+
+// Source exposes the underlying random source (for OR branch selection).
+func (s *EmpiricalSampler) Source() *Source { return s.src }

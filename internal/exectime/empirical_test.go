@@ -1,0 +1,85 @@
+package exectime
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewEmpiricalValidation(t *testing.T) {
+	if _, err := NewEmpirical(nil); err == nil {
+		t.Error("want empty error")
+	}
+	if _, err := NewEmpirical([]float64{0.5, 1.2}); err == nil {
+		t.Error("want out-of-range error")
+	}
+	if _, err := NewEmpirical([]float64{0}); err == nil {
+		t.Error("want zero error")
+	}
+	if _, err := NewEmpiricalFromTimes([]float64{1, 2}, 0); err == nil {
+		t.Error("want wcet error")
+	}
+	if _, err := NewEmpiricalFromTimes([]float64{5e-3, 9e-3}, 8e-3); err == nil {
+		t.Error("observation above WCET must be rejected")
+	}
+}
+
+func TestEmpiricalMeanAndQuantiles(t *testing.T) {
+	e, err := NewEmpirical([]float64{0.2, 0.4, 0.6, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Mean(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Mean = %g, want 0.5", got)
+	}
+	// Quantile endpoints and interior interpolation.
+	if got := e.quantile(0); got != 0.2 {
+		t.Errorf("q(0) = %g", got)
+	}
+	if got := e.quantile(0.999999); math.Abs(got-0.8) > 1e-3 {
+		t.Errorf("q(1⁻) = %g", got)
+	}
+	if got := e.quantile(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("q(0.5) = %g, want 0.5 (interpolated)", got)
+	}
+}
+
+func TestEmpiricalSamplerBoundsAndMean(t *testing.T) {
+	// A bimodal profile: 70% fast frames (~0.3 WCET), 30% slow (~0.9).
+	fracs := make([]float64, 0, 100)
+	for i := 0; i < 70; i++ {
+		fracs = append(fracs, 0.28+0.04*float64(i)/70)
+	}
+	for i := 0; i < 30; i++ {
+		fracs = append(fracs, 0.88+0.04*float64(i)/30)
+	}
+	dist, err := NewEmpirical(fracs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewEmpiricalSampler(NewSource(5), dist)
+	const wcet = 10e-3
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		x := s.Sample(wcet, 0 /* ignored */)
+		if x <= 0 || x > wcet {
+			t.Fatalf("sample %g out of bounds", x)
+		}
+		sum += x
+	}
+	wantMean := dist.Mean() * wcet
+	if got := sum / n; math.Abs(got-wantMean) > 0.02*wantMean {
+		t.Errorf("sample mean %g, want ~%g", got, wantMean)
+	}
+	if s.Source() == nil {
+		t.Error("Source() nil")
+	}
+}
+
+// TestTimeSamplerInterface: both samplers satisfy the interface used by the
+// scheduler.
+func TestTimeSamplerInterface(t *testing.T) {
+	var _ TimeSampler = NewSampler(NewSource(1))
+	dist, _ := NewEmpirical([]float64{0.5})
+	var _ TimeSampler = NewEmpiricalSampler(NewSource(1), dist)
+}

@@ -1,0 +1,70 @@
+package exectime
+
+import "math"
+
+// TimeSampler is the interface the scheduler draws execution behavior
+// from: Sample produces one actual execution time for a task, and Source
+// exposes the random stream used for OR branch selection (one seed drives
+// a whole run). Implemented by Sampler (the paper's truncated normal) and
+// EmpiricalSampler (profile-driven).
+type TimeSampler interface {
+	// Sample draws one actual execution time in (0, wcet] for a task with
+	// the given worst- and average-case times.
+	Sample(wcet, acet float64) float64
+	// Source returns the underlying random source.
+	Source() *Source
+}
+
+// Sampler draws actual execution times for tasks. Per the paper (§5), "the
+// actual execution time of a task follows a normal distribution around"
+// its average-case execution time; the distribution's width is not given in
+// the paper, so it is a documented parameter here.
+type Sampler struct {
+	src *Source
+	// sigmaFactor scales the standard deviation: σ = sigmaFactor·(WCET−ACET).
+	// The default (1/3) puts the WCET at 3σ above the mean, so nearly all of
+	// the untruncated mass lies below the worst case.
+	sigmaFactor float64
+}
+
+// DefaultSigmaFactor is the default ratio of σ to (WCET − ACET).
+const DefaultSigmaFactor = 1.0 / 3.0
+
+// NewSampler returns a Sampler drawing from src with the default width.
+func NewSampler(src *Source) *Sampler {
+	return &Sampler{src: src, sigmaFactor: DefaultSigmaFactor}
+}
+
+// NewSamplerSigma returns a Sampler with σ = sigmaFactor·(WCET−ACET).
+func NewSamplerSigma(src *Source, sigmaFactor float64) *Sampler {
+	if sigmaFactor < 0 {
+		panic("exectime: negative sigma factor")
+	}
+	return &Sampler{src: src, sigmaFactor: sigmaFactor}
+}
+
+// Sample draws one actual execution time for a task with the given WCET and
+// ACET (seconds at maximum speed): a normal variate with mean ACET,
+// truncated symmetrically to [ACET − (WCET−ACET), WCET] so the mean is
+// preserved, and floored at a small positive fraction of the ACET when the
+// symmetric lower bound would be non-positive (tasks always execute some
+// work).
+func (sm *Sampler) Sample(wcet, acet float64) float64 {
+	if acet >= wcet {
+		return wcet // no run-time variability (α = 1)
+	}
+	sigma := sm.sigmaFactor * (wcet - acet)
+	if sigma == 0 {
+		return acet
+	}
+	x := acet + sigma*sm.src.NormFloat64()
+	lo := acet - (wcet - acet)
+	if min := 0.01 * acet; lo < min {
+		lo = min
+	}
+	return math.Min(wcet, math.Max(lo, x))
+}
+
+// Source exposes the underlying random source, used by the simulator for
+// Or-branch selection so that one seed drives an entire run.
+func (sm *Sampler) Source() *Source { return sm.src }

@@ -1,0 +1,100 @@
+// Package exectime provides the deterministic random number source and the
+// actual-execution-time model used by the simulations.
+//
+// The paper's evaluation (§5) draws each task's actual execution time from
+// a normal distribution around its average-case execution time and averages
+// 1000 runs per data point. Reproducibility of every figure requires a
+// seeded, stable generator, so this package implements its own small PRNG
+// (SplitMix64) rather than depending on math/rand's unspecified stream
+// evolution across Go releases.
+package exectime
+
+import "math"
+
+// Source is a deterministic pseudo-random number generator (SplitMix64).
+// It implements the subset of math/rand.Rand used by this repository —
+// Float64, Intn, NormFloat64 — plus Fork for carving independent streams.
+// A Source is not safe for concurrent use; Fork one per goroutine.
+type Source struct {
+	state uint64
+
+	// Box–Muller generates normal variates in pairs; the spare is cached.
+	haveSpare bool
+	spare     float64
+}
+
+// NewSource returns a Source seeded with the given value. Distinct seeds
+// yield statistically independent streams.
+func NewSource(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits (SplitMix64 step).
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("exectime: Intn with non-positive n")
+	}
+	// Modulo bias is negligible for the small n used here (branch and
+	// iteration counts), and determinism matters more than perfection.
+	return int(s.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate (mean 0, stddev 1) using
+// the Box–Muller transform.
+func (s *Source) NormFloat64() float64 {
+	if s.haveSpare {
+		s.haveSpare = false
+		return s.spare
+	}
+	var u, v float64
+	for {
+		u = s.Float64()
+		if u > 0 { // log(0) guard
+			break
+		}
+	}
+	v = s.Float64()
+	r := math.Sqrt(-2 * math.Log(u))
+	s.spare = r * math.Sin(2*math.Pi*v)
+	s.haveSpare = true
+	return r * math.Cos(2*math.Pi*v)
+}
+
+// Fork returns a new Source whose stream is independent of the receiver's
+// future output. It consumes one value from the receiver, so repeated Forks
+// yield distinct children.
+func (s *Source) Fork() *Source {
+	return NewSource(s.Uint64())
+}
+
+// Pick samples an index from the discrete distribution probs (which should
+// sum to 1). Rounding residue goes to the last index, so Pick always
+// returns a valid index for a non-empty distribution.
+func (s *Source) Pick(probs []float64) int {
+	if len(probs) == 0 {
+		panic("exectime: Pick from empty distribution")
+	}
+	u := s.Float64()
+	var cum float64
+	for i, p := range probs {
+		cum += p
+		if u < cum {
+			return i
+		}
+	}
+	return len(probs) - 1
+}

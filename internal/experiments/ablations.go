@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"andorsched/internal/andor"
+	"andorsched/internal/core"
+	"andorsched/internal/power"
+	"andorsched/internal/workload"
+)
+
+// ablationLoad is the fixed moderate load at which the ablations compare
+// schemes (the region where the paper's dynamic schemes differ most).
+const ablationLoad = 0.5
+
+// Ablations returns the paper's stated future-work studies (§6: "we plan
+// to experiment with different values of f_min/f_max and different number
+// of speed levels") plus the sensitivity studies implied by §5: the speed-
+// change overhead and the processor count.
+func Ablations() []Experiment {
+	return []Experiment{
+		ablationFmin(),
+		ablationLevels(),
+		ablationOverhead(),
+		ablationProcs(),
+		ablationClairvoyant(),
+		ablationStructure(),
+		ablationSlew(),
+	}
+}
+
+// ablationSlew enables the voltage-slew transition model of the paper's
+// reference [3] (Burd & Brodersen): change cost proportional to the
+// voltage swing, swept from 0 (the paper's fixed-cost model) to 400 µs/V.
+// Large swings become expensive, which penalizes the greedy scheme's
+// jumps between f_min and high recovery speeds more than the speculative
+// schemes' small adjustments.
+func ablationSlew() Experiment {
+	return Experiment{
+		ID:    "slew",
+		Title: "Ablation: normalized energy vs voltage-slew cost (ATR, 2 CPUs, Transmeta, load 0.5)",
+		Run: func(runs int, seed uint64) (*Series, error) {
+			return pointSweep(
+				"ATR on 2×Transmeta: normalized energy vs slew cost (µs per volt)",
+				"slew_us_per_v", []float64{0, 50, 100, 200, 400},
+				func(usPerV float64) (*core.Plan, float64, error) {
+					ov := power.Overheads{
+						SpeedCompCycles: 600,
+						SpeedChangeTime: 5e-6,
+						VoltSlewTime:    usPerV * 1e-6,
+					}
+					plan, err := core.NewPlan(atrGraph(), 2, power.Transmeta5400(), ov)
+					if err != nil {
+						return nil, 0, err
+					}
+					return plan, plan.CTWorst / ablationLoad, nil
+				}, runs, seed)
+		},
+	}
+}
+
+// ablationStructure characterizes sensitivity to application *shape* using
+// the random-workload generator: the probability that a stage is an OR
+// fork is swept from 0 (a pure AND application, the traditional model) to
+// 0.9 (branch-heavy control flow). The more OR structure, the more path
+// slack exists for the dynamic schemes to reclaim — the quantity the
+// paper's AND/OR extension is about.
+func ablationStructure() Experiment {
+	return Experiment{
+		ID:    "structure",
+		Title: "Ablation: normalized energy vs OR-fork density (random apps, 2 CPUs, Transmeta, load 0.7)",
+		Run: func(runs int, seed uint64) (*Series, error) {
+			se := &Series{
+				Title:   "random applications on 2×Transmeta: normalized energy vs fork probability",
+				XLabel:  "fork_prob",
+				Schemes: paperSchemes(),
+			}
+			// Averaging one random graph would measure that graph, not the
+			// structure class: each point averages over several graphs.
+			const graphs = 8
+			perGraph := runs / graphs
+			if perGraph < 1 {
+				perGraph = 1
+			}
+			for i, forkProb := range []float64{0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9} {
+				agg := Point{
+					X:            forkProb,
+					NormEnergy:   map[core.Scheme]float64{},
+					CI95:         map[core.Scheme]float64{},
+					SpeedChanges: map[core.Scheme]float64{},
+				}
+				for gi := 0; gi < graphs; gi++ {
+					opts := andor.DefaultRandomOpts()
+					opts.ForkProb = forkProb
+					opts.MaxStages = 4
+					g := workload.Random(seed^(uint64(gi)*0x9e37+0x5eed), opts)
+					plan, err := core.NewPlan(g, 2, power.Transmeta5400(), power.DefaultOverheads())
+					if err != nil {
+						return nil, err
+					}
+					d := plan.CTWorst / 0.7
+					pt, err := measurePoint(plan, se.Schemes, forkProb, d, perGraph, seed+uint64(i*graphs+gi), 0)
+					if err != nil {
+						return nil, err
+					}
+					for _, s := range se.Schemes {
+						agg.NormEnergy[s] += pt.NormEnergy[s] / graphs
+						agg.CI95[s] += pt.CI95[s] / graphs
+						agg.SpeedChanges[s] += pt.SpeedChanges[s] / graphs
+					}
+					agg.NPMEnergy += pt.NPMEnergy / graphs
+					agg.Deadline = d
+				}
+				se.Points = append(se.Points, agg)
+			}
+			return se, nil
+		},
+	}
+}
+
+// ablationClairvoyant compares the schemes against the clairvoyant
+// single-speed oracle (core.CLV) over load — how much of the theoretically
+// reachable saving each scheme realizes (§3.3's intuition made
+// measurable). Not a figure of the paper; it quantifies the gap the
+// speculative schemes are designed to close.
+func ablationClairvoyant() Experiment {
+	return Experiment{
+		ID:    "clv",
+		Title: "Ablation: schemes vs the clairvoyant single-speed bound (ATR, 2 CPUs, Transmeta)",
+		Run: func(runs int, seed uint64) (*Series, error) {
+			se := &Series{
+				Title:   "ATR on 2×Transmeta: normalized energy vs load, with the clairvoyant bound",
+				XLabel:  "load",
+				Schemes: append(paperSchemes(), core.CLV, core.ASP),
+			}
+			plan, err := core.NewPlan(atrGraph(), 2, power.Transmeta5400(), power.DefaultOverheads())
+			if err != nil {
+				return nil, err
+			}
+			for i, load := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+				pt, err := measurePoint(plan, se.Schemes, load, plan.CTWorst/load, runs, seed+uint64(i), 0)
+				if err != nil {
+					return nil, err
+				}
+				se.Points = append(se.Points, pt)
+			}
+			return se, nil
+		},
+	}
+}
+
+// pointSweep runs one measured point per element of xs, building a fresh
+// configuration each time.
+func pointSweep(title, xlabel string, xs []float64,
+	build func(x float64) (*core.Plan, float64, error),
+	runs int, seed uint64) (*Series, error) {
+	se := &Series{Title: title, XLabel: xlabel, Schemes: paperSchemes()}
+	for i, x := range xs {
+		plan, deadline, err := build(x)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := measurePoint(plan, se.Schemes, x, deadline, runs, seed+uint64(i), 0)
+		if err != nil {
+			return nil, err
+		}
+		se.Points = append(se.Points, pt)
+	}
+	return se, nil
+}
+
+// ablationFmin varies the minimal speed: synthetic 16-level platforms with
+// f_min/f_max from 0.1 to 0.8. The paper predicts the greedy scheme
+// benefits from a high f_min (it is prevented from spending all slack
+// early).
+func ablationFmin() Experiment {
+	return Experiment{
+		ID:    "fmin",
+		Title: "Ablation: normalized energy vs f_min/f_max (16 levels, ATR, 2 CPUs, load 0.5)",
+		Run: func(runs int, seed uint64) (*Series, error) {
+			ratios := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+			return pointSweep(
+				"ATR on 2×synthetic platforms: normalized energy vs f_min/f_max",
+				"fmin/fmax", ratios,
+				func(ratio float64) (*core.Plan, float64, error) {
+					plat := power.Synthetic(16, ratio*700, 700, 0.8+ratio*0.5, 1.65)
+					plan, err := core.NewPlan(atrGraph(), 2, plat, power.DefaultOverheads())
+					if err != nil {
+						return nil, 0, err
+					}
+					return plan, plan.CTWorst / ablationLoad, nil
+				}, runs, seed)
+		},
+	}
+}
+
+// ablationLevels varies the number of speed levels between 200 and 700 MHz.
+// The paper predicts few levels help the greedy scheme by suppressing
+// frequent speed changes.
+func ablationLevels() Experiment {
+	return Experiment{
+		ID:    "levels",
+		Title: "Ablation: normalized energy vs number of speed levels (200–700MHz, ATR, 2 CPUs, load 0.5)",
+		Run: func(runs int, seed uint64) (*Series, error) {
+			counts := []float64{2, 3, 4, 6, 8, 16, 32}
+			return pointSweep(
+				"ATR on 2×synthetic platforms: normalized energy vs level count",
+				"levels", counts,
+				func(n float64) (*core.Plan, float64, error) {
+					plat := power.Synthetic(int(n), 200, 700, 1.10, 1.65)
+					plan, err := core.NewPlan(atrGraph(), 2, plat, power.DefaultOverheads())
+					if err != nil {
+						return nil, 0, err
+					}
+					return plan, plan.CTWorst / ablationLoad, nil
+				}, runs, seed)
+		},
+	}
+}
+
+// ablationOverhead varies the voltage/speed change cost from 0 to 500 µs
+// (the paper cites 25–150 µs for contemporary hardware and uses 5 µs
+// expecting technology to improve).
+func ablationOverhead() Experiment {
+	return Experiment{
+		ID:    "overhead",
+		Title: "Ablation: normalized energy vs speed-change overhead (ATR, 2 CPUs, Transmeta, load 0.5)",
+		Run: func(runs int, seed uint64) (*Series, error) {
+			micros := []float64{0, 5, 25, 50, 100, 250, 500}
+			return pointSweep(
+				"ATR on 2×Transmeta: normalized energy vs change overhead (µs)",
+				"overhead_us", micros,
+				func(us float64) (*core.Plan, float64, error) {
+					ov := power.Overheads{SpeedCompCycles: 600, SpeedChangeTime: us * 1e-6}
+					plan, err := core.NewPlan(atrGraph(), 2, power.Transmeta5400(), ov)
+					if err != nil {
+						return nil, 0, err
+					}
+					return plan, plan.CTWorst / ablationLoad, nil
+				}, runs, seed)
+		},
+	}
+}
+
+// ablationProcs varies the processor count. The paper: "when the number of
+// processors increases, the performance of the dynamic schemes decreases
+// due to the limited parallelism and the frequent idleness of the
+// processors".
+func ablationProcs() Experiment {
+	return Experiment{
+		ID:    "procs",
+		Title: "Ablation: normalized energy vs processor count (ATR, Transmeta, load 0.5)",
+		Run: func(runs int, seed uint64) (*Series, error) {
+			ms := []float64{1, 2, 4, 6, 8}
+			return pointSweep(
+				"ATR on Transmeta: normalized energy vs processors",
+				"procs", ms,
+				func(m float64) (*core.Plan, float64, error) {
+					plan, err := core.NewPlan(atrGraph(), int(m), power.Transmeta5400(), power.DefaultOverheads())
+					if err != nil {
+						return nil, 0, err
+					}
+					return plan, plan.CTWorst / ablationLoad, nil
+				}, runs, seed)
+		},
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"andorsched/internal/core"
+)
+
+// schemeColor maps schemes to stable colors across all charts.
+func schemeColor(s core.Scheme) string {
+	switch s {
+	case core.NPM:
+		return "#888888"
+	case core.SPM:
+		return "#c0392b"
+	case core.GSS:
+		return "#2471a3"
+	case core.SS1:
+		return "#229954"
+	case core.SS2:
+		return "#7d3c98"
+	case core.AS:
+		return "#e67e22"
+	case core.CLV:
+		return "#111111"
+	}
+	return "#555555"
+}
+
+// ChartSVG renders the series as a self-contained SVG line chart —
+// normalized energy against the swept parameter, one line per scheme, in
+// the layout of the paper's figures. No external assets.
+func (se *Series) ChartSVG(width, height int) string {
+	const (
+		padL, padR = 56, 110
+		padT, padB = 34, 40
+	)
+	if len(se.Points) == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="220" height="40"><text x="8" y="24">empty series</text></svg>`
+	}
+	plotW := float64(width - padL - padR)
+	plotH := float64(height - padT - padB)
+
+	xmin, xmax := se.Points[0].X, se.Points[len(se.Points)-1].X
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	ymin, ymax := math.Inf(1), 0.0
+	for _, pt := range se.Points {
+		for _, s := range se.Schemes {
+			v := pt.NormEnergy[s]
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	// Headroom and round axis bounds to tidy decimals.
+	ymin = math.Max(0, math.Floor(ymin*10)/10-0.05)
+	ymax = math.Min(1.3, math.Ceil(ymax*10)/10+0.05)
+
+	x := func(v float64) float64 { return float64(padL) + plotW*(v-xmin)/(xmax-xmin) }
+	y := func(v float64) float64 { return float64(padT) + plotH*(1-(v-ymin)/(ymax-ymin)) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`,
+		width, height)
+	title := se.Title
+	if len(title) > 88 {
+		title = title[:85] + "..."
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="12">%s</text>`, padL, htmlEscape(title))
+
+	// Axes and grid.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#999"/>`,
+		padL, padT, plotW, plotH)
+	for i := 0; i <= 5; i++ {
+		yv := ymin + (ymax-ymin)*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eee"/>`,
+			padL, y(yv), float64(padL)+plotW, y(yv))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%.2f</text>`, padL-6, y(yv)+4, yv)
+	}
+	for _, pt := range se.Points {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%.2g</text>`,
+			x(pt.X), height-padB+16, pt.X)
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`,
+		float64(padL)+plotW/2, height-6, htmlEscape(se.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" transform="rotate(-90 14 %.1f)" text-anchor="middle">E/E_NPM</text>`,
+		float64(padT)+plotH/2, float64(padT)+plotH/2)
+
+	// One polyline + markers per scheme, plus the legend.
+	for si, s := range se.Schemes {
+		color := schemeColor(s)
+		var pts []string
+		for _, pt := range se.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(pt.X), y(pt.NormEnergy[s])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`,
+			strings.Join(pts, " "), color)
+		for _, pt := range se.Points {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.4" fill="%s"><title>%s @ %.3g: %.4f ±%.4f</title></circle>`,
+				x(pt.X), y(pt.NormEnergy[s]), color, s, pt.X, pt.NormEnergy[s], pt.CI95[s])
+		}
+		ly := padT + 14*si
+		fmt.Fprintf(&b, `<line x1="%.0f" y1="%d" x2="%.0f" y2="%d" stroke="%s" stroke-width="2"/>`,
+			float64(width-padR)+10, ly+8, float64(width-padR)+30, ly+8, color)
+		fmt.Fprintf(&b, `<text x="%.0f" y="%d">%s</text>`, float64(width-padR)+34, ly+12, s)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func htmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

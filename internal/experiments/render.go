@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"andorsched/internal/power"
+)
+
+// Table renders the series as an aligned text table with one row per X
+// value and one column of mean normalized energy per scheme:
+//
+//	load     SPM      GSS      SS1      SS2      AS
+//	0.10   0.4137   0.3205   0.3318   0.3268   0.3241
+func (se *Series) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", se.Title)
+	fmt.Fprintf(&b, "%-10s", se.XLabel)
+	for _, s := range se.Schemes {
+		fmt.Fprintf(&b, " %8s", s)
+	}
+	b.WriteByte('\n')
+	for _, pt := range se.Points {
+		fmt.Fprintf(&b, "%-10.3g", pt.X)
+		for _, s := range se.Schemes {
+			fmt.Fprintf(&b, " %8.4f", pt.NormEnergy[s])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the series as comma-separated values with a header row,
+// including per-scheme confidence half-widths and speed-change counts.
+func (se *Series) CSV() string {
+	var b strings.Builder
+	b.WriteString(se.XLabel)
+	for _, s := range se.Schemes {
+		fmt.Fprintf(&b, ",%s,%s_ci95,%s_changes", s, s, s)
+	}
+	b.WriteString(",npm_energy_j,deadline_s\n")
+	for _, pt := range se.Points {
+		fmt.Fprintf(&b, "%g", pt.X)
+		for _, s := range se.Schemes {
+			fmt.Fprintf(&b, ",%g,%g,%g", pt.NormEnergy[s], pt.CI95[s], pt.SpeedChanges[s])
+		}
+		fmt.Fprintf(&b, ",%g,%g\n", pt.NPMEnergy, pt.Deadline)
+	}
+	return b.String()
+}
+
+// ChangesTable renders the mean speed-change counts of the series.
+func (se *Series) ChangesTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — mean speed changes per run\n", se.Title)
+	fmt.Fprintf(&b, "%-10s", se.XLabel)
+	for _, s := range se.Schemes {
+		fmt.Fprintf(&b, " %8s", s)
+	}
+	b.WriteByte('\n')
+	for _, pt := range se.Points {
+		fmt.Fprintf(&b, "%-10.3g", pt.X)
+		for _, s := range se.Schemes {
+			fmt.Fprintf(&b, " %8.2f", pt.SpeedChanges[s])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// PlatformTable renders a platform's operating points in the layout of the
+// paper's Tables 1 and 2.
+func PlatformTable(p *power.Platform) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s voltage/speed settings (%d levels)\n", p.Name, p.NumLevels())
+	fmt.Fprintf(&b, "%8s %8s %10s\n", "f(MHz)", "V(V)", "P(mW)")
+	for i, l := range p.Levels() {
+		fmt.Fprintf(&b, "%8.0f %8.3f %10.1f\n", l.Freq/1e6, l.Volt, p.PowerAt(i)*1e3)
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"andorsched/internal/core"
+)
+
+func TestChartSVG(t *testing.T) {
+	se, err := EnergyVsLoad(smallCfg(), []float64{0.3, 0.6, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := se.ChartSVG(960, 360)
+	for _, want := range []string{"<svg", "</svg>", "polyline", "E/E_NPM", "load", "GSS", "SPM"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+	// One polyline per scheme.
+	if got := strings.Count(svg, "<polyline"); got != len(se.Schemes) {
+		t.Errorf("polylines = %d, want %d", got, len(se.Schemes))
+	}
+	// Markers carry tooltips with the CI.
+	if !strings.Contains(svg, "±") {
+		t.Error("chart markers missing confidence tooltips")
+	}
+	// Empty series degrades gracefully.
+	empty := &Series{Title: "x", XLabel: "load"}
+	if !strings.Contains(empty.ChartSVG(100, 100), "empty series") {
+		t.Error("empty-series placeholder missing")
+	}
+}
+
+func TestHTMLReport(t *testing.T) {
+	// One tiny real experiment keeps this fast.
+	exp := Experiment{
+		ID:    "mini",
+		Title: "mini series for the report test",
+		Run: func(runs int, seed uint64) (*Series, error) {
+			cfg := smallCfg()
+			cfg.Runs = runs
+			cfg.Seed = seed
+			return EnergyVsLoad(cfg, []float64{0.4, 0.8})
+		},
+	}
+	var seen []string
+	doc, err := HTMLReport([]Experiment{exp}, 4, 7, func(id string) { seen = append(seen, id) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<!DOCTYPE html", "Transmeta TM5400", "Intel XScale",
+		"mini series for the report test", "<svg", "speed changes per run",
+		"±", "</html>",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if len(seen) != 1 || seen[0] != "mini" {
+		t.Errorf("progress callback saw %v", seen)
+	}
+	// The report must be self-contained: no scripts, no fetched assets
+	// (the SVG xmlns namespace identifier is not a fetch).
+	for _, forbidden := range []string{"https://", "<script", "<img", "<link"} {
+		if strings.Contains(doc, forbidden) {
+			t.Errorf("report contains %q", forbidden)
+		}
+	}
+}
+
+func TestHTMLReportPropagatesErrors(t *testing.T) {
+	bad := Experiment{
+		ID: "bad", Title: "bad",
+		Run: func(int, uint64) (*Series, error) {
+			return EnergyVsLoad(smallCfg(), []float64{7}) // invalid load
+		},
+	}
+	if _, err := HTMLReport([]Experiment{bad}, 1, 1, nil); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestSchemeColorsAreDistinct(t *testing.T) {
+	seen := map[string]core.Scheme{}
+	for _, s := range append(append([]core.Scheme(nil), core.Schemes...), core.CLV) {
+		c := schemeColor(s)
+		if prev, dup := seen[c]; dup {
+			t.Errorf("schemes %s and %s share color %s", prev, s, c)
+		}
+		seen[c] = s
+	}
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"andorsched/internal/core"
+)
+
+// WinnerCell is one cell of a scheme-selection map: the best scheme at one
+// (load, α) operating point and its margin over the runner-up.
+type WinnerCell struct {
+	Load, Alpha float64
+	// Best is the scheme with the lowest mean normalized energy.
+	Best core.Scheme
+	// BestEnergy is its mean E/E_NPM; Margin is the runner-up's mean minus
+	// BestEnergy (how much choosing right matters here).
+	BestEnergy, Margin float64
+}
+
+// WinnerMap evaluates every scheme over a load × α grid and records which
+// scheme wins each cell. It extends the paper's qualitative conclusion —
+// which scheme is best depends on the operating point and the platform —
+// into an operational artifact: given a system's load and measured α, read
+// off the scheme to deploy. The α sweep clones and rescales the
+// configuration's graph, exactly like EnergyVsAlpha.
+func WinnerMap(cfg Config, loads, alphas []float64) ([][]WinnerCell, error) {
+	if len(cfg.Schemes) < 2 {
+		return nil, fmt.Errorf("experiments: WinnerMap needs at least two schemes")
+	}
+	grid := make([][]WinnerCell, len(alphas))
+	for ai, alpha := range alphas {
+		g := cfg.Graph.Clone()
+		g.ScaleACET(alpha)
+		plan, err := core.NewPlan(g, cfg.Procs, cfg.Platform, cfg.Overheads)
+		if err != nil {
+			return nil, err
+		}
+		grid[ai] = make([]WinnerCell, len(loads))
+		for li, load := range loads {
+			if load <= 0 || load > 1 {
+				return nil, fmt.Errorf("experiments: load %g outside (0,1]", load)
+			}
+			d := plan.CTWorst / load
+			pt, err := measurePoint(plan, cfg.Schemes, load, d, cfg.Runs,
+				cfg.Seed+uint64(ai*len(loads)+li), cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			cell := WinnerCell{Load: load, Alpha: alpha}
+			best, second := -1, -1
+			for si, s := range cfg.Schemes {
+				e := pt.NormEnergy[s]
+				switch {
+				case best == -1 || e < pt.NormEnergy[cfg.Schemes[best]]:
+					second = best
+					best = si
+				case second == -1 || e < pt.NormEnergy[cfg.Schemes[second]]:
+					second = si
+				}
+			}
+			cell.Best = cfg.Schemes[best]
+			cell.BestEnergy = pt.NormEnergy[cell.Best]
+			cell.Margin = pt.NormEnergy[cfg.Schemes[second]] - cell.BestEnergy
+			grid[ai][li] = cell
+		}
+	}
+	return grid, nil
+}
+
+// WinnerTable renders a winner map as text: rows are α values, columns are
+// loads, cells name the winning scheme (with '*' when it wins by more than
+// 1% of NPM — a margin worth acting on).
+func WinnerTable(grid [][]WinnerCell) string {
+	if len(grid) == 0 || len(grid[0]) == 0 {
+		return "(empty winner map)\n"
+	}
+	var b strings.Builder
+	b.WriteString("alpha\\load")
+	for _, c := range grid[0] {
+		fmt.Fprintf(&b, " %6.2g", c.Load)
+	}
+	b.WriteByte('\n')
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%-10.2g", row[0].Alpha)
+		for _, c := range row {
+			name := c.Best.String()
+			if c.Margin > 0.01 {
+				name += "*"
+			}
+			fmt.Fprintf(&b, " %6s", name)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("(* = wins by more than 0.01 of normalized energy)\n")
+	return b.String()
+}
+
+// WinnerSVG renders a winner map as an SVG heat map: one colored tile per
+// (load, α) cell, colored by the winning scheme, with the cell's best
+// normalized energy as its tooltip.
+func WinnerSVG(grid [][]WinnerCell) string {
+	if len(grid) == 0 || len(grid[0]) == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="200" height="40"><text x="8" y="24">empty map</text></svg>`
+	}
+	const (
+		cell   = 52
+		margin = 54
+		legend = 120
+	)
+	rows, cols := len(grid), len(grid[0])
+	width := margin + cols*cell + legend
+	height := margin + rows*cell + 16
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="10">`,
+		width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="14">best scheme per (load, α)</text>`, margin)
+	seen := map[core.Scheme]bool{}
+	for ri, row := range grid {
+		y := margin + ri*cell
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">α=%.2g</text>`, margin-6, y+cell/2+4, row[0].Alpha)
+		for ci, c := range row {
+			x := margin + ci*cell
+			if ri == 0 {
+				fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%.2g</text>`, x+cell/2, margin-8, c.Load)
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#fff"><title>load %.2g α %.2g: %s %.4f (+%.4f margin)</title></rect>`,
+				x, y, cell, cell, schemeColor(c.Best), c.Load, c.Alpha, c.Best, c.BestEnergy, c.Margin)
+			fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" fill="#fff">%s</text>`,
+				x+cell/2, y+cell/2+4, c.Best)
+			seen[c.Best] = true
+		}
+	}
+	// Legend of schemes that actually appear.
+	li := 0
+	for _, s := range append(append([]core.Scheme(nil), core.Schemes...), core.ExtendedSchemes...) {
+		if !seen[s] {
+			continue
+		}
+		y := margin + li*18
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="13" height="13" fill="%s"/>`, margin+cols*cell+16, y, schemeColor(s))
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`, margin+cols*cell+34, y+11, s)
+		li++
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}

@@ -1,0 +1,364 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Run simulates the execution of one program section's tasks on the
+// configured multiprocessor and returns the schedule and energy breakdown.
+// It is deterministic: identical inputs produce identical results.
+//
+// It returns an error when the input cannot execute to completion —
+// cyclic dependences, an Order field that is not a permutation of 0..n-1
+// in ByOrder mode, or inconsistent Preds/Succs.
+func Run(cfg Config, tasks []*Task) (*Result, error) {
+	m := cfg.Procs
+	if cfg.InitialLevels != nil {
+		m = len(cfg.InitialLevels)
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("sim: no processors configured")
+	}
+	if err := checkTasks(cfg, tasks); err != nil {
+		return nil, err
+	}
+
+	policy := cfg.Policy
+	if policy == nil {
+		policy = maxPolicy{cfg.Platform.MaxIndex()}
+	}
+
+	// Processor state.
+	levels := make([]int, m)
+	if cfg.InitialLevels != nil {
+		copy(levels, cfg.InitialLevels)
+	} else {
+		for i := range levels {
+			levels[i] = cfg.Platform.MaxIndex()
+		}
+	}
+	busy := make([]bool, m)
+	freeAt := make([]float64, m)
+	for i := range freeAt {
+		freeAt[i] = cfg.Start
+	}
+
+	res := &Result{
+		BusyTime:     make([]float64, m),
+		OverheadTime: make([]float64, m),
+		Finish:       cfg.Start,
+	}
+
+	// Dependence bookkeeping.
+	npreds := make([]int, len(tasks))
+	for i, t := range tasks {
+		npreds[i] = len(t.Preds)
+	}
+
+	rq := newReadyQueue(cfg.Mode, tasks)
+	for i, t := range tasks {
+		if len(t.Preds) == 0 {
+			rq.push(i)
+		}
+	}
+
+	var events eventHeap
+	seq := 0
+	remaining := len(tasks)
+	now := cfg.Start
+
+	var dispatchErr error
+	complete := func(proc, task int, at float64) {
+		busy[proc] = false
+		freeAt[proc] = at
+		if at > res.Finish {
+			res.Finish = at
+		}
+		for _, s := range tasks[task].Succs {
+			npreds[s]--
+			if npreds[s] == 0 {
+				rq.push(s)
+			}
+			if npreds[s] < 0 && dispatchErr == nil {
+				dispatchErr = fmt.Errorf("sim: task %q completed more predecessors than it has", tasks[s].Name)
+			}
+		}
+		remaining--
+	}
+
+	// pickProc returns the idle processor that has been idle longest
+	// (lowest freeAt, ties by index), or -1.
+	pickProc := func() int {
+		best := -1
+		for i := 0; i < m; i++ {
+			if busy[i] {
+				continue
+			}
+			if best == -1 || freeAt[i] < freeAt[best] {
+				best = i
+			}
+		}
+		return best
+	}
+
+	dispatch := func() {
+		for {
+			ti, ok := rq.peek()
+			if !ok {
+				return
+			}
+			proc := pickProc()
+			if proc < 0 {
+				return
+			}
+			rq.pop()
+			t := tasks[ti]
+			cur := levels[proc]
+			lvl := cur
+			var compT, changeT float64
+			if !t.Dummy {
+				compT = cfg.Overheads.CompTime(cfg.Platform.Levels()[cur].Freq)
+				lvl = policy.PickLevel(t, now, cur)
+				if lvl < 0 || lvl >= cfg.Platform.NumLevels() {
+					panic(fmt.Sprintf("sim: policy returned invalid level %d for task %q", lvl, t.Name))
+				}
+				if lvl != cur {
+					changeT = cfg.Overheads.ChangeTime(cfg.Platform.Levels()[cur], cfg.Platform.Levels()[lvl])
+					res.SpeedChanges++
+				}
+			}
+			var execT float64
+			if t.WorkA > 0 {
+				execT = t.WorkA / cfg.Platform.Levels()[lvl].Freq
+			}
+			start := now + compT + changeT
+			finish := start + execT
+			res.Records = append(res.Records, Record{
+				Task: ti, Proc: proc,
+				Dispatch: now, Start: start, Finish: finish,
+				Level: lvl, CompOH: compT, ChangeOH: changeT,
+			})
+			res.BusyTime[proc] += execT
+			res.OverheadTime[proc] += compT + changeT
+			res.ActiveEnergy += cfg.Platform.PowerAt(lvl) * execT
+			// The speed computation runs at the old level; the transition
+			// is charged at the higher-powered of the two levels (the
+			// paper does not specify transition power; this choice is
+			// conservative and documented in DESIGN.md).
+			res.OverheadEnergy += cfg.Platform.PowerAt(cur) * compT
+			res.OverheadEnergy += math.Max(cfg.Platform.PowerAt(cur), cfg.Platform.PowerAt(lvl)) * changeT
+			levels[proc] = lvl
+			if finish == now {
+				// Instantaneous work (synchronization nodes): the paper's
+				// scheduler handles them and immediately looks for the
+				// next task, so the processor never appears busy.
+				complete(proc, ti, now)
+				if dispatchErr != nil {
+					return
+				}
+				continue
+			}
+			busy[proc] = true
+			events.push(event{time: finish, seq: seq, proc: proc, task: ti})
+			seq++
+		}
+	}
+
+	dispatch()
+	for remaining > 0 {
+		if dispatchErr != nil {
+			return nil, dispatchErr
+		}
+		ev, ok := events.pop()
+		if !ok {
+			return nil, fmt.Errorf("sim: deadlock with %d tasks unfinished (bad precedence or order gating)", remaining)
+		}
+		now = ev.time
+		complete(ev.proc, ev.task, ev.time)
+		// Drain every completion at this same instant before dispatching,
+		// so that simultaneously freed processors compete for the next
+		// task deterministically (idle-longest first, ties by index).
+		for {
+			next, ok := events.peek()
+			if !ok || next.time != now {
+				break
+			}
+			ev, _ = events.pop()
+			complete(ev.proc, ev.task, ev.time)
+		}
+		if dispatchErr != nil {
+			return nil, dispatchErr
+		}
+		dispatch()
+	}
+	if dispatchErr != nil {
+		return nil, dispatchErr
+	}
+
+	res.FinalLevels = levels
+	return res, nil
+}
+
+func checkTasks(cfg Config, tasks []*Task) error {
+	n := len(tasks)
+	if cfg.Mode == ByOrder {
+		seen := make([]bool, n)
+		for _, t := range tasks {
+			if t.Order < 0 || t.Order >= n || seen[t.Order] {
+				return fmt.Errorf("sim: task %q has invalid or duplicate order %d", t.Name, t.Order)
+			}
+			seen[t.Order] = true
+		}
+	}
+	for _, t := range tasks {
+		if !t.Dummy && t.WorkA > t.WorkW*(1+1e-9) {
+			return fmt.Errorf("sim: task %q actual work %g exceeds worst case %g", t.Name, t.WorkA, t.WorkW)
+		}
+		for _, p := range t.Preds {
+			if p < 0 || p >= n {
+				return fmt.Errorf("sim: task %q has out-of-range predecessor %d", t.Name, p)
+			}
+		}
+		for _, s := range t.Succs {
+			if s < 0 || s >= n {
+				return fmt.Errorf("sim: task %q has out-of-range successor %d", t.Name, s)
+			}
+		}
+	}
+	return nil
+}
+
+// event is a task-completion event.
+type event struct {
+	time float64
+	seq  int // FIFO tie-break for simultaneous events
+	proc int
+	task int
+}
+
+// eventHeap is a binary min-heap of events ordered by (time, seq).
+type eventHeap struct{ h []event }
+
+func (e *eventHeap) less(i, j int) bool {
+	if e.h[i].time != e.h[j].time {
+		return e.h[i].time < e.h[j].time
+	}
+	return e.h[i].seq < e.h[j].seq
+}
+
+func (e *eventHeap) push(ev event) {
+	e.h = append(e.h, ev)
+	i := len(e.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.h[i], e.h[parent] = e.h[parent], e.h[i]
+		i = parent
+	}
+}
+
+func (e *eventHeap) peek() (event, bool) {
+	if len(e.h) == 0 {
+		return event{}, false
+	}
+	return e.h[0], true
+}
+
+func (e *eventHeap) pop() (event, bool) {
+	if len(e.h) == 0 {
+		return event{}, false
+	}
+	top := e.h[0]
+	last := len(e.h) - 1
+	e.h[0] = e.h[last]
+	e.h = e.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(e.h) && e.less(l, small) {
+			small = l
+		}
+		if r < len(e.h) && e.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		e.h[i], e.h[small] = e.h[small], e.h[i]
+		i = small
+	}
+	return top, true
+}
+
+// readyQueue is the global ready queue. In ByOrder mode only the task with
+// the next expected execution order is dispatchable (the order gate); in
+// ByPriority mode the longest ready task goes first.
+type readyQueue struct {
+	mode  Mode
+	tasks []*Task
+
+	// ByOrder: readyByOrder[o] is the index of the ready task with order o.
+	readyByOrder []int
+	nextOrder    int
+
+	// ByPriority: sorted slice of ready task indices, longest WCET first,
+	// ties by node ID then index.
+	pq []int
+}
+
+func newReadyQueue(mode Mode, tasks []*Task) *readyQueue {
+	rq := &readyQueue{mode: mode, tasks: tasks}
+	if mode == ByOrder {
+		rq.readyByOrder = make([]int, len(tasks))
+		for i := range rq.readyByOrder {
+			rq.readyByOrder[i] = -1
+		}
+	}
+	return rq
+}
+
+func (rq *readyQueue) push(ti int) {
+	if rq.mode == ByOrder {
+		rq.readyByOrder[rq.tasks[ti].Order] = ti
+		return
+	}
+	rq.pq = append(rq.pq, ti)
+	sort.SliceStable(rq.pq, func(a, b int) bool {
+		ta, tb := rq.tasks[rq.pq[a]], rq.tasks[rq.pq[b]]
+		if ta.WorkW != tb.WorkW {
+			return ta.WorkW > tb.WorkW
+		}
+		return ta.Node < tb.Node
+	})
+}
+
+// peek returns the next dispatchable task, honoring the order gate.
+func (rq *readyQueue) peek() (int, bool) {
+	if rq.mode == ByOrder {
+		if rq.nextOrder >= len(rq.readyByOrder) {
+			return 0, false
+		}
+		ti := rq.readyByOrder[rq.nextOrder]
+		if ti < 0 {
+			return 0, false
+		}
+		return ti, true
+	}
+	if len(rq.pq) == 0 {
+		return 0, false
+	}
+	return rq.pq[0], true
+}
+
+func (rq *readyQueue) pop() {
+	if rq.mode == ByOrder {
+		rq.nextOrder++
+		return
+	}
+	rq.pq = rq.pq[1:]
+}

@@ -1,0 +1,35 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"andorsched/internal/power"
+	"andorsched/internal/sim"
+)
+
+// Example runs the engine directly on a tiny order-gated section: two
+// parallel 200-megacycle tasks and a dependent 100-megacycle task, on two
+// 400 MHz processors (the higher layers in internal/core normally drive
+// this for you).
+func Example() {
+	plat := power.NewPlatform("demo", []power.Level{power.MHz(400, 1.2)})
+	tasks := []*sim.Task{
+		{Name: "a", WorkW: 200e6, WorkA: 200e6, Order: 0, Succs: []int{2}},
+		{Name: "b", WorkW: 200e6, WorkA: 200e6, Order: 1},
+		{Name: "c", WorkW: 100e6, WorkA: 100e6, Order: 2, Preds: []int{0}},
+	}
+	res, err := sim.Run(sim.Config{Platform: plat, Mode: sim.ByOrder, Procs: 2}, tasks)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("finish %.2fs after %d dispatches\n", res.Finish, len(res.Records))
+	for _, r := range res.Records {
+		fmt.Printf("%s on P%d [%.2f, %.2f]\n", tasks[r.Task].Name, r.Proc, r.Dispatch, r.Finish)
+	}
+	// Output:
+	// finish 0.75s after 3 dispatches
+	// a on P0 [0.00, 0.50]
+	// b on P1 [0.00, 0.50]
+	// c on P0 [0.50, 0.75]
+}

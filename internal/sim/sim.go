@@ -1,0 +1,151 @@
+// Package sim implements the shared-memory multiprocessor machine model of
+// the paper (§2.3) as a deterministic discrete-event simulator.
+//
+// The simulated system has m identical DVS processors and a global ready
+// queue kept in shared memory. Each processor runs the scheduler
+// independently: when idle it tries to fetch the next task from the queue;
+// if the task it expects is not ready yet it goes to sleep and is woken
+// when the task becomes available (the wait()/signal() protocol of the
+// paper's Figure 2). The engine supports two dispatch disciplines:
+//
+//   - ByPriority: tasks are dequeued highest-priority-first (longest task
+//     first) as soon as they are ready — used by the off-line phase to
+//     build canonical schedules;
+//   - ByOrder: tasks are dequeued strictly in a precomputed execution
+//     order — the on-line discipline that makes greedy slack sharing safe
+//     on multiprocessors (a processor sleeps while the next expected task
+//     is not ready, even if later-ordered tasks are).
+//
+// Speed selection is delegated to a Policy; the engine charges the speed
+// computation overhead (cycles at the current frequency) and, when the
+// chosen level differs from the processor's current one, the voltage/speed
+// change overhead, and it integrates active, overhead and idle energy using
+// the power model.
+//
+// The engine simulates one program section at a time (between Or
+// synchronization barriers); the driver in internal/core chains sections
+// together and resolves Or branches.
+package sim
+
+import "andorsched/internal/power"
+
+// Task is one schedulable unit handed to the engine: a computation node or
+// a dummy And synchronization node of one program section. Work is measured
+// in processor cycles (seconds-at-f_max × f_max), so execution time at
+// frequency f is work/f.
+type Task struct {
+	// Node is the graph node ID, for reporting only.
+	Node int
+	// Name labels the task in traces.
+	Name string
+	// Dummy marks And synchronization nodes: zero work, dispatched like a
+	// task (the paper treats synchronization nodes as dummy tasks) but with
+	// no speed computation and no overheads.
+	Dummy bool
+	// WorkW is the task's worst-case work in cycles.
+	WorkW float64
+	// WorkA is the actual work in cycles for this run (0 < WorkA ≤ WorkW
+	// for computation tasks; 0 for dummies).
+	WorkA float64
+	// LFT is the task's absolute latest finish time: the instant by which
+	// the task is guaranteed to finish in the shifted canonical schedule.
+	// Policies derive the slack-sharing allocation as LFT − now. Unused in
+	// ByPriority mode.
+	LFT float64
+	// Order is the task's canonical dispatch order within its section
+	// (0-based, unique). Used in ByOrder mode.
+	Order int
+	// SpecRemain is a policy-owned statistic the engine carries but never
+	// interprets: the off-line average-case time from this task's
+	// canonical dispatch to the end of its section (used by the per-PMP
+	// speculation scheme).
+	SpecRemain float64
+	// Preds and Succs are indices into the engine's task slice.
+	Preds, Succs []int
+}
+
+// Record reports one task execution.
+type Record struct {
+	// Task is the index of the task in the engine's input slice.
+	Task int
+	// Proc is the executing processor index.
+	Proc int
+	// Dispatch is the time the task was dequeued.
+	Dispatch float64
+	// Start is the time execution proper began (after overheads).
+	Start float64
+	// Finish is the completion time.
+	Finish float64
+	// Level is the platform level index the task ran at.
+	Level int
+	// CompOH and ChangeOH are the speed-computation and speed-change
+	// overhead durations charged before Start, in seconds.
+	CompOH, ChangeOH float64
+}
+
+// Result aggregates one engine run (one program section).
+type Result struct {
+	// Records lists task executions in dispatch order.
+	Records []Record
+	// Finish is the completion time of the last task (the section end).
+	Finish float64
+	// BusyTime and OverheadTime are per-processor seconds spent executing
+	// tasks and paying power-management overheads.
+	BusyTime, OverheadTime []float64
+	// ActiveEnergy and OverheadEnergy are the corresponding joules. Idle
+	// energy depends on the accounting horizon and is added by the caller.
+	ActiveEnergy, OverheadEnergy float64
+	// SpeedChanges counts voltage/speed transitions.
+	SpeedChanges int
+	// FinalLevels is each processor's level index after the run, to carry
+	// into the next section.
+	FinalLevels []int
+}
+
+// Mode selects the dispatch discipline.
+type Mode uint8
+
+const (
+	// ByPriority dispatches ready tasks highest-priority-first (longest
+	// task first, ties by node ID): the canonical-schedule discipline.
+	ByPriority Mode = iota
+	// ByOrder dispatches tasks strictly in Task.Order: the on-line
+	// discipline.
+	ByOrder
+)
+
+// Policy chooses the operating level for each computation task at dispatch
+// time. Implementations live in internal/core (the paper's schemes).
+type Policy interface {
+	// PickLevel returns the platform level index to run task t, dispatched
+	// at time now on a processor currently at level cur. The engine charges
+	// the speed-change overhead if the returned level differs from cur.
+	PickLevel(t *Task, now float64, cur int) int
+}
+
+// maxPolicy runs everything at the platform's maximum level.
+type maxPolicy struct{ idx int }
+
+func (m maxPolicy) PickLevel(*Task, float64, int) int { return m.idx }
+
+// Config parameterizes an engine run.
+type Config struct {
+	// Platform is the processors' DVS model.
+	Platform *power.Platform
+	// Overheads are the power-management costs. Zero values disable them
+	// (used for canonical schedules and for the static schemes, which
+	// perform no run-time speed computation).
+	Overheads power.Overheads
+	// Mode is the dispatch discipline.
+	Mode Mode
+	// Policy chooses levels; nil runs everything at the maximum level with
+	// no overheads (canonical schedules, NPM).
+	Policy Policy
+	// Start is the simulation start time (the section's begin).
+	Start float64
+	// Procs is the processor count; used when InitialLevels is nil.
+	Procs int
+	// InitialLevels, if non-nil, gives each processor's level at Start and
+	// implies the processor count.
+	InitialLevels []int
+}

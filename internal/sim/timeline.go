@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Timeline renders entries as a compact per-processor ASCII bar, width
+// columns wide, for terminal use: each task occupies a run of a repeated
+// letter, power-management overheads show as '!', idle time as '.'. A
+// legend maps letters back to task names.
+//
+//	P0 |aaaaaaaaaa!bbbbbb......|
+//	P1 |...ccccccccccccc.......|
+func Timeline(entries []GanttEntry, horizon float64, width int) string {
+	if len(entries) == 0 || horizon <= 0 || width < 10 {
+		return "(empty timeline)\n"
+	}
+	byProc := map[int][]GanttEntry{}
+	maxProc := 0
+	for _, e := range entries {
+		byProc[e.Proc] = append(byProc[e.Proc], e)
+		if e.Proc > maxProc {
+			maxProc = e.Proc
+		}
+	}
+	col := func(t float64) int {
+		c := int(t / horizon * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c > width {
+			c = width
+		}
+		return c
+	}
+
+	// Stable letter assignment in dispatch order; repeats cycle a–z then
+	// A–Z.
+	letters := "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	sorted := append([]GanttEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Dispatch < sorted[j].Dispatch })
+	letterOf := map[string]byte{}
+	var legend []string
+	for _, e := range sorted {
+		if _, ok := letterOf[e.Name]; !ok {
+			l := letters[len(letterOf)%len(letters)]
+			letterOf[e.Name] = l
+			legend = append(legend, fmt.Sprintf("%c=%s", l, e.Name))
+		}
+	}
+
+	var b strings.Builder
+	for p := 0; p <= maxProc; p++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range byProc[p] {
+			start := e.Dispatch + e.CompOH + e.ChangeOH
+			for c := col(e.Dispatch); c < col(start); c++ {
+				row[c] = '!'
+			}
+			from, to := col(start), col(e.Finish)
+			if to == from && to < width {
+				to++ // zero-width slots still visible
+			}
+			for c := from; c < to; c++ {
+				row[c] = letterOf[e.Name]
+			}
+		}
+		fmt.Fprintf(&b, "P%-2d |%s|\n", p, row)
+	}
+	b.WriteString("     ")
+	fmt.Fprintf(&b, "0ms%s%.1fms\n", strings.Repeat(" ", width-12), horizon*1e3)
+	b.WriteString("legend: " + strings.Join(legend, " ") + "\n")
+	return b.String()
+}

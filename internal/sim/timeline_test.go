@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimeline(t *testing.T) {
+	p, entries := exportEntries(t)
+	_ = p
+	var horizon float64
+	for _, e := range entries {
+		if e.Finish > horizon {
+			horizon = e.Finish
+		}
+	}
+	out := Timeline(entries, horizon, 60)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // P0, P1, axis, legend
+		t.Fatalf("timeline lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "P0") || !strings.Contains(lines[0], "|") ||
+		!strings.HasPrefix(lines[1], "P1") {
+		t.Errorf("processor rows malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "a=alpha") || !strings.Contains(out, "b=beta") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	// Overheads appear as '!' (the test fixture charges comp + change).
+	if !strings.Contains(out, "!") {
+		t.Errorf("overhead marks missing:\n%s", out)
+	}
+	// Both task letters appear in the rows.
+	if !strings.Contains(lines[0]+lines[1], "a") || !strings.Contains(lines[0]+lines[1], "b") {
+		t.Errorf("task bars missing:\n%s", out)
+	}
+	if got := Timeline(nil, 1, 60); !strings.Contains(got, "empty") {
+		t.Error("empty timeline placeholder missing")
+	}
+}

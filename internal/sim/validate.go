@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"andorsched/internal/power"
+)
+
+// valTol absorbs floating-point accumulation in schedule arithmetic.
+const valTol = 1e-9
+
+// ValidateResult is an independent oracle that cross-checks an engine run
+// against the machine model's invariants. It is used by tests (and by
+// core.RunConfig.Validate) to catch scheduling bugs structurally rather
+// than through aggregate outcomes. It verifies that:
+//
+//   - every task executed exactly once, at a valid level, not before start;
+//   - each record's arithmetic holds: Start = Dispatch + overheads and
+//     Finish − Start = WorkA / f(level);
+//   - no two records overlap on the same processor;
+//   - every task was dispatched only after all its predecessors finished;
+//   - in ByOrder mode, dispatch times are non-decreasing in task order
+//     (the order-gate discipline);
+//   - the per-processor busy/overhead totals match the records.
+func ValidateResult(platform *power.Platform, mode Mode, start float64, tasks []*Task, res *Result) error {
+	if len(res.Records) != len(tasks) {
+		return fmt.Errorf("sim: %d records for %d tasks", len(res.Records), len(tasks))
+	}
+	byTask := make([]*Record, len(tasks))
+	for i := range res.Records {
+		r := &res.Records[i]
+		if r.Task < 0 || r.Task >= len(tasks) {
+			return fmt.Errorf("sim: record references task %d", r.Task)
+		}
+		if byTask[r.Task] != nil {
+			return fmt.Errorf("sim: task %q executed twice", tasks[r.Task].Name)
+		}
+		byTask[r.Task] = r
+		if r.Level < 0 || r.Level >= platform.NumLevels() {
+			return fmt.Errorf("sim: task %q ran at invalid level %d", tasks[r.Task].Name, r.Level)
+		}
+		if r.Dispatch < start-valTol {
+			return fmt.Errorf("sim: task %q dispatched at %g before start %g", tasks[r.Task].Name, r.Dispatch, start)
+		}
+		if math.Abs(r.Start-(r.Dispatch+r.CompOH+r.ChangeOH)) > valTol {
+			return fmt.Errorf("sim: task %q start %g ≠ dispatch %g + overheads %g",
+				tasks[r.Task].Name, r.Start, r.Dispatch, r.CompOH+r.ChangeOH)
+		}
+		wantDur := tasks[r.Task].WorkA / platform.Levels()[r.Level].Freq
+		if math.Abs((r.Finish-r.Start)-wantDur) > valTol {
+			return fmt.Errorf("sim: task %q duration %g ≠ work/freq %g",
+				tasks[r.Task].Name, r.Finish-r.Start, wantDur)
+		}
+	}
+
+	// Processor occupancy: records on one processor must not overlap.
+	byProc := map[int][]*Record{}
+	for i := range res.Records {
+		r := &res.Records[i]
+		byProc[r.Proc] = append(byProc[r.Proc], r)
+	}
+	busy := map[int]float64{}
+	oh := map[int]float64{}
+	for proc, rs := range byProc {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Dispatch < rs[j].Dispatch })
+		for i, r := range rs {
+			if i > 0 && r.Dispatch < rs[i-1].Finish-valTol {
+				return fmt.Errorf("sim: processor %d runs %q before %q finished",
+					proc, tasks[r.Task].Name, tasks[rs[i-1].Task].Name)
+			}
+			busy[proc] += r.Finish - r.Start
+			oh[proc] += r.CompOH + r.ChangeOH
+		}
+	}
+	for proc := range byProc {
+		if proc < 0 || proc >= len(res.BusyTime) {
+			return fmt.Errorf("sim: record on unknown processor %d", proc)
+		}
+		if math.Abs(busy[proc]-res.BusyTime[proc]) > valTol || math.Abs(oh[proc]-res.OverheadTime[proc]) > valTol {
+			return fmt.Errorf("sim: processor %d busy/overhead totals disagree with records", proc)
+		}
+	}
+
+	// Precedence: a task may not be dispatched before its predecessors
+	// finished.
+	for ti, t := range tasks {
+		for _, pi := range t.Preds {
+			if byTask[ti].Dispatch < byTask[pi].Finish-valTol {
+				return fmt.Errorf("sim: task %q dispatched at %g before predecessor %q finished at %g",
+					t.Name, byTask[ti].Dispatch, tasks[pi].Name, byTask[pi].Finish)
+			}
+		}
+	}
+
+	// Order gate: dispatch instants must be non-decreasing in task order.
+	if mode == ByOrder {
+		inOrder := make([]*Record, len(tasks))
+		for ti, t := range tasks {
+			inOrder[t.Order] = byTask[ti]
+		}
+		for i := 1; i < len(inOrder); i++ {
+			if inOrder[i].Dispatch < inOrder[i-1].Dispatch-valTol {
+				return fmt.Errorf("sim: order gate violated: order %d dispatched at %g before order %d at %g",
+					i, inOrder[i].Dispatch, i-1, inOrder[i-1].Dispatch)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"andorsched/internal/power"
+)
+
+// runValid produces a correct result for corruption-based negative tests.
+func runValid(t *testing.T) (*power.Platform, []*Task, *Result) {
+	t.Helper()
+	p := testPlat()
+	ov := power.Overheads{SpeedCompCycles: 10e6, SpeedChangeTime: 0.01}
+	tasks := []*Task{
+		{Name: "a", WorkW: 200e6, WorkA: 150e6, Order: 0, Succs: []int{2}, LFT: 100},
+		{Name: "b", WorkW: 300e6, WorkA: 200e6, Order: 1, LFT: 100},
+		{Name: "and", Dummy: true, Order: 2, Preds: []int{0}, Succs: []int{3}, LFT: 100},
+		{Name: "c", WorkW: 100e6, WorkA: 80e6, Order: 3, Preds: []int{2}, LFT: 100},
+	}
+	res, err := Run(Config{
+		Platform: p, Overheads: ov, Mode: ByOrder, Procs: 2,
+		Policy: fixedPolicy(1), Start: 2,
+	}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, tasks, res
+}
+
+func TestValidateAcceptsEngineOutput(t *testing.T) {
+	p, tasks, res := runValid(t)
+	if err := ValidateResult(p, ByOrder, 2, tasks, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateCatchesCorruption corrupts one aspect at a time and expects
+// the oracle to flag each.
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(tasks []*Task, res *Result)
+		wantSub string
+	}{
+		{"missing record", func(ts []*Task, r *Result) { r.Records = r.Records[1:] }, "records for"},
+		{"duplicate task", func(ts []*Task, r *Result) { r.Records[1] = r.Records[0] }, "twice"},
+		{"bad level", func(ts []*Task, r *Result) { r.Records[0].Level = 99 }, "invalid level"},
+		{"before start", func(ts []*Task, r *Result) { r.Records[0].Dispatch = 0 }, "before start"},
+		{"overhead math", func(ts []*Task, r *Result) { r.Records[0].CompOH += 1 }, "overheads"},
+		{"duration math", func(ts []*Task, r *Result) { r.Records[0].Finish += 1; r.BusyTime[r.Records[0].Proc] += 1 }, "work/freq"},
+		{"busy totals", func(ts []*Task, r *Result) { r.BusyTime[0] += 5 }, "totals disagree"},
+		{"order gate", func(ts []*Task, r *Result) {
+			// Swap the order fields of b (dispatched first) and c
+			// (dispatched last): the recorded dispatch sequence now
+			// contradicts the order gate without touching any record.
+			ts[1].Order, ts[3].Order = ts[3].Order, ts[1].Order
+		}, "order gate"},
+		{"precedence", func(ts []*Task, r *Result) {
+			// Make c dispatch before its predecessor "and" finishes.
+			var andFinish float64
+			for _, rec := range r.Records {
+				if rec.Task == 2 {
+					andFinish = rec.Finish
+				}
+			}
+			for i := range r.Records {
+				rec := &r.Records[i]
+				if rec.Task == 3 {
+					d := rec.Finish - rec.Start
+					rec.Dispatch = andFinish - 1
+					rec.Start = rec.Dispatch + rec.CompOH + rec.ChangeOH
+					rec.Finish = rec.Start + d
+				}
+			}
+		}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, tasks, res := runValid(t)
+			c.corrupt(tasks, res)
+			err := ValidateResult(p, ByOrder, 2, tasks, res)
+			if err == nil {
+				t.Fatal("corruption not detected")
+			}
+			if c.wantSub != "" && !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+// TestValidateByPrioritySkipsOrderGate: the order-gate check applies only
+// to ByOrder mode.
+func TestValidateByPrioritySkipsOrderGate(t *testing.T) {
+	p := testPlat()
+	tasks := []*Task{
+		task("long", 400, 400, nil, nil),
+		task("short", 100, 100, nil, nil),
+	}
+	res, err := Run(Config{Platform: p, Mode: ByPriority, Procs: 1}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateResult(p, ByPriority, 0, tasks, res); err != nil {
+		t.Fatal(err)
+	}
+}

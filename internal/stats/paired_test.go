@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPairedBasics(t *testing.T) {
+	var p Paired
+	// Constant offset of −0.1 with no noise: mean −0.1, z → −Inf style
+	// (stderr 0 would be Inf, so add a little noise instead).
+	offsets := []float64{-0.11, -0.09, -0.10, -0.12, -0.08}
+	for i, d := range offsets {
+		a := 0.5 + 0.01*float64(i)
+		p.Add(a+d, a)
+	}
+	if p.N() != 5 {
+		t.Errorf("N = %d", p.N())
+	}
+	if !near(p.MeanDiff(), -0.10) {
+		t.Errorf("MeanDiff = %g, want -0.1", p.MeanDiff())
+	}
+	if !p.Significant() {
+		t.Errorf("clear difference not significant (z = %g)", p.Z())
+	}
+	if p.Z() >= 0 {
+		t.Errorf("z should be negative, got %g", p.Z())
+	}
+}
+
+func TestPairedNoDifference(t *testing.T) {
+	var p Paired
+	for i := 0; i < 100; i++ {
+		v := float64(i % 7)
+		p.Add(v, v)
+	}
+	if p.MeanDiff() != 0 || p.Z() != 0 || p.Significant() {
+		t.Errorf("identical pairs: diff %g z %g", p.MeanDiff(), p.Z())
+	}
+}
+
+func TestPairedConstantNonzero(t *testing.T) {
+	var p Paired
+	p.Add(1, 0)
+	p.Add(2, 1)
+	// Differences are exactly 1 with zero variance: z is +Inf.
+	if !math.IsInf(p.Z(), 1) {
+		t.Errorf("z = %g, want +Inf", p.Z())
+	}
+	if !p.Significant() {
+		t.Error("constant nonzero difference should be significant")
+	}
+}
+
+func TestPairedNoiseInsignificant(t *testing.T) {
+	var p Paired
+	// Symmetric noise around zero: should not be significant.
+	noise := []float64{0.05, -0.04, 0.03, -0.05, 0.01, -0.02, 0.04, -0.03}
+	for _, d := range noise {
+		p.Add(1+d, 1)
+	}
+	if p.Significant() {
+		t.Errorf("noise flagged significant (z = %g)", p.Z())
+	}
+}

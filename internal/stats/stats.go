@@ -1,0 +1,79 @@
+// Package stats provides the small statistics toolkit used by the
+// experiment harness: accumulation of sample means, standard deviations
+// and confidence intervals, without any external dependencies.
+package stats
+
+import "math"
+
+// Acc accumulates samples with Welford's online algorithm, which is
+// numerically stable for long runs. The zero value is an empty accumulator
+// ready for use.
+type Acc struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one sample.
+func (a *Acc) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the sample count.
+func (a *Acc) N() int { return a.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (a *Acc) Mean() float64 { return a.mean }
+
+// Min and Max return the sample extremes (0 for an empty accumulator).
+func (a *Acc) Min() float64 { return a.min }
+
+// Max returns the largest sample seen.
+func (a *Acc) Max() float64 { return a.max }
+
+// Var returns the unbiased sample variance (0 for fewer than two samples).
+func (a *Acc) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Stddev returns the unbiased sample standard deviation.
+func (a *Acc) Stddev() float64 { return math.Sqrt(a.Var()) }
+
+// StdErr returns the standard error of the mean.
+func (a *Acc) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.Stddev() / math.Sqrt(float64(a.n))
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean (adequate for the 1000-run averages used here).
+func (a *Acc) CI95() float64 { return 1.96 * a.StdErr() }
+
+// Mean returns the mean of a slice (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	var a Acc
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return a.Mean()
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccBasics(t *testing.T) {
+	var a Acc
+	if a.N() != 0 || a.Mean() != 0 || a.Var() != 0 || a.StdErr() != 0 {
+		t.Error("zero-value Acc not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if !near(a.Mean(), 5) {
+		t.Errorf("Mean = %g, want 5", a.Mean())
+	}
+	// Unbiased variance of this classic sample: 32/7.
+	if !near(a.Var(), 32.0/7) {
+		t.Errorf("Var = %g, want %g", a.Var(), 32.0/7)
+	}
+	if !near(a.Stddev(), math.Sqrt(32.0/7)) {
+		t.Errorf("Stddev = %g", a.Stddev())
+	}
+	if !near(a.StdErr(), a.Stddev()/math.Sqrt(8)) {
+		t.Errorf("StdErr = %g", a.StdErr())
+	}
+	if !near(a.CI95(), 1.96*a.StdErr()) {
+		t.Errorf("CI95 = %g", a.CI95())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %g/%g", a.Min(), a.Max())
+	}
+}
+
+func TestAccSingleSample(t *testing.T) {
+	var a Acc
+	a.Add(3)
+	if a.Mean() != 3 || a.Var() != 0 || a.Min() != 3 || a.Max() != 3 {
+		t.Error("single-sample stats wrong")
+	}
+}
+
+func TestMeanSlice(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !near(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean wrong")
+	}
+}
+
+// TestWelfordMatchesNaive: the online algorithm agrees with the two-pass
+// formula on random data.
+func TestWelfordMatchesNaive(t *testing.T) {
+	prop := func(xs []float64) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		for i, x := range xs {
+			// Bound magnitudes to keep the naive two-pass stable.
+			xs[i] = math.Mod(x, 1e6)
+			if math.IsNaN(xs[i]) {
+				xs[i] = 0
+			}
+		}
+		var a Acc
+		var sum float64
+		for _, x := range xs {
+			a.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var sq float64
+		for _, x := range xs {
+			sq += (x - mean) * (x - mean)
+		}
+		naiveVar := sq / float64(len(xs)-1)
+		return near(a.Mean(), mean) && math.Abs(a.Var()-naiveVar) <= 1e-6*(1+naiveVar)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func near(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9+1e-9*math.Abs(b)
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"andorsched/internal/andor"
+)
+
+// ATRConfig parameterizes the automated target recognition application.
+// The paper motivates the AND/OR model with ATR: "the number of regions of
+// interest (ROI) in one frame varies substantially — for some frames the
+// number of detected ROIs may be maximum and all the tasks need to be
+// executed, while in most cases ... part of the application can be
+// skipped". Each detected ROI is compared with all templates.
+type ATRConfig struct {
+	// MaxROIs is the maximum number of regions of interest per frame.
+	MaxROIs int
+	// ROIProbs[k] is the probability that exactly k+1 ROIs are detected;
+	// must have MaxROIs entries summing to 1.
+	ROIProbs []float64
+	// Templates is the number of templates each ROI is matched against.
+	Templates int
+	// Alpha is the ACET/WCET ratio of every task. The paper measured a
+	// high ratio for ATR ("little slack from the tasks' run-time
+	// behavior"), reproduced here as 0.9 by default.
+	Alpha float64
+
+	// Per-task worst-case execution times in seconds.
+	DetectWCET   float64 // frame-wide ROI detection
+	ExtractWCET  float64 // per-ROI extraction/normalization
+	MatchWCET    float64 // one ROI-template comparison
+	ClassifyWCET float64 // per-ROI classification from match scores
+	ReportWCET   float64 // final result assembly
+}
+
+// DefaultATRConfig returns the configuration used by the experiments: up
+// to 4 ROIs with a decreasing count distribution, 4 templates, α = 0.9 and
+// millisecond-scale tasks.
+func DefaultATRConfig() ATRConfig {
+	return ATRConfig{
+		MaxROIs:      4,
+		ROIProbs:     []float64{0.40, 0.30, 0.20, 0.10},
+		Templates:    4,
+		Alpha:        0.9,
+		DetectWCET:   8 * ms,
+		ExtractWCET:  3 * ms,
+		MatchWCET:    5 * ms,
+		ClassifyWCET: 2 * ms,
+		ReportWCET:   4 * ms,
+	}
+}
+
+// ATR builds the automated target recognition application graph:
+//
+//	Detect → O_roi ─P(1)→ fork₁ → [1 ROI pipeline ] → done₁ ─→ O_done → Report
+//	               ─P(2)→ fork₂ → [2 ROI pipelines] → done₂ ─↗
+//	               ⋮
+//
+// where one ROI pipeline is
+//
+//	Extract → {Match×Templates in parallel} → join(And) → Classify
+//
+// and fork/done are And synchronization nodes. It panics on an invalid
+// configuration (workload parameters are program data, not user input).
+func ATR(cfg ATRConfig) *andor.Graph {
+	if cfg.MaxROIs < 1 || cfg.Templates < 1 {
+		panic("workload: ATR needs at least one ROI and one template")
+	}
+	if len(cfg.ROIProbs) != cfg.MaxROIs {
+		panic(fmt.Sprintf("workload: ATR wants %d ROI probabilities, got %d", cfg.MaxROIs, len(cfg.ROIProbs)))
+	}
+	var sum float64
+	for _, p := range cfg.ROIProbs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		panic(fmt.Sprintf("workload: ATR ROI probabilities sum to %g, want 1", sum))
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		panic(fmt.Sprintf("workload: ATR alpha %g outside (0,1]", cfg.Alpha))
+	}
+
+	g := andor.NewGraph(fmt.Sprintf("atr-%droi-%dtpl", cfg.MaxROIs, cfg.Templates))
+	task := func(name string, wcet float64) *andor.Node {
+		return g.AddTask(name, wcet, cfg.Alpha*wcet)
+	}
+
+	detect := task("Detect", cfg.DetectWCET)
+	oroi := g.AddOr("O_roi")
+	g.AddEdge(detect, oroi)
+	odone := g.AddOr("O_done")
+
+	for k := 1; k <= cfg.MaxROIs; k++ {
+		fork := g.AddAnd(fmt.Sprintf("fork%d", k))
+		g.AddEdge(oroi, fork)
+		done := g.AddAnd(fmt.Sprintf("done%d", k))
+		for r := 1; r <= k; r++ {
+			extract := task(fmt.Sprintf("Extract%d.%d", k, r), cfg.ExtractWCET)
+			g.AddEdge(fork, extract)
+			join := g.AddAnd(fmt.Sprintf("join%d.%d", k, r))
+			for t := 1; t <= cfg.Templates; t++ {
+				match := task(fmt.Sprintf("Match%d.%d.%d", k, r, t), cfg.MatchWCET)
+				g.AddEdge(extract, match)
+				g.AddEdge(match, join)
+			}
+			classify := task(fmt.Sprintf("Classify%d.%d", k, r), cfg.ClassifyWCET)
+			g.AddEdge(join, classify)
+			g.AddEdge(classify, done)
+		}
+		g.AddEdge(done, odone)
+	}
+	g.SetBranchProbs(oroi, cfg.ROIProbs...)
+
+	report := task("Report", cfg.ReportWCET)
+	g.AddEdge(odone, report)
+	return g
+}

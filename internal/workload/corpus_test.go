@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"andorsched/internal/andor"
+	"andorsched/internal/core"
+	"andorsched/internal/exectime"
+	"andorsched/internal/power"
+)
+
+// TestWorkloadCorpus parses, validates, plans and runs every .andor file
+// shipped in workloads/ — the corpus must stay loadable and schedulable as
+// the language and scheduler evolve.
+func TestWorkloadCorpus(t *testing.T) {
+	dir := filepath.Join("..", "..", "workloads")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".andor" {
+			continue
+		}
+		found++
+		t.Run(e.Name(), func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := andor.ParseText(string(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := andor.ComputeMetrics(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Tasks < 3 || m.OrNodes < 1 {
+				t.Errorf("corpus file too trivial: %+v", m)
+			}
+			plan, err := core.NewPlan(g, 2, power.Transmeta5400(), power.DefaultOverheads())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := uint64(0); seed < 10; seed++ {
+				res, err := plan.Run(core.RunConfig{
+					Scheme: core.AS, Deadline: plan.CTWorst / 0.7,
+					Sampler:  exectime.NewSampler(exectime.NewSource(seed)),
+					Validate: true,
+				})
+				if err != nil || !res.MetDeadline || res.LSTViolations != 0 {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+	if found < 3 {
+		t.Errorf("workload corpus has %d .andor files, want ≥ 3", found)
+	}
+}

@@ -1,0 +1,94 @@
+package workload
+
+import "andorsched/internal/andor"
+
+// ms converts milliseconds to seconds.
+const ms = 1e-3
+
+// Synthetic builds the synthetic application of the paper's Figure 3. The
+// time unit for WCET/ACET is milliseconds (the paper: "the time unit for c
+// and a is in the order of millisecond").
+//
+// The reconstruction (the figure is partially garbled in the available
+// copy) keeps all legible elements:
+//
+//   - tasks with execution-time pairs 8/5, 5/3, 4/2, 5/4, 8/6, 10/6, 10/8,
+//     10/8, 5/3, 4/2 (WCET/ACET, ms);
+//   - AND fork/join parallelism (nodes A1–A4);
+//   - an OR choice with 30%/70% branches and one with 35%/65%;
+//   - a loop with at most 4 iterations taken 1, 2, 3 or 4 times with
+//     probabilities 50%, 20%, 5% and 25%, expanded per §2.1.
+//
+// Shape:
+//
+//	A → A1 → {B, C, D} → A2 → O1
+//	O1 ─30%→ F → G ──────────────→ O2
+//	   └70%→ H → A3 → {I, J} → A4 → K → O2
+//	O2 → E → L#1..L#4 (loop, ≤4 iters) → L.join → S → O4
+//	O4 ─35%→ T            (short finish)
+//	   └65%→ U → V        (long finish)
+func Synthetic() *andor.Graph {
+	g := andor.NewGraph("synthetic-fig3")
+
+	a := g.AddTask("A", 8*ms, 5*ms)
+	a1 := g.AddAnd("A1")
+	b := g.AddTask("B", 5*ms, 3*ms)
+	c := g.AddTask("C", 4*ms, 2*ms)
+	d := g.AddTask("D", 5*ms, 4*ms)
+	a2 := g.AddAnd("A2")
+	o1 := g.AddOr("O1")
+	g.AddEdge(a, a1)
+	g.AddEdge(a1, b)
+	g.AddEdge(a1, c)
+	g.AddEdge(a1, d)
+	g.AddEdge(b, a2)
+	g.AddEdge(c, a2)
+	g.AddEdge(d, a2)
+	g.AddEdge(a2, o1)
+
+	// Branch 1 (30%): F → G.
+	f := g.AddTask("F", 8*ms, 6*ms)
+	gg := g.AddTask("G", 5*ms, 3*ms)
+	g.AddEdge(f, gg)
+	// Branch 2 (70%): H → A3 → {I, J} → A4 → K.
+	h := g.AddTask("H", 10*ms, 6*ms)
+	a3 := g.AddAnd("A3")
+	i := g.AddTask("I", 10*ms, 8*ms)
+	j := g.AddTask("J", 10*ms, 8*ms)
+	a4 := g.AddAnd("A4")
+	k := g.AddTask("K", 5*ms, 3*ms)
+	g.Chain(h, a3)
+	g.AddEdge(a3, i)
+	g.AddEdge(a3, j)
+	g.AddEdge(i, a4)
+	g.AddEdge(j, a4)
+	g.AddEdge(a4, k)
+
+	o2 := g.AddOr("O2")
+	g.AddEdge(o1, f)
+	g.AddEdge(o1, h)
+	g.SetBranchProbs(o1, 0.30, 0.70)
+	g.AddEdge(gg, o2)
+	g.AddEdge(k, o2)
+
+	// After the join: E feeds the loop L (≤4 iterations of a 4/2 task).
+	e := g.AddTask("E", 5*ms, 4*ms)
+	g.AddEdge(o2, e)
+	lEntry, lJoin := andor.ExpandLoop(g, "L", 4*ms, 2*ms, []float64{0.50, 0.20, 0.05, 0.25})
+	g.AddEdge(e, lEntry)
+
+	// Final OR choice (35%/65%) between a short and a long finish.
+	s := g.AddTask("S", 5*ms, 3*ms)
+	g.AddEdge(lJoin, s)
+	o4 := g.AddOr("O4")
+	g.AddEdge(s, o4)
+	t := g.AddTask("T", 4*ms, 2*ms)
+	u := g.AddTask("U", 10*ms, 8*ms)
+	v := g.AddTask("V", 4*ms, 2*ms)
+	g.AddEdge(u, v)
+	g.AddEdge(o4, t)
+	g.AddEdge(o4, u)
+	g.SetBranchProbs(o4, 0.35, 0.65)
+
+	return g
+}

@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"andorsched/internal/andor"
+	"andorsched/internal/core"
+	"andorsched/internal/exectime"
+	"andorsched/internal/power"
+)
+
+func TestSyntheticValid(t *testing.T) {
+	g := Synthetic()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The reconstruction's inventory: 19 computation tasks (A–K and S–V
+	// plus 4 unrolled loop bodies), 4 And nodes, O1/O2/O4 plus the loop's
+	// 4 Or nodes.
+	if got := len(g.ComputeNodes()); got != 19 {
+		t.Errorf("compute nodes = %d, want 19", got)
+	}
+	var ands, ors int
+	for _, n := range g.Nodes() {
+		switch n.Kind {
+		case andor.And:
+			ands++
+		case andor.Or:
+			ors++
+		}
+	}
+	if ands != 4 {
+		t.Errorf("And nodes = %d, want 4 (A1–A4)", ands)
+	}
+	if ors != 7 {
+		t.Errorf("Or nodes = %d, want 7 (O1, O2, O4 + 4 loop ORs)", ors)
+	}
+	// Legible execution-time pairs from Figure 3.
+	for _, c := range []struct {
+		name       string
+		wcet, acet float64
+	}{
+		{"A", 8e-3, 5e-3}, {"B", 5e-3, 3e-3}, {"C", 4e-3, 2e-3},
+		{"F", 8e-3, 6e-3}, {"G", 5e-3, 3e-3}, {"H", 10e-3, 6e-3},
+		{"I", 10e-3, 8e-3}, {"J", 10e-3, 8e-3}, {"K", 5e-3, 3e-3},
+		{"L#1", 4e-3, 2e-3},
+	} {
+		n := g.NodeByName(c.name)
+		if n == nil {
+			t.Fatalf("task %q missing", c.name)
+		}
+		if n.WCET != c.wcet || n.ACET != c.acet {
+			t.Errorf("%s = %g/%g, want %g/%g", c.name, n.WCET, n.ACET, c.wcet, c.acet)
+		}
+	}
+	// O1 branches 30/70.
+	o1 := g.NodeByName("O1")
+	if !near(o1.BranchProb(0), 0.30) || !near(o1.BranchProb(1), 0.70) {
+		t.Error("O1 probabilities wrong")
+	}
+	o4 := g.NodeByName("O4")
+	if !near(o4.BranchProb(0), 0.35) || !near(o4.BranchProb(1), 0.65) {
+		t.Error("O4 probabilities wrong")
+	}
+}
+
+func TestSyntheticPaths(t *testing.T) {
+	g := Synthetic()
+	s, err := andor.Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 (O1) × 4 (loop iterations) × 2 (O4) = 16 execution paths.
+	if got := s.NumPaths(); got != 16 {
+		t.Errorf("paths = %d, want 16", got)
+	}
+	paths, err := s.Paths(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range paths {
+		sum += p.Prob
+	}
+	if !near(sum, 1) {
+		t.Errorf("path probabilities sum to %g", sum)
+	}
+	// The longest path takes the H branch (28ms of section work), all 4
+	// loop iterations (16ms) and the U→V finish: A(8)+H-branch(25... )
+	// Just assert the structural extremes via work sums.
+	var minW, maxW float64 = math.Inf(1), 0
+	for _, p := range paths {
+		w := p.WCETSum()
+		minW = math.Min(minW, w)
+		maxW = math.Max(maxW, w)
+	}
+	// Shortest: A+B+C+D(17... section0 is 8+5+4+5=22) + F+G(13) + E(5) +
+	// L#1(4) + S(5) + T(4) = 53ms of work.
+	if !near(minW, 53e-3) {
+		t.Errorf("min path work = %g, want 53ms", minW)
+	}
+	// Longest: 22 + H+I+J+K(35) + E(5) + 4×L(16) + S(5) + U+V(14) = 97ms.
+	if !near(maxW, 97e-3) {
+		t.Errorf("max path work = %g, want 97ms", maxW)
+	}
+}
+
+func TestATRDefaultValid(t *testing.T) {
+	g := ATR(DefaultATRConfig())
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := andor.Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One path per ROI count.
+	if got := s.NumPaths(); got != 4 {
+		t.Errorf("ATR paths = %d, want 4", got)
+	}
+	// Compute-node count: Detect + Report + Σk (k ROIs × (extract +
+	// 4 matches + classify)) = 2 + (1+2+3+4)·6 = 62.
+	if got := len(g.ComputeNodes()); got != 62 {
+		t.Errorf("ATR compute nodes = %d, want 62", got)
+	}
+	// α = 0.9 everywhere.
+	for _, n := range g.ComputeNodes() {
+		if !near(n.ACET, 0.9*n.WCET) {
+			t.Errorf("task %q ACET/WCET = %g, want 0.9", n.Name, n.ACET/n.WCET)
+		}
+	}
+}
+
+func TestATRBranchWorkGrowsWithROIs(t *testing.T) {
+	g := ATR(DefaultATRConfig())
+	s, err := andor.Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := s.Paths(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More ROIs ⇒ strictly more work; path order follows branch order.
+	for i := 1; i < len(paths); i++ {
+		if paths[i].WCETSum() <= paths[i-1].WCETSum() {
+			t.Errorf("path %d work %g not greater than path %d work %g",
+				i, paths[i].WCETSum(), i-1, paths[i-1].WCETSum())
+		}
+	}
+	// Branch probabilities match the configuration.
+	want := DefaultATRConfig().ROIProbs
+	for i, p := range paths {
+		if !near(p.Prob, want[i]) {
+			t.Errorf("path %d prob = %g, want %g", i, p.Prob, want[i])
+		}
+	}
+}
+
+func TestATRConfigValidation(t *testing.T) {
+	mustPanic(t, func() { ATR(ATRConfig{MaxROIs: 0, Templates: 1}) })
+	cfg := DefaultATRConfig()
+	cfg.ROIProbs = []float64{1}
+	mustPanic(t, func() { ATR(cfg) })
+	cfg = DefaultATRConfig()
+	cfg.ROIProbs = []float64{0.5, 0.5, 0.5, 0.5}
+	mustPanic(t, func() { ATR(cfg) })
+	cfg = DefaultATRConfig()
+	cfg.Alpha = 1.5
+	mustPanic(t, func() { ATR(cfg) })
+}
+
+func TestATRParameterization(t *testing.T) {
+	cfg := ATRConfig{
+		MaxROIs: 2, ROIProbs: []float64{0.5, 0.5}, Templates: 3, Alpha: 0.5,
+		DetectWCET: 1e-3, ExtractWCET: 1e-3, MatchWCET: 1e-3,
+		ClassifyWCET: 1e-3, ReportWCET: 1e-3,
+	}
+	g := ATR(cfg)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 + (1+2)·(1+3+1) = 17 compute nodes.
+	if got := len(g.ComputeNodes()); got != 17 {
+		t.Errorf("compute nodes = %d, want 17", got)
+	}
+}
+
+// TestWorkloadsSchedulable: both paper workloads plan and run end-to-end
+// on every paper platform and processor count used in the figures.
+func TestWorkloadsSchedulable(t *testing.T) {
+	for _, g := range []*andor.Graph{Synthetic(), ATR(DefaultATRConfig())} {
+		for _, m := range []int{2, 4, 6} {
+			for _, plat := range []*power.Platform{power.Transmeta5400(), power.IntelXScale()} {
+				plan, err := core.NewPlan(g, m, plat, power.DefaultOverheads())
+				if err != nil {
+					t.Fatalf("%s m=%d %s: %v", g.Name, m, plat.Name, err)
+				}
+				res, err := plan.Run(core.RunConfig{
+					Scheme: core.GSS, Deadline: plan.CTWorst / 0.8,
+					Sampler: exectime.NewSampler(exectime.NewSource(1)),
+				})
+				if err != nil || !res.MetDeadline {
+					t.Fatalf("%s m=%d %s: run failed: %v", g.Name, m, plat.Name, err)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomWorkload(t *testing.T) {
+	g := Random(3, andor.DefaultRandomOpts())
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h := Random(3, andor.DefaultRandomOpts())
+	if g.Len() != h.Len() {
+		t.Error("Random not deterministic for equal seeds")
+	}
+}
+
+func near(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12+1e-9*math.Abs(b)
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
