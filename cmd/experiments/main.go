@@ -19,6 +19,7 @@ import (
 
 	"andorsched/internal/core"
 	"andorsched/internal/experiments"
+	"andorsched/internal/obs"
 	"andorsched/internal/power"
 	"andorsched/internal/workload"
 )
@@ -35,12 +36,34 @@ func main() {
 		htmlF     = flag.String("html", "", "write a self-contained HTML report (charts + tables) to this file")
 		winnersF  = flag.Bool("winners", false, "print the scheme-selection map (best scheme per load × α cell) and exit")
 		parallelF = flag.Int("parallel", 0, "worker goroutines per data point (0 = all CPUs); results are identical for any value")
+		profile   obs.Profile
 	)
+	profile.RegisterFlags(flag.CommandLine, "trace")
 	flag.Parse()
 	experiments.SetDefaultWorkers(*parallelF)
 
-	if err := run(*listF, *tablesF, *idF, *runsF, *seedF, *outF, *htmlF, *changesF, *winnersF); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+	var sess *obs.Session
+	if profile.Enabled() {
+		var err error
+		sess, err = profile.Start()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if sess.Addr != "" {
+			fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", sess.Addr)
+		}
+	}
+
+	runErr := run(*listF, *tablesF, *idF, *runsF, *seedF, *outF, *htmlF, *changesF, *winnersF)
+	if sess != nil {
+		// Flush profiles even when the run failed (os.Exit skips defers).
+		if err := sess.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: profiling:", err)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
 		os.Exit(1)
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"andorsched/internal/andor"
 	"andorsched/internal/cli"
+	"andorsched/internal/obs"
 )
 
 func main() {
@@ -32,11 +33,28 @@ func main() {
 		svgF      = flag.Bool("svg", false, "write the graph as a self-contained SVG drawing to stdout")
 		metricsF  = flag.Bool("metrics", false, "print detailed structural metrics")
 		limitF    = flag.Int("path-limit", 1000, "maximum paths to enumerate")
+		profile   obs.Profile
 	)
+	profile.RegisterFlags(flag.CommandLine, "trace")
 	flag.Parse()
 
-	if err := run(*workloadF, *statsF, *sectionsF, *pathsF, *dotF, *jsonF, *andorF, *svgF, *metricsF, *limitF); err != nil {
-		fmt.Fprintln(os.Stderr, "graphtool:", err)
+	var sess *obs.Session
+	if profile.Enabled() {
+		var err error
+		sess, err = profile.Start()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphtool:", err)
+			os.Exit(1)
+		}
+	}
+	runErr := run(*workloadF, *statsF, *sectionsF, *pathsF, *dotF, *jsonF, *andorF, *svgF, *metricsF, *limitF)
+	if sess != nil {
+		if err := sess.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "graphtool: profiling:", err)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "graphtool:", runErr)
 		os.Exit(1)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"andorsched/internal/obs"
 	"andorsched/internal/power"
 	"andorsched/internal/sim"
 )
@@ -35,6 +36,23 @@ type policy struct {
 	// platform, budgeted before the target level (and thus the actual
 	// voltage swing) is known.
 	maxChange float64
+
+	// Observability hooks, attached by the run driver; all nil by default
+	// so undecorated runs pay only nil checks.
+	tracer obs.Tracer
+	hSlack *obs.Histogram
+	cSteal *obs.Counter
+}
+
+// attachObs wires the run's tracer and metrics into the policy's pickup
+// path. The dynamic schemes emit a slack-share event per pickup and a
+// slack-steal event when a speculative floor overrides the greedy level.
+func (pol *policy) attachObs(tracer obs.Tracer, m *obs.Metrics) {
+	pol.tracer = tracer
+	if m != nil {
+		pol.hSlack = m.Histogram(MetricSlackShare, obs.DefaultTimeBuckets)
+		pol.cSteal = m.Counter(MetricSlackSteals)
+	}
 }
 
 // newPolicy builds the scheme's policy for one run with deadline d.
@@ -126,23 +144,59 @@ func (pol *policy) PickLevel(t *sim.Task, now float64, cur int) int {
 		return pol.fixed
 	}
 	g := pol.gssPick(t, now, cur)
-	flr := pol.floorAt(t, now)
-	if flr <= g {
-		return g
+	lvl := g
+	if flr := pol.floorAt(t, now); flr > g {
+		// The speculative floor is above the slack-sharing level. Running
+		// faster is always timing-safe provided the change overhead (if
+		// any) still fits the allocation.
+		if flr == cur {
+			lvl = cur
+		} else {
+			lv := pol.plan.Platform.Levels()
+			ov := pol.plan.Overheads
+			avail := t.LFT - now - ov.CompTime(lv[cur].Freq) - pol.maxChange
+			if avail > 0 && lv[flr].Freq*avail >= t.WorkW*(1-feasTol) {
+				lvl = flr
+			}
+		}
 	}
-	// The speculative floor is above the slack-sharing level. Running
-	// faster is always timing-safe provided the change overhead (if any)
-	// still fits the allocation.
-	if flr == cur {
-		return cur
+	if pol.tracer != nil || pol.hSlack != nil {
+		pol.observePick(t, now, g, lvl)
 	}
-	lv := pol.plan.Platform.Levels()
-	ov := pol.plan.Overheads
-	avail := t.LFT - now - ov.CompTime(lv[cur].Freq) - pol.maxChange
-	if avail > 0 && lv[flr].Freq*avail >= t.WorkW*(1-feasTol) {
-		return flr
+	return lvl
+}
+
+// observePick emits the pickup's slack decision: the slack-sharing
+// allocation beyond the task's minimum need, and — when speculation pushed
+// the level above the greedy choice — a slack-steal event.
+func (pol *policy) observePick(t *sim.Task, now float64, g, lvl int) {
+	slack := t.LFT - now - t.WorkW/pol.plan.fmax
+	if slack < 0 {
+		slack = 0
 	}
-	return g
+	if pol.hSlack != nil {
+		pol.hSlack.Observe(slack)
+	}
+	if pol.tracer != nil {
+		pol.tracer.Event(obs.Event{
+			Kind: obs.EvSlackShare, Time: now,
+			Proc: -1, Task: -1, Node: t.Node, Name: t.Name,
+			Level: g, Prev: g, Value: slack,
+		})
+	}
+	if lvl <= g {
+		return
+	}
+	if pol.cSteal != nil {
+		pol.cSteal.Inc()
+	}
+	if pol.tracer != nil {
+		pol.tracer.Event(obs.Event{
+			Kind: obs.EvSlackSteal, Time: now,
+			Proc: -1, Task: -1, Node: t.Node, Name: t.Name,
+			Level: lvl, Prev: g,
+		})
+	}
 }
 
 // gssPick is the greedy slack-sharing level choice with overhead

@@ -6,6 +6,7 @@ import (
 
 	"andorsched/internal/andor"
 	"andorsched/internal/exectime"
+	"andorsched/internal/obs"
 	"andorsched/internal/power"
 	"andorsched/internal/sim"
 )
@@ -36,7 +37,31 @@ type RunConfig struct {
 	// and overhead arithmetic) via sim.ValidateResult. Intended for tests;
 	// costs one extra pass per section.
 	Validate bool
+	// Tracer, if non-nil, receives the run's structured event stream:
+	// section boundaries, OR resolutions and the schemes' slack decisions
+	// from this layer, plus the engine's dispatch/finish/speed-change/idle
+	// events. Nil (the default) keeps the hot path free of tracing work.
+	Tracer obs.Tracer
+	// Metrics, if non-nil, is updated by the engine and the scheme policy
+	// (see the sim.Metric* and core.Metric* names); a snapshot is attached
+	// to the result.
+	Metrics *obs.Metrics
 }
+
+// Metrics names updated by the run driver and scheme policies.
+const (
+	// MetricSlackShare is the histogram of per-task slack-sharing
+	// allocations (seconds beyond the worst case at f_max) computed by the
+	// dynamic schemes.
+	MetricSlackShare = "core.slack.share_seconds"
+	// MetricSlackSteals counts pickups where a speculative floor overrode
+	// the greedy slack-sharing level (counter).
+	MetricSlackSteals = "core.slack.steals"
+	// MetricSections counts program sections executed (counter).
+	MetricSections = "core.sections"
+	// MetricORResolves counts OR synchronization nodes resolved (counter).
+	MetricORResolves = "core.or.resolves"
+)
 
 // RunResult reports one on-line execution.
 type RunResult struct {
@@ -70,6 +95,9 @@ type RunResult struct {
 	Path []andor.Choice
 	// Trace holds per-task execution rows when CollectTrace was set.
 	Trace []sim.GanttEntry
+	// Metrics is the registry snapshot taken when the run finished; nil
+	// unless RunConfig.Metrics was set.
+	Metrics *obs.Snapshot
 }
 
 // Energy returns the total energy consumed: active + overhead + idle.
@@ -169,9 +197,26 @@ func (p *Plan) execute(cfg RunConfig, sc *script, pol *policy, levelsOverride []
 		Scheme: cfg.Scheme, Deadline: d,
 		LevelTime: make([]float64, p.Platform.NumLevels()),
 	}
+	tracer := cfg.Tracer
+	pol.attachObs(cfg.Tracer, cfg.Metrics)
+	var cSections, cOR *obs.Counter
+	if cfg.Metrics != nil {
+		cSections = cfg.Metrics.Counter(MetricSections)
+		cOR = cfg.Metrics.Counter(MetricORResolves)
+	}
 	now := 0.0
 	for step, sp := range sc.sections {
 		pol.resetSection(sp.sec.ID, now)
+		if tracer != nil {
+			tracer.Event(obs.Event{
+				Kind: obs.EvSectionBegin, Time: now,
+				Proc: -1, Task: -1, Node: sp.sec.ID,
+				Name: fmt.Sprintf("S%d", sp.sec.ID),
+			})
+		}
+		if cSections != nil {
+			cSections.Inc()
+		}
 		tasks := p.runtimeTasks(sp, d, sc.works[step])
 		sr, err := sim.Run(sim.Config{
 			Platform:      p.Platform,
@@ -180,9 +225,29 @@ func (p *Plan) execute(cfg RunConfig, sc *script, pol *policy, levelsOverride []
 			Policy:        pol,
 			Start:         now,
 			InitialLevels: levels,
+			Tracer:        cfg.Tracer,
+			Metrics:       cfg.Metrics,
 		}, tasks)
 		if err != nil {
 			return nil, fmt.Errorf("core: section %d: %w", sp.sec.ID, err)
+		}
+		if tracer != nil {
+			tracer.Event(obs.Event{
+				Kind: obs.EvSectionEnd, Time: sr.Finish,
+				Proc: -1, Task: -1, Node: sp.sec.ID,
+				Name: fmt.Sprintf("S%d", sp.sec.ID),
+			})
+			if step < len(sc.choices) {
+				c := sc.choices[step]
+				tracer.Event(obs.Event{
+					Kind: obs.EvORResolve, Time: sr.Finish,
+					Proc: -1, Task: -1, Node: c.Or.ID, Name: c.Or.Name,
+					Branch: c.Branch,
+				})
+			}
+		}
+		if cOR != nil && step < len(sc.choices) {
+			cOR.Inc()
 		}
 		if cfg.Validate {
 			if err := sim.ValidateResult(p.Platform, sim.ByOrder, now, tasks, sr); err != nil {
@@ -223,6 +288,10 @@ func (p *Plan) execute(cfg RunConfig, sc *script, pol *policy, levelsOverride []
 		idleTime = 0
 	}
 	res.IdleEnergy = p.Platform.IdlePower() * idleTime
+	if cfg.Metrics != nil {
+		snap := cfg.Metrics.Snapshot()
+		res.Metrics = &snap
+	}
 	return res, nil
 }
 
@@ -286,6 +355,10 @@ func (p *Plan) runClairvoyant(cfg RunConfig, sc *script) (*RunResult, error) {
 	probeCfg := cfg
 	probeCfg.CollectTrace = false
 	probeCfg.Validate = false
+	// The probe replay is an internal measurement, not part of the run
+	// being observed: keep it out of the event stream and the metrics.
+	probeCfg.Tracer = nil
+	probeCfg.Metrics = nil
 	probe := &policy{plan: p, d: cfg.Deadline, scheme: CLV, fixed: p.Platform.MaxIndex()}
 	base, err := p.execute(probeCfg, sc, probe, nil)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"andorsched/internal/exectime"
+	"andorsched/internal/obs"
 	"andorsched/internal/stats"
 )
 
@@ -27,6 +28,14 @@ type StreamConfig struct {
 	// scheme needs a different speed). When false every frame starts at
 	// the scheme's initial level, making frames exactly independent.
 	CarryLevels bool
+	// Tracer, if non-nil, receives the structured event stream of every
+	// frame, concatenated. Frame f's events start at simulation time 0
+	// again (each frame is its own run); consumers that need a global
+	// clock can offset by f × Period.
+	Tracer obs.Tracer
+	// Metrics, if non-nil, accumulates over the whole stream; a snapshot
+	// is attached to the StreamResult.
+	Metrics *obs.Metrics
 }
 
 // StreamResult aggregates a frame stream.
@@ -47,6 +56,9 @@ type StreamResult struct {
 	FinishStats stats.Acc
 	// LevelTime is the stream-wide speed residency profile.
 	LevelTime []float64
+	// Metrics is the stream-wide registry snapshot; nil unless
+	// StreamConfig.Metrics was set.
+	Metrics *obs.Snapshot
 }
 
 // Energy returns the stream's total energy in joules.
@@ -72,7 +84,10 @@ func (p *Plan) RunStream(cfg StreamConfig) (*StreamResult, error) {
 		Frames:    cfg.Frames,
 		LevelTime: make([]float64, p.Platform.NumLevels()),
 	}
-	runCfg := RunConfig{Scheme: cfg.Scheme, Deadline: cfg.Period, Sampler: cfg.Sampler}
+	runCfg := RunConfig{
+		Scheme: cfg.Scheme, Deadline: cfg.Period, Sampler: cfg.Sampler,
+		Tracer: cfg.Tracer, Metrics: cfg.Metrics,
+	}
 	var carry []int
 	for f := 0; f < cfg.Frames; f++ {
 		sc := p.resolve(runCfg)
@@ -103,6 +118,10 @@ func (p *Plan) RunStream(cfg StreamConfig) (*StreamResult, error) {
 			out.LevelTime[i] += v
 		}
 		carry = res.FinalLevels
+	}
+	if cfg.Metrics != nil {
+		snap := cfg.Metrics.Snapshot()
+		out.Metrics = &snap
 	}
 	return out, nil
 }

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// traceEvent is one Trace Event Format record, loadable by chrome://tracing
+// and https://ui.perfetto.dev. Ph "X" is a complete slice, "i" an instant,
+// "M" metadata. Timestamps and durations are microseconds.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the Trace Event Format's JSON object form.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const tracePid = 0
+
+// ChromeTrace renders a recorded event stream as Chrome trace_event JSON:
+// one track (tid) per processor carrying task slices, power-management
+// overhead slices, idle slices and speed-change instants, plus one extra
+// track carrying program-section slices and OR-resolution instants. Open
+// the result in chrome://tracing or Perfetto.
+//
+// Events must be the stream of one run in emission order (as recorded by a
+// Collector). ChromeTrace returns an error when dispatch/finish or section
+// begin/end events do not pair up.
+func ChromeTrace(events []Event) ([]byte, error) {
+	maxProc := 0
+	for _, e := range events {
+		if e.Proc > maxProc {
+			maxProc = e.Proc
+		}
+	}
+	secTid := maxProc + 1
+
+	out := []traceEvent{{
+		Name: "process_name", Ph: "M", Pid: tracePid, Tid: 0,
+		Args: map[string]any{"name": "andorsched simulation"},
+	}}
+	for p := 0; p <= maxProc; p++ {
+		out = append(out, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: p,
+			Args: map[string]any{"name": fmt.Sprintf("P%d", p)},
+		})
+	}
+	out = append(out, traceEvent{
+		Name: "thread_name", Ph: "M", Pid: tracePid, Tid: secTid,
+		Args: map[string]any{"name": "sections"},
+	})
+
+	// One task executes at a time per processor, so dispatches pair with
+	// finishes FIFO per proc. Sections nest trivially (they never do in
+	// practice, but a stack is cheap).
+	pending := make(map[int][]Event) // proc -> queued dispatch events
+	var sections []Event
+	us := func(s float64) float64 { return s * 1e6 }
+
+	for _, e := range events {
+		switch e.Kind {
+		case EvTaskDispatch:
+			pending[e.Proc] = append(pending[e.Proc], e)
+			if e.Value > 0 {
+				out = append(out, traceEvent{
+					Name: "dvs-overhead", Ph: "X",
+					Ts: us(e.Time), Dur: us(e.Value),
+					Pid: tracePid, Tid: e.Proc,
+					Args: map[string]any{"overhead_us": us(e.Value)},
+				})
+			}
+		case EvTaskFinish:
+			q := pending[e.Proc]
+			if len(q) == 0 {
+				return nil, fmt.Errorf("obs: finish of task %d on P%d without a dispatch", e.Task, e.Proc)
+			}
+			d := q[0]
+			pending[e.Proc] = q[1:]
+			if d.Task != e.Task {
+				return nil, fmt.Errorf("obs: P%d finished task %d but dispatched task %d first", e.Proc, e.Task, d.Task)
+			}
+			start := d.Time + d.Value // after power-management overheads
+			out = append(out, traceEvent{
+				Name: d.Name, Ph: "X",
+				Ts: us(start), Dur: us(e.Time - start),
+				Pid: tracePid, Tid: e.Proc,
+				Args: map[string]any{"node": d.Node, "level": fmt.Sprintf("L%d", d.Level)},
+			})
+		case EvSpeedChange:
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("speed L%d→L%d", e.Prev, e.Level), Ph: "i",
+				Ts: us(e.Time), Pid: tracePid, Tid: e.Proc, Scope: "t",
+			})
+		case EvIdle:
+			out = append(out, traceEvent{
+				Name: "(idle)", Ph: "X",
+				Ts: us(e.Time - e.Value), Dur: us(e.Value),
+				Pid: tracePid, Tid: e.Proc,
+			})
+		case EvSectionBegin:
+			sections = append(sections, e)
+		case EvSectionEnd:
+			if len(sections) == 0 {
+				return nil, fmt.Errorf("obs: section %d ended without beginning", e.Node)
+			}
+			b := sections[len(sections)-1]
+			sections = sections[:len(sections)-1]
+			if b.Node != e.Node {
+				return nil, fmt.Errorf("obs: section %d ended inside section %d", e.Node, b.Node)
+			}
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("S%d", e.Node), Ph: "X",
+				Ts: us(b.Time), Dur: us(e.Time - b.Time),
+				Pid: tracePid, Tid: secTid,
+			})
+		case EvORResolve:
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("or:%s→%d", e.Name, e.Branch), Ph: "i",
+				Ts: us(e.Time), Pid: tracePid, Tid: secTid, Scope: "p",
+			})
+		}
+		// EvSlackShare/EvSlackSteal carry no track position; the NDJSON
+		// exporter preserves them.
+	}
+	for proc, q := range pending {
+		if len(q) > 0 {
+			return nil, fmt.Errorf("obs: P%d has %d dispatched tasks without a finish", proc, len(q))
+		}
+	}
+	if len(sections) > 0 {
+		return nil, fmt.Errorf("obs: %d sections never ended", len(sections))
+	}
+	return json.MarshalIndent(traceFile{TraceEvents: out, DisplayTimeUnit: "ms"}, "", " ")
+}

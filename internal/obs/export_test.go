@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteNDJSON(t *testing.T) {
+	events := []Event{
+		{Kind: EvTaskDispatch, Time: 0.001, Proc: 1, Task: 2, Node: 3, Name: "B", Level: 4, Prev: 5, Value: 6e-6},
+		{Kind: EvORResolve, Time: 0.002, Proc: -1, Task: -1, Node: 7, Name: "or1", Branch: 1},
+	}
+	var b strings.Builder
+	if err := WriteNDJSON(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["kind"] != "task_dispatch" || first["name"] != "B" || first["proc"] != 1.0 {
+		t.Errorf("first line wrong: %v", first)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second["kind"] != "or_resolve" || second["branch"] != 1.0 {
+		t.Errorf("second line wrong: %v", second)
+	}
+	// Lossless: every Event field appears on every line.
+	for _, key := range []string{"kind", "t", "proc", "task", "node", "name", "level", "prev", "branch", "value"} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("NDJSON line missing field %q", key)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// eventJSON is the NDJSON wire form of an Event. All fields are always
+// present so consumers never have to distinguish "absent" from zero; the
+// kind is the stable string name from Kind.String.
+type eventJSON struct {
+	Kind   string  `json:"kind"`
+	T      float64 `json:"t"` // simulation seconds
+	Proc   int     `json:"proc"`
+	Task   int     `json:"task"`
+	Node   int     `json:"node"`
+	Name   string  `json:"name"`
+	Level  int     `json:"level"`
+	Prev   int     `json:"prev"`
+	Branch int     `json:"branch"`
+	Value  float64 `json:"value"`
+}
+
+// WriteNDJSON streams events as newline-delimited JSON, one event per line,
+// in the given order. The format is lossless: every Event field is emitted.
+func WriteNDJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for _, e := range events {
+		if err := enc.Encode(eventJSON{
+			Kind: e.Kind.String(), T: e.Time,
+			Proc: e.Proc, Task: e.Task, Node: e.Node, Name: e.Name,
+			Level: e.Level, Prev: e.Prev, Branch: e.Branch, Value: e.Value,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profile holds the standard profiling options a binary exposes as flags:
+// CPU and heap profiles, a runtime execution trace, and an opt-in
+// net/http/pprof endpoint for live inspection of long runs.
+type Profile struct {
+	// CPUFile receives a pprof CPU profile covering Start..Stop.
+	CPUFile string
+	// MemFile receives a pprof heap profile written at Stop (after a GC).
+	MemFile string
+	// TraceFile receives a runtime/trace execution trace covering
+	// Start..Stop (open with `go tool trace`).
+	TraceFile string
+	// PprofAddr, if non-empty, serves the net/http/pprof handlers on this
+	// address (e.g. "localhost:6060") until Stop.
+	PprofAddr string
+}
+
+// RegisterFlags installs the profiling flags on fs. traceName names the
+// execution-trace flag: most binaries use "trace", but cmd/andorsim uses
+// "exectrace" because -trace is its (pre-existing) Gantt flag.
+func (p *Profile) RegisterFlags(fs *flag.FlagSet, traceName string) {
+	fs.StringVar(&p.CPUFile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&p.MemFile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	fs.StringVar(&p.TraceFile, traceName, "", "write a runtime execution trace to this file (go tool trace)")
+	fs.StringVar(&p.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+}
+
+// Enabled reports whether any profiling option is set.
+func (p Profile) Enabled() bool {
+	return p.CPUFile != "" || p.MemFile != "" || p.TraceFile != "" || p.PprofAddr != ""
+}
+
+// Session is a running profiling session. Stop it exactly once.
+type Session struct {
+	p        Profile
+	cpuFile  *os.File
+	traceF   *os.File
+	listener net.Listener
+	// Addr is the pprof endpoint's bound address (useful with ":0"), empty
+	// when no endpoint was requested.
+	Addr string
+}
+
+// Start activates every configured profiling option and returns the
+// session. On error, everything already started is stopped.
+func (p Profile) Start() (*Session, error) {
+	s := &Session{p: p}
+	if p.CPUFile != "" {
+		f, err := os.Create(p.CPUFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: start CPU profile: %w", err)
+		}
+		s.cpuFile = f
+	}
+	if p.TraceFile != "" {
+		f, err := os.Create(p.TraceFile)
+		if err != nil {
+			s.Stop()
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			s.Stop()
+			return nil, fmt.Errorf("obs: start execution trace: %w", err)
+		}
+		s.traceF = f
+	}
+	if p.PprofAddr != "" {
+		ln, err := net.Listen("tcp", p.PprofAddr)
+		if err != nil {
+			s.Stop()
+			return nil, fmt.Errorf("obs: pprof endpoint: %w", err)
+		}
+		s.listener = ln
+		s.Addr = ln.Addr().String()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		go http.Serve(ln, mux) //nolint:errcheck // ends when Stop closes the listener
+	}
+	return s, nil
+}
+
+// Stop ends the session: stops the CPU profile and execution trace, writes
+// the heap profile, and shuts the pprof endpoint down. It returns the first
+// error encountered.
+func (s *Session) Stop() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(s.cpuFile.Close())
+		s.cpuFile = nil
+	}
+	if s.traceF != nil {
+		trace.Stop()
+		keep(s.traceF.Close())
+		s.traceF = nil
+	}
+	if s.p.MemFile != "" {
+		f, err := os.Create(s.p.MemFile)
+		if err != nil {
+			keep(err)
+		} else {
+			runtime.GC() // materialize up-to-date allocation statistics
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+		s.p.MemFile = ""
+	}
+	if s.listener != nil {
+		keep(s.listener.Close())
+		s.listener = nil
+	}
+	return first
+}

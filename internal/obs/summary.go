@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary renders the snapshot as an aligned, human-readable table:
+// counters first, then gauges, then histograms with their bucket
+// occupancies. Intended for terminal output (`andorsim -stats`) and debug
+// logs.
+func (s Snapshot) Summary() string {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "  %-36s %12d\n", c.Name, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&b, "  %-36s %12.6g\n", g.Name, g.Value)
+		}
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "histogram %s: count %d, sum %.6g, mean %.6g\n",
+			h.Name, h.Count, h.Sum, h.Mean())
+		if h.Count == 0 {
+			continue
+		}
+		b.WriteString(" ")
+		for i, n := range h.Counts {
+			if i < len(h.Bounds) {
+				fmt.Fprintf(&b, " ≤%s:%d", seconds(h.Bounds[i]), n)
+			} else {
+				fmt.Fprintf(&b, " >%s:%d", seconds(h.Bounds[len(h.Bounds)-1]), n)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// seconds formats a duration bound compactly (1µs, 100ms, 1s).
+func seconds(v float64) string {
+	switch {
+	case v >= 1:
+		return fmt.Sprintf("%gs", v)
+	case v >= 1e-3:
+		return fmt.Sprintf("%gms", v*1e3)
+	case v >= 1e-6:
+		return fmt.Sprintf("%gµs", v*1e6)
+	default:
+		return fmt.Sprintf("%gns", v*1e9)
+	}
+}

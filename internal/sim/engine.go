@@ -4,7 +4,32 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"andorsched/internal/obs"
 )
+
+// engineMetrics holds the engine's pre-resolved instruments so the dispatch
+// loop never takes the registry lock or formats metric names.
+type engineMetrics struct {
+	tasks, dummies, changes *obs.Counter
+	exec, idle              *obs.Histogram
+	procChanges             []*obs.Counter
+}
+
+func newEngineMetrics(m *obs.Metrics, procs int) *engineMetrics {
+	em := &engineMetrics{
+		tasks:       m.Counter(MetricTasks),
+		dummies:     m.Counter(MetricDummies),
+		changes:     m.Counter(MetricSpeedChanges),
+		exec:        m.Histogram(MetricExecSeconds, obs.DefaultTimeBuckets),
+		idle:        m.Histogram(MetricIdleSeconds, obs.DefaultTimeBuckets),
+		procChanges: make([]*obs.Counter, procs),
+	}
+	for i := range em.procChanges {
+		em.procChanges[i] = m.Counter(MetricProcSpeedChanges(i))
+	}
+	return em
+}
 
 // Run simulates the execution of one program section's tasks on the
 // configured multiprocessor and returns the schedule and energy breakdown.
@@ -16,7 +41,17 @@ import (
 func Run(cfg Config, tasks []*Task) (*Result, error) {
 	m := cfg.Procs
 	if cfg.InitialLevels != nil {
+		if cfg.Procs > 0 && cfg.Procs != len(cfg.InitialLevels) {
+			return nil, fmt.Errorf("sim: Procs=%d disagrees with len(InitialLevels)=%d; set one or make them match",
+				cfg.Procs, len(cfg.InitialLevels))
+		}
 		m = len(cfg.InitialLevels)
+		for i, lv := range cfg.InitialLevels {
+			if lv < 0 || lv >= cfg.Platform.NumLevels() {
+				return nil, fmt.Errorf("sim: InitialLevels[%d]=%d outside the platform's %d levels",
+					i, lv, cfg.Platform.NumLevels())
+			}
+		}
 	}
 	if m <= 0 {
 		return nil, fmt.Errorf("sim: no processors configured")
@@ -51,6 +86,14 @@ func Run(cfg Config, tasks []*Task) (*Result, error) {
 		Finish:       cfg.Start,
 	}
 
+	// Observability: both hooks are nil-gated so the default run pays one
+	// pointer comparison per hook point and allocates nothing.
+	tracer := cfg.Tracer
+	var met *engineMetrics
+	if cfg.Metrics != nil {
+		met = newEngineMetrics(cfg.Metrics, m)
+	}
+
 	// Dependence bookkeeping.
 	npreds := make([]int, len(tasks))
 	for i, t := range tasks {
@@ -71,6 +114,13 @@ func Run(cfg Config, tasks []*Task) (*Result, error) {
 
 	var dispatchErr error
 	complete := func(proc, task int, at float64) {
+		if tracer != nil {
+			tracer.Event(obs.Event{
+				Kind: obs.EvTaskFinish, Time: at, Proc: proc,
+				Task: task, Node: tasks[task].Node, Name: tasks[task].Name,
+				Level: levels[proc], Prev: levels[proc],
+			})
+		}
 		busy[proc] = false
 		freeAt[proc] = at
 		if at > res.Finish {
@@ -135,6 +185,41 @@ func Run(cfg Config, tasks []*Task) (*Result, error) {
 			}
 			start := now + compT + changeT
 			finish := start + execT
+			if tracer != nil {
+				if idle := now - freeAt[proc]; idle > 0 {
+					tracer.Event(obs.Event{
+						Kind: obs.EvIdle, Time: now, Proc: proc,
+						Task: -1, Node: -1, Value: idle,
+					})
+				}
+				tracer.Event(obs.Event{
+					Kind: obs.EvTaskDispatch, Time: now, Proc: proc,
+					Task: ti, Node: t.Node, Name: t.Name,
+					Level: lvl, Prev: cur, Value: compT + changeT,
+				})
+				if lvl != cur {
+					tracer.Event(obs.Event{
+						Kind: obs.EvSpeedChange, Time: now, Proc: proc,
+						Task: ti, Node: t.Node, Name: t.Name,
+						Level: lvl, Prev: cur, Value: changeT,
+					})
+				}
+			}
+			if met != nil {
+				if t.Dummy {
+					met.dummies.Inc()
+				} else {
+					met.tasks.Inc()
+					met.exec.Observe(execT)
+				}
+				if lvl != cur {
+					met.changes.Inc()
+					met.procChanges[proc].Inc()
+				}
+				if idle := now - freeAt[proc]; idle > 0 {
+					met.idle.Observe(idle)
+				}
+			}
 			res.Records = append(res.Records, Record{
 				Task: ti, Proc: proc,
 				Dispatch: now, Start: start, Finish: finish,
@@ -198,6 +283,14 @@ func Run(cfg Config, tasks []*Task) (*Result, error) {
 	}
 
 	res.FinalLevels = levels
+	if cfg.Metrics != nil {
+		for i := 0; i < m; i++ {
+			cfg.Metrics.Gauge(MetricProcBusy(i)).Add(res.BusyTime[i])
+			cfg.Metrics.Gauge(MetricProcOverhead(i)).Add(res.OverheadTime[i])
+		}
+		snap := cfg.Metrics.Snapshot()
+		res.Metrics = &snap
+	}
 	return res, nil
 }
 

@@ -324,6 +324,32 @@ func TestErrors(t *testing.T) {
 			t.Errorf("empty run: %v finish=%v", err, res.Finish)
 		}
 	})
+	t.Run("procs disagree with initial levels", func(t *testing.T) {
+		tasks := []*Task{task("a", 100, 100, nil, nil)}
+		_, err := Run(Config{Platform: p, Mode: ByPriority, Procs: 3, InitialLevels: []int{0, 1}}, tasks)
+		if err == nil || !strings.Contains(err.Error(), "disagrees with len(InitialLevels)") {
+			t.Errorf("want mismatch error, got %v", err)
+		}
+	})
+	t.Run("initial level out of range", func(t *testing.T) {
+		tasks := []*Task{task("a", 100, 100, nil, nil)}
+		for _, lv := range []int{-1, p.NumLevels()} {
+			_, err := Run(Config{Platform: p, Mode: ByPriority, InitialLevels: []int{lv}}, tasks)
+			if err == nil || !strings.Contains(err.Error(), "outside the platform") {
+				t.Errorf("InitialLevels=[%d]: want range error, got %v", lv, err)
+			}
+		}
+	})
+	t.Run("procs matching initial levels ok", func(t *testing.T) {
+		tasks := []*Task{task("a", 100, 100, nil, nil)}
+		res, err := Run(Config{Platform: p, Mode: ByPriority, Procs: 2, InitialLevels: []int{0, 1}}, tasks)
+		if err != nil {
+			t.Fatalf("matching Procs/InitialLevels rejected: %v", err)
+		}
+		if len(res.BusyTime) != 2 {
+			t.Errorf("got %d processors, want 2", len(res.BusyTime))
+		}
+	})
 }
 
 func TestTimeConservation(t *testing.T) {

@@ -27,7 +27,12 @@
 // together and resolves Or branches.
 package sim
 
-import "andorsched/internal/power"
+import (
+	"fmt"
+
+	"andorsched/internal/obs"
+	"andorsched/internal/power"
+)
 
 // Task is one schedulable unit handed to the engine: a computation node or
 // a dummy And synchronization node of one program section. Work is measured
@@ -100,6 +105,10 @@ type Result struct {
 	// FinalLevels is each processor's level index after the run, to carry
 	// into the next section.
 	FinalLevels []int
+	// Metrics is a snapshot of Config.Metrics taken when the run finished;
+	// nil unless a registry was configured. When the registry is shared
+	// across sections or runs the snapshot reflects the accumulated state.
+	Metrics *obs.Snapshot
 }
 
 // Mode selects the dispatch discipline.
@@ -146,6 +155,41 @@ type Config struct {
 	// Procs is the processor count; used when InitialLevels is nil.
 	Procs int
 	// InitialLevels, if non-nil, gives each processor's level at Start and
-	// implies the processor count.
+	// implies the processor count. When Procs is also set the two must
+	// agree; Run rejects mismatches.
 	InitialLevels []int
+	// Tracer, if non-nil, receives structured events (task dispatch/finish,
+	// speed changes, idle intervals) as the simulation progresses. The nil
+	// default keeps the hot path free of tracing work and allocations.
+	Tracer obs.Tracer
+	// Metrics, if non-nil, is updated with engine counters and histograms
+	// (see the sim.Metric* name helpers); a snapshot is attached to the
+	// Result. Sharing one registry across sections accumulates.
+	Metrics *obs.Metrics
 }
+
+// Metrics names used by the engine. Per-processor instruments embed the
+// processor index; use the helper functions to construct them.
+const (
+	// MetricTasks counts non-dummy task dispatches (counter).
+	MetricTasks = "sim.tasks.dispatched"
+	// MetricDummies counts dummy (And synchronization) dispatches (counter).
+	MetricDummies = "sim.tasks.dummy"
+	// MetricSpeedChanges counts voltage/speed transitions (counter).
+	MetricSpeedChanges = "sim.speed.changes"
+	// MetricExecSeconds is the per-task execution time histogram.
+	MetricExecSeconds = "sim.task.exec_seconds"
+	// MetricIdleSeconds is the per-interval processor idle time histogram.
+	MetricIdleSeconds = "sim.idle.seconds"
+)
+
+// MetricProcBusy names the gauge accumulating processor i's busy seconds.
+func MetricProcBusy(i int) string { return fmt.Sprintf("sim.proc.%d.busy_seconds", i) }
+
+// MetricProcOverhead names the gauge accumulating processor i's
+// power-management overhead seconds.
+func MetricProcOverhead(i int) string { return fmt.Sprintf("sim.proc.%d.overhead_seconds", i) }
+
+// MetricProcSpeedChanges names the counter of processor i's voltage/speed
+// transitions.
+func MetricProcSpeedChanges(i int) string { return fmt.Sprintf("sim.proc.%d.speed_changes", i) }
