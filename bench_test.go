@@ -181,6 +181,33 @@ func BenchmarkRunGSSSynthetic(b *testing.B) {
 	}
 }
 
+// BenchmarkRunGSSSyntheticArena is BenchmarkRunGSSSynthetic through a
+// warmed per-caller arena with a reseeded source: the steady-state
+// deployment of the experiments harness. allocs/op must stay at 0.
+func BenchmarkRunGSSSyntheticArena(b *testing.B) {
+	plan, err := core.NewPlan(workload.Synthetic(), 2, power.Transmeta5400(), power.DefaultOverheads())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := plan.CTWorst / 0.5
+	src := exectime.NewSource(1)
+	sampler := exectime.NewSampler(src)
+	arena := core.NewArena()
+	var res core.RunResult
+	cfg := core.RunConfig{Scheme: core.GSS, Deadline: d, Sampler: sampler}
+	if err := plan.RunInto(cfg, arena, &res); err != nil { // warm-up
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reseed(uint64(i))
+		if err := plan.RunInto(cfg, arena, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEngineScaling measures the event-driven engine across section
 // sizes and processor counts (layered sections, 4-wide layers).
 func BenchmarkEngineScaling(b *testing.B) {
@@ -270,6 +297,35 @@ func BenchmarkEngineSection(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(cfg, tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "tasks/run")
+}
+
+// BenchmarkEngineSectionArena is BenchmarkEngineSection through a warmed
+// sim.Arena — the raw engine's zero-allocation steady state.
+func BenchmarkEngineSectionArena(b *testing.B) {
+	plat := power.Transmeta5400()
+	const n = 64
+	tasks := make([]*sim.Task, n)
+	for i := range tasks {
+		t := &sim.Task{Name: "t", WorkW: 5e6, WorkA: 4e6, Order: i, LFT: 1}
+		if i >= 4 {
+			t.Preds = []int{i - 4}
+			tasks[i-4].Succs = append(tasks[i-4].Succs, i)
+		}
+		tasks[i] = t
+	}
+	cfg := sim.Config{Platform: plat, Mode: sim.ByOrder, Procs: 4}
+	arena := sim.NewArena()
+	if _, err := arena.Run(cfg, tasks); err != nil { // warm-up
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arena.Run(cfg, tasks); err != nil {
 			b.Fatal(err)
 		}
 	}

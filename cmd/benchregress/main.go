@@ -1,0 +1,107 @@
+// Command benchregress maintains BENCH.json, the repository's committed
+// benchmark baseline (see docs/BENCHMARKS.md).
+//
+//	go test -run '^$' -bench . -benchmem . > bench.txt
+//	go run ./cmd/benchregress -emit -in bench.txt -out BENCH.json -note "..."
+//	go run ./cmd/benchregress -compare bench.txt -against BENCH.json -tol 0.2
+//
+// -emit parses benchmark output into a schema-stable report, preserving the
+// pre_arena section of an existing report at -out. -compare exits 1 if any
+// benchmark regressed beyond the tolerance band.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"andorsched/internal/benchregress"
+)
+
+func main() {
+	var (
+		emit    = flag.Bool("emit", false, "parse -in and write a report to -out")
+		compare = flag.String("compare", "", "bench output file to compare against -against ('-' for stdin)")
+		in      = flag.String("in", "-", "bench output file for -emit ('-' for stdin)")
+		out     = flag.String("out", "BENCH.json", "report path for -emit")
+		against = flag.String("against", "BENCH.json", "baseline report for -compare")
+		tol     = flag.Float64("tol", 0.20, "relative tolerance band for -compare")
+		note    = flag.String("note", "", "provenance note stored in the report (-emit)")
+	)
+	flag.Parse()
+	switch {
+	case *emit:
+		if err := runEmit(*in, *out, *note); err != nil {
+			fatal(err)
+		}
+	case *compare != "":
+		regs, err := runCompare(*compare, *against, *tol)
+		if err != nil {
+			fatal(err)
+		}
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("benchregress: no regressions")
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func open(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+func runEmit(in, out, note string) error {
+	r, err := open(in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	cur, err := benchregress.ParseGoBench(r)
+	if err != nil {
+		return err
+	}
+	rep := &benchregress.Report{Schema: benchregress.Schema, Note: note, Benchmarks: cur}
+	if prev, err := benchregress.Load(out); err == nil {
+		rep.PreArena = prev.PreArena // keep the historical before-numbers
+		if note == "" {
+			rep.Note = prev.Note
+		}
+	}
+	if err := rep.Save(out); err != nil {
+		return err
+	}
+	fmt.Printf("benchregress: wrote %s (%d benchmarks)\n", out, len(cur))
+	return nil
+}
+
+func runCompare(in, against string, tol float64) ([]benchregress.Regression, error) {
+	base, err := benchregress.Load(against)
+	if err != nil {
+		return nil, err
+	}
+	r, err := open(in)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	cur, err := benchregress.ParseGoBench(r)
+	if err != nil {
+		return nil, err
+	}
+	return benchregress.Compare(base, cur, tol), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchregress:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,186 @@
+// Package benchregress turns `go test -bench -benchmem` output into a
+// schema-stable JSON report (BENCH.json at the repository root) and compares
+// two reports under a tolerance band. It backs scripts/bench.sh and the
+// env-gated regression guard test, so a change that reintroduces per-run
+// allocations or a large slowdown fails loudly instead of silently rotting.
+package benchregress
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the report layout. Bump only with a loader that still
+// reads every previously committed version.
+const Schema = "andorsched-bench/v1"
+
+// Metrics are the three stable columns of a -benchmem benchmark line.
+// Custom b.ReportMetric columns (tasks/s, frames/s, scheme@mid …) are
+// intentionally excluded: they vary per benchmark and would make the schema
+// unstable.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Report is the persisted benchmark baseline.
+type Report struct {
+	// Schema is always the Schema constant.
+	Schema string `json:"schema"`
+	// Note is free-form provenance (machine, flags, date).
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// measured metrics.
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+	// PreArena optionally preserves historical numbers from before the
+	// zero-allocation arenas, for the before/after record. Compare ignores
+	// it.
+	PreArena map[string]Metrics `json:"pre_arena,omitempty"`
+}
+
+// ParseGoBench reads `go test -bench -benchmem` output and returns the
+// metrics per benchmark. The `-N` GOMAXPROCS suffix is stripped from names;
+// repeated lines for one benchmark (-count > 1) are averaged. Lines that are
+// not benchmark results are ignored.
+func ParseGoBench(r io.Reader) (map[string]Metrics, error) {
+	sums := map[string]Metrics{}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count → not a result line
+		}
+		var m Metrics
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+			case "B/op":
+				m.BPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		s := sums[name]
+		s.NsPerOp += m.NsPerOp
+		s.BPerOp += m.BPerOp
+		s.AllocsPerOp += m.AllocsPerOp
+		sums[name] = s
+		counts[name]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(sums) == 0 {
+		return nil, fmt.Errorf("benchregress: no benchmark lines found")
+	}
+	for name, s := range sums {
+		n := float64(counts[name])
+		sums[name] = Metrics{NsPerOp: s.NsPerOp / n, BPerOp: s.BPerOp / n, AllocsPerOp: s.AllocsPerOp / n}
+	}
+	return sums, nil
+}
+
+// Load reads a Report from a JSON file and checks its schema.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("benchregress: %s: %w", path, err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("benchregress: %s: schema %q, want %q", path, rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// Save writes a Report as deterministic, indented JSON.
+func (rep *Report) Save(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Regression is one metric of one benchmark exceeding its tolerance band.
+type Regression struct {
+	Benchmark string
+	Metric    string // "ns/op", "B/op", "allocs/op", or "missing"
+	Base      float64
+	Current   float64
+	Limit     float64 // the band's upper edge that was exceeded
+}
+
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: present in baseline but not in current run", r.Benchmark)
+	}
+	return fmt.Sprintf("%s: %s %.6g exceeds %.6g (baseline %.6g)",
+		r.Benchmark, r.Metric, r.Current, r.Limit, r.Base)
+}
+
+// Absolute slack added on top of the relative tolerance, so near-zero
+// baselines (0 allocs/op, sub-microsecond ops) are not flagged by noise of
+// a handful of units.
+const (
+	slackNs     = 200.0
+	slackBytes  = 128.0
+	slackAllocs = 8.0
+)
+
+// Compare flags every benchmark in base whose current metrics exceed
+// base×(1+tol) plus a small absolute slack, and every baseline benchmark
+// missing from cur. Improvements and benchmarks new in cur are never
+// flagged; PreArena is ignored. Results are sorted by benchmark name.
+func Compare(base *Report, cur map[string]Metrics, tol float64) []Regression {
+	var regs []Regression
+	check := func(name, metric string, b, c, slack float64) {
+		limit := b*(1+tol) + slack
+		if c > limit {
+			regs = append(regs, Regression{Benchmark: name, Metric: metric, Base: b, Current: c, Limit: limit})
+		}
+	}
+	for name, b := range base.Benchmarks {
+		c, ok := cur[name]
+		if !ok {
+			regs = append(regs, Regression{Benchmark: name, Metric: "missing"})
+			continue
+		}
+		check(name, "ns/op", b.NsPerOp, c.NsPerOp, slackNs)
+		check(name, "B/op", b.BPerOp, c.BPerOp, slackBytes)
+		check(name, "allocs/op", b.AllocsPerOp, c.AllocsPerOp, slackAllocs)
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Benchmark != regs[j].Benchmark {
+			return regs[i].Benchmark < regs[j].Benchmark
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}

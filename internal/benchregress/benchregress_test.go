@@ -1,0 +1,119 @@
+package benchregress
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: andorsched
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFigure4aEnergyVsLoadATR2Transmeta-8   	     121	   9772644 ns/op	         0.4935 AS@mid	         0.5150 GSS@mid	  373952 B/op	    1961 allocs/op
+BenchmarkRunGSSSyntheticArena-8               	  495724	      2312 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineScaling/tasks=64/procs=2-8     	  300000	      4000 ns/op	 1000000 tasks/s	    2048 B/op	      19 allocs/op
+PASS
+ok  	andorsched	10.1s
+`
+
+func TestParseGoBench(t *testing.T) {
+	got, err := ParseGoBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Metrics{
+		"BenchmarkFigure4aEnergyVsLoadATR2Transmeta": {NsPerOp: 9772644, BPerOp: 373952, AllocsPerOp: 1961},
+		"BenchmarkRunGSSSyntheticArena":              {NsPerOp: 2312},
+		"BenchmarkEngineScaling/tasks=64/procs=2":    {NsPerOp: 4000, BPerOp: 2048, AllocsPerOp: 19},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s: got %+v, want %+v", name, got[name], w)
+		}
+	}
+}
+
+func TestParseGoBenchAveragesRepeats(t *testing.T) {
+	out := "BenchmarkX-8 10 100 ns/op 40 B/op 2 allocs/op\n" +
+		"BenchmarkX-8 10 300 ns/op 80 B/op 4 allocs/op\n"
+	got, err := ParseGoBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := got["BenchmarkX"]; m != (Metrics{NsPerOp: 200, BPerOp: 60, AllocsPerOp: 3}) {
+		t.Errorf("average: got %+v", m)
+	}
+}
+
+func TestParseGoBenchRejectsEmpty(t *testing.T) {
+	if _, err := ParseGoBench(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Error("want error on output with no benchmark lines")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Report{
+		Schema: Schema,
+		Benchmarks: map[string]Metrics{
+			"BenchmarkA": {NsPerOp: 100000, BPerOp: 4096, AllocsPerOp: 50},
+			"BenchmarkB": {NsPerOp: 2000, BPerOp: 0, AllocsPerOp: 0},
+			"BenchmarkC": {NsPerOp: 5000, BPerOp: 100, AllocsPerOp: 3},
+		},
+	}
+	cur := map[string]Metrics{
+		// Within band: +10% time, same allocs.
+		"BenchmarkA": {NsPerOp: 110000, BPerOp: 4096, AllocsPerOp: 50},
+		// Zero baseline: the absolute slack admits a few stray allocs but
+		// not a real reintroduction.
+		"BenchmarkB": {NsPerOp: 2100, BPerOp: 64, AllocsPerOp: 40},
+		// BenchmarkC missing from the current run.
+	}
+	regs := Compare(base, cur, 0.20)
+	var labels []string
+	for _, r := range regs {
+		labels = append(labels, r.Benchmark+"/"+r.Metric)
+	}
+	want := []string{"BenchmarkB/allocs/op", "BenchmarkC/missing"}
+	if strings.Join(labels, ",") != strings.Join(want, ",") {
+		t.Errorf("regressions %v, want %v", labels, want)
+	}
+	if len(Compare(base, map[string]Metrics{
+		"BenchmarkA": {NsPerOp: 90000, BPerOp: 100, AllocsPerOp: 1},
+		"BenchmarkB": {NsPerOp: 1000},
+		"BenchmarkC": {NsPerOp: 5500, BPerOp: 110, AllocsPerOp: 3},
+	}, 0.20)) != 0 {
+		t.Error("improvements must not be flagged")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH.json")
+	rep := &Report{
+		Schema:     Schema,
+		Note:       "test",
+		Benchmarks: map[string]Metrics{"BenchmarkA": {NsPerOp: 1, BPerOp: 2, AllocsPerOp: 3}},
+		PreArena:   map[string]Metrics{"BenchmarkA": {NsPerOp: 10, BPerOp: 20, AllocsPerOp: 30}},
+	}
+	if err := rep.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != rep.Note || got.Benchmarks["BenchmarkA"] != rep.Benchmarks["BenchmarkA"] ||
+		got.PreArena["BenchmarkA"] != rep.PreArena["BenchmarkA"] {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if err := (&Report{Schema: "other/v9"}).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("want error on unknown schema")
+	}
+}

@@ -1,0 +1,46 @@
+package benchregress
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestGuardAgainstCommittedBaseline compares a fresh benchmark run against
+// the committed BENCH.json with a ±20% tolerance band. It is env-gated so
+// the default test suite stays deterministic on any machine:
+//
+//	ANDORSCHED_BENCH_NEW=/path/to/bench-output.txt go test ./internal/benchregress -run Guard
+//
+// scripts/bench.sh check wires this up end to end. ANDORSCHED_BENCH_TOL
+// overrides the tolerance (fractional, default 0.20).
+func TestGuardAgainstCommittedBaseline(t *testing.T) {
+	newPath := os.Getenv("ANDORSCHED_BENCH_NEW")
+	if newPath == "" {
+		t.Skip("set ANDORSCHED_BENCH_NEW to a fresh `go test -bench -benchmem` output file (see scripts/bench.sh)")
+	}
+	tol := 0.20
+	if s := os.Getenv("ANDORSCHED_BENCH_TOL"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 {
+			t.Fatalf("bad ANDORSCHED_BENCH_TOL %q", s)
+		}
+		tol = v
+	}
+	base, err := Load("../../BENCH.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cur, err := ParseGoBench(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reg := range Compare(base, cur, tol) {
+		t.Error(reg)
+	}
+}

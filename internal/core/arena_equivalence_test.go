@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"andorsched/internal/andor"
+	"andorsched/internal/exectime"
+	"andorsched/internal/power"
+	"andorsched/internal/workload"
+)
+
+// eqRunResults compares two run results field by field with exact equality.
+// Slices are compared element-wise so a nil and an empty slice are equal —
+// the arena path reuses buffers and legitimately returns empty non-nil
+// slices where the fresh path returns nil.
+func eqRunResults(a, b *RunResult) string {
+	if a.Scheme != b.Scheme || a.Deadline != b.Deadline {
+		return fmt.Sprintf("config echo: (%v,%g) vs (%v,%g)", a.Scheme, a.Deadline, b.Scheme, b.Deadline)
+	}
+	if a.Finish != b.Finish {
+		return fmt.Sprintf("Finish: %v vs %v", a.Finish, b.Finish)
+	}
+	if a.MetDeadline != b.MetDeadline || a.LSTViolations != b.LSTViolations {
+		return fmt.Sprintf("MetDeadline/LSTViolations: (%v,%d) vs (%v,%d)",
+			a.MetDeadline, a.LSTViolations, b.MetDeadline, b.LSTViolations)
+	}
+	if a.ActiveEnergy != b.ActiveEnergy || a.OverheadEnergy != b.OverheadEnergy ||
+		a.IdleEnergy != b.IdleEnergy {
+		return fmt.Sprintf("energy: (%v,%v,%v) vs (%v,%v,%v)",
+			a.ActiveEnergy, a.OverheadEnergy, a.IdleEnergy,
+			b.ActiveEnergy, b.OverheadEnergy, b.IdleEnergy)
+	}
+	if a.SpeedChanges != b.SpeedChanges {
+		return fmt.Sprintf("SpeedChanges: %d vs %d", a.SpeedChanges, b.SpeedChanges)
+	}
+	if a.BusyTime != b.BusyTime || a.OverheadTime != b.OverheadTime {
+		return fmt.Sprintf("busy/overhead: (%v,%v) vs (%v,%v)",
+			a.BusyTime, a.OverheadTime, b.BusyTime, b.OverheadTime)
+	}
+	if len(a.LevelTime) != len(b.LevelTime) {
+		return fmt.Sprintf("LevelTime length: %d vs %d", len(a.LevelTime), len(b.LevelTime))
+	}
+	for i := range a.LevelTime {
+		if a.LevelTime[i] != b.LevelTime[i] {
+			return fmt.Sprintf("LevelTime[%d]: %v vs %v", i, a.LevelTime[i], b.LevelTime[i])
+		}
+	}
+	if len(a.FinalLevels) != len(b.FinalLevels) {
+		return fmt.Sprintf("FinalLevels length: %d vs %d", len(a.FinalLevels), len(b.FinalLevels))
+	}
+	for i := range a.FinalLevels {
+		if a.FinalLevels[i] != b.FinalLevels[i] {
+			return fmt.Sprintf("FinalLevels[%d]: %d vs %d", i, a.FinalLevels[i], b.FinalLevels[i])
+		}
+	}
+	if len(a.Path) != len(b.Path) {
+		return fmt.Sprintf("Path length: %d vs %d", len(a.Path), len(b.Path))
+	}
+	for i := range a.Path {
+		if a.Path[i] != b.Path[i] {
+			return fmt.Sprintf("Path[%d]: %+v vs %+v", i, a.Path[i], b.Path[i])
+		}
+	}
+	if len(a.Trace) != len(b.Trace) {
+		return fmt.Sprintf("Trace length: %d vs %d", len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			return fmt.Sprintf("Trace[%d]: %+v vs %+v", i, a.Trace[i], b.Trace[i])
+		}
+	}
+	return ""
+}
+
+// allSchemes is every scheme the run driver supports.
+func allSchemes() []Scheme {
+	return append(append([]Scheme(nil), Schemes...), ExtendedSchemes...)
+}
+
+// TestArenaEquivalenceRandomWorkloads is the arena-reuse property test: for
+// random AND/OR applications, every scheme produces byte-identical results
+// on a fresh, arena-free Plan.Run and on an Arena shared and reused across
+// the whole sweep (50 workloads × 8 schemes = 400 reuses of one arena).
+func TestArenaEquivalenceRandomWorkloads(t *testing.T) {
+	plats := []*power.Platform{power.Transmeta5400(), power.IntelXScale()}
+	arena := NewArena()
+	var pooled RunResult
+	for wl := 0; wl < 50; wl++ {
+		g := workload.Random(uint64(wl)+1, andor.DefaultRandomOpts())
+		m := 1 + wl%4
+		plan, err := NewPlan(g, m, plats[wl%2], power.DefaultOverheads())
+		if err != nil {
+			t.Fatalf("workload %d: NewPlan: %v", wl, err)
+		}
+		load := 0.4 + 0.1*float64(wl%4)
+		cfg := RunConfig{
+			Deadline:     plan.CTWorst / load,
+			CollectTrace: true,
+		}
+		for _, s := range allSchemes() {
+			cfg.Scheme = s
+			seed := uint64(wl)*31 + uint64(s)
+			cfg.Sampler = exectime.NewSampler(exectime.NewSource(seed))
+			fresh, err := plan.Run(cfg)
+			if err != nil {
+				t.Fatalf("workload %d %s: fresh run: %v", wl, s, err)
+			}
+			cfg.Sampler = exectime.NewSampler(exectime.NewSource(seed))
+			if err := plan.RunInto(cfg, arena, &pooled); err != nil {
+				t.Fatalf("workload %d %s: arena run: %v", wl, s, err)
+			}
+			if diff := eqRunResults(fresh, &pooled); diff != "" {
+				t.Fatalf("workload %d (m=%d) %s: arena diverged from fresh run: %s",
+					wl, m, s, diff)
+			}
+		}
+	}
+}
+
+// TestArenaEquivalenceRepeatedReuse hammers one arena with 100 consecutive
+// runs of the same configuration and checks each against a fresh run —
+// buffer recycling must never leak state between runs.
+func TestArenaEquivalenceRepeatedReuse(t *testing.T) {
+	plan, err := NewPlan(workload.ATR(workload.DefaultATRConfig()), 3,
+		power.Transmeta5400(), power.DefaultOverheads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := NewArena()
+	var pooled RunResult
+	for _, s := range allSchemes() {
+		for rep := 0; rep < 100; rep++ {
+			cfg := RunConfig{
+				Scheme: s, Deadline: plan.CTWorst * 1.8, CollectTrace: true,
+				Sampler: exectime.NewSampler(exectime.NewSource(uint64(rep))),
+			}
+			fresh, err := plan.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Sampler = exectime.NewSampler(exectime.NewSource(uint64(rep)))
+			if err := plan.RunInto(cfg, arena, &pooled); err != nil {
+				t.Fatal(err)
+			}
+			if diff := eqRunResults(fresh, &pooled); diff != "" {
+				t.Fatalf("%s reuse %d: %s", s, rep, diff)
+			}
+		}
+	}
+}
+
+// TestArenaConcurrentWorkers runs per-worker arenas in parallel (the
+// experiments harness's deployment) and checks every concurrent result
+// against a serial fresh-run reference. Run under -race this also proves
+// arenas share no hidden state.
+func TestArenaConcurrentWorkers(t *testing.T) {
+	plan, err := NewPlan(workload.ATR(workload.DefaultATRConfig()), 2,
+		power.IntelXScale(), power.DefaultOverheads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const runsPer = 25
+	deadline := plan.CTWorst * 2
+	// Serial reference energies, one per (worker, run) seed.
+	want := make([][]float64, workers)
+	for w := range want {
+		want[w] = make([]float64, runsPer)
+		for r := 0; r < runsPer; r++ {
+			res, err := plan.Run(RunConfig{
+				Scheme: AS, Deadline: deadline,
+				Sampler: exectime.NewSampler(exectime.NewSource(uint64(w*runsPer + r))),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[w][r] = res.Energy()
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			arena := NewArena()
+			src := exectime.NewSource(0)
+			sampler := exectime.NewSampler(src)
+			var res RunResult
+			for r := 0; r < runsPer; r++ {
+				src.Reseed(uint64(w*runsPer + r))
+				if err := plan.RunInto(RunConfig{
+					Scheme: AS, Deadline: deadline, Sampler: sampler,
+				}, arena, &res); err != nil {
+					errs[w] = err
+					return
+				}
+				if res.Energy() != want[w][r] {
+					errs[w] = fmt.Errorf("worker %d run %d: energy %v, want %v",
+						w, r, res.Energy(), want[w][r])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -57,7 +57,16 @@ func (pol *policy) attachObs(tracer obs.Tracer, m *obs.Metrics) {
 
 // newPolicy builds the scheme's policy for one run with deadline d.
 func newPolicy(p *Plan, scheme Scheme, d float64) *policy {
-	pol := &policy{plan: p, d: d, scheme: scheme,
+	pol := new(policy)
+	pol.init(p, scheme, d)
+	return pol
+}
+
+// init (re)configures pol in place for one run with deadline d, clearing
+// any state left by a previous run — arenas reuse one policy value across
+// runs without allocating.
+func (pol *policy) init(p *Plan, scheme Scheme, d float64) {
+	*pol = policy{plan: p, d: d, scheme: scheme,
 		maxChange: p.Overheads.MaxChangeTime(p.Platform)}
 	switch scheme {
 	case NPM:
@@ -89,7 +98,6 @@ func newPolicy(p *Plan, scheme Scheme, d float64) *policy {
 		pol.floorLow = p.Platform.MinIndex()
 		pol.floorHigh = pol.floorLow
 	}
-	return pol
 }
 
 // resetSection recomputes the adaptive-speculation floor when execution

@@ -117,16 +117,27 @@ type script struct {
 }
 
 // resolve walks the section graph once, sampling actual execution times
-// and branch outcomes in the same order Run consumes them.
-func (p *Plan) resolve(cfg RunConfig) *script {
-	sc := &script{}
+// and branch outcomes in the same order the execution consumes them. The
+// returned script is arena-owned; its per-step work slices are recycled.
+func (p *Plan) resolve(cfg RunConfig, a *Arena) *script {
+	sc := &a.sc
+	sc.sections = sc.sections[:0]
+	sc.choices = sc.choices[:0]
 	sec := p.Sections.First
 	orCount := 0
+	step := 0
 	for {
 		sp := p.secs[sec.ID]
 		sc.sections = append(sc.sections, sp)
-		works := make([]float64, len(sp.tasks))
+		if step < len(sc.works) {
+			sc.works[step] = ensureFloats(sc.works[step], len(sp.tasks))
+		} else {
+			sc.works = append(sc.works, make([]float64, len(sp.tasks)))
+		}
+		works := sc.works[step]
+		step++
 		for i := range sp.tasks {
+			works[i] = 0
 			n := sp.tasks[i].node
 			if n.Kind != andor.Compute {
 				continue
@@ -137,12 +148,11 @@ func (p *Plan) resolve(cfg RunConfig) *script {
 				works[i] = cfg.Sampler.Sample(n.WCET, n.ACET) * p.fmax
 			}
 		}
-		sc.works = append(sc.works, works)
 		exit := sp.sec.Exit
 		if exit == nil || len(exit.Succs()) == 0 {
 			return sc
 		}
-		branch := p.chooseBranch(exit, orCount, cfg)
+		branch := p.chooseBranch(exit, orCount, cfg, a)
 		orCount++
 		sc.choices = append(sc.choices, andor.Choice{Or: exit, Branch: branch})
 		sec = p.Sections.Branch[exit.ID][branch]
@@ -151,30 +161,49 @@ func (p *Plan) resolve(cfg RunConfig) *script {
 
 // Run executes the application once under the configured scheme. The
 // returned result is self-contained; Run may be called concurrently on the
-// same Plan with independent samplers.
+// same Plan with independent samplers. It is a thin wrapper over RunInto
+// with fresh scratch state; hot loops should hold an Arena per goroutine
+// and call RunInto, which allocates nothing in the steady state.
 func (p *Plan) Run(cfg RunConfig) (*RunResult, error) {
-	d := cfg.Deadline
-	if d <= 0 {
-		return nil, fmt.Errorf("core: non-positive deadline %g", d)
+	out := new(RunResult)
+	if err := p.RunInto(cfg, nil, out); err != nil {
+		return nil, err
 	}
-	if !p.Feasible(d) {
-		return nil, fmt.Errorf("core: infeasible deadline %g < canonical worst case %g", d, p.CTWorst)
-	}
-	if cfg.Sampler == nil && !cfg.WorstCase {
-		return nil, fmt.Errorf("core: RunConfig needs a Sampler unless WorstCase is set")
-	}
-	sc := p.resolve(cfg)
-	if cfg.Scheme == CLV {
-		return p.runClairvoyant(cfg, sc)
-	}
-	return p.execute(cfg, sc, newPolicy(p, cfg.Scheme, d), nil)
+	return out, nil
 }
 
-// execute replays a resolved script under the given policy. levelsOverride,
-// if non-nil, sets the processors' initial levels (the clairvoyant bound
-// starts directly at its chosen level); otherwise the policy's initial
-// level is used.
-func (p *Plan) execute(cfg RunConfig, sc *script, pol *policy, levelsOverride []int) (*RunResult, error) {
+// RunInto is the arena-threaded form of Run: scratch state comes from a
+// (nil uses fresh buffers) and the result is written into out, reusing
+// out's slices. Results are bit-identical to Run for any arena reuse
+// pattern. out must not alias state still needed by the caller; its
+// previous contents are overwritten.
+func (p *Plan) RunInto(cfg RunConfig, a *Arena, out *RunResult) error {
+	d := cfg.Deadline
+	if d <= 0 {
+		return fmt.Errorf("core: non-positive deadline %g", d)
+	}
+	if !p.Feasible(d) {
+		return fmt.Errorf("core: infeasible deadline %g < canonical worst case %g", d, p.CTWorst)
+	}
+	if cfg.Sampler == nil && !cfg.WorstCase {
+		return fmt.Errorf("core: RunConfig needs a Sampler unless WorstCase is set")
+	}
+	if a == nil {
+		a = NewArena()
+	}
+	sc := p.resolve(cfg, a)
+	if cfg.Scheme == CLV {
+		return p.runClairvoyant(cfg, a, sc, out)
+	}
+	a.pol.init(p, cfg.Scheme, d)
+	return p.execute(cfg, a, sc, &a.pol, nil, out)
+}
+
+// execute replays a resolved script under the given policy, writing into
+// out. levelsOverride, if non-nil, sets the processors' initial levels (the
+// clairvoyant bound starts directly at its chosen level); otherwise the
+// policy's initial level is used.
+func (p *Plan) execute(cfg RunConfig, a *Arena, sc *script, pol *policy, levelsOverride []int, out *RunResult) error {
 	d := cfg.Deadline
 	// Dynamic schemes pay the power-management overheads; NPM, SPM and the
 	// clairvoyant bound perform no run-time speed computation.
@@ -185,17 +214,26 @@ func (p *Plan) execute(cfg RunConfig, sc *script, pol *policy, levelsOverride []
 	// Processors start at the scheme's initial speed: f_max for the
 	// dynamic schemes and NPM, the static speed for SPM (set once before
 	// release, as in [11]).
-	levels := levelsOverride
-	if levels == nil {
-		levels = make([]int, p.Procs)
-		for i := range levels {
-			levels[i] = pol.initialLevel()
+	a.levels = ensureInts(a.levels, p.Procs)
+	if levelsOverride != nil {
+		copy(a.levels, levelsOverride)
+	} else {
+		for i := range a.levels {
+			a.levels[i] = pol.initialLevel()
 		}
 	}
+	levels := a.levels
 
-	res := &RunResult{
+	lt := ensureFloats(out.LevelTime, p.Platform.NumLevels())
+	for i := range lt {
+		lt[i] = 0
+	}
+	*out = RunResult{
 		Scheme: cfg.Scheme, Deadline: d,
-		LevelTime: make([]float64, p.Platform.NumLevels()),
+		LevelTime:   lt,
+		FinalLevels: out.FinalLevels[:0],
+		Path:        out.Path[:0],
+		Trace:       out.Trace[:0],
 	}
 	tracer := cfg.Tracer
 	pol.attachObs(cfg.Tracer, cfg.Metrics)
@@ -217,8 +255,8 @@ func (p *Plan) execute(cfg RunConfig, sc *script, pol *policy, levelsOverride []
 		if cSections != nil {
 			cSections.Inc()
 		}
-		tasks := p.runtimeTasks(sp, d, sc.works[step])
-		sr, err := sim.Run(sim.Config{
+		tasks := p.runtimeTasks(a, sp, d, sc.works[step])
+		sr, err := a.sim.Run(sim.Config{
 			Platform:      p.Platform,
 			Overheads:     ov,
 			Mode:          sim.ByOrder,
@@ -229,7 +267,7 @@ func (p *Plan) execute(cfg RunConfig, sc *script, pol *policy, levelsOverride []
 			Metrics:       cfg.Metrics,
 		}, tasks)
 		if err != nil {
-			return nil, fmt.Errorf("core: section %d: %w", sp.sec.ID, err)
+			return fmt.Errorf("core: section %d: %w", sp.sec.ID, err)
 		}
 		if tracer != nil {
 			tracer.Event(obs.Event{
@@ -251,67 +289,79 @@ func (p *Plan) execute(cfg RunConfig, sc *script, pol *policy, levelsOverride []
 		}
 		if cfg.Validate {
 			if err := sim.ValidateResult(p.Platform, sim.ByOrder, now, tasks, sr); err != nil {
-				return nil, fmt.Errorf("core: section %d: %w", sp.sec.ID, err)
+				return fmt.Errorf("core: section %d: %w", sp.sec.ID, err)
 			}
 		}
-		res.ActiveEnergy += sr.ActiveEnergy
-		res.OverheadEnergy += sr.OverheadEnergy
-		res.SpeedChanges += sr.SpeedChanges
+		out.ActiveEnergy += sr.ActiveEnergy
+		out.OverheadEnergy += sr.OverheadEnergy
+		out.SpeedChanges += sr.SpeedChanges
 		for i := range sr.BusyTime {
-			res.BusyTime += sr.BusyTime[i]
-			res.OverheadTime += sr.OverheadTime[i]
+			out.BusyTime += sr.BusyTime[i]
+			out.OverheadTime += sr.OverheadTime[i]
 		}
 		for _, rec := range sr.Records {
 			t := tasks[rec.Task]
-			res.LevelTime[rec.Level] += rec.Finish - rec.Start
+			out.LevelTime[rec.Level] += rec.Finish - rec.Start
 			if !t.Dummy && cfg.Scheme != CLV {
 				lst := t.LFT - t.WorkW/p.fmax
 				if rec.Dispatch > lst*(1+feasTol)+feasTol {
-					res.LSTViolations++
+					out.LSTViolations++
 				}
 			}
 		}
 		if cfg.CollectTrace {
-			res.Trace = append(res.Trace, sim.Entries(tasks, sr.Records)...)
+			out.Trace = append(out.Trace, sim.Entries(tasks, sr.Records)...)
 		}
 		now = sr.Finish
-		levels = sr.FinalLevels
+		// sr.FinalLevels is owned by the engine arena and recycled by the
+		// next section's run; carry the values, not the slice.
+		copy(levels, sr.FinalLevels)
 	}
-	res.Path = sc.choices
-	res.FinalLevels = levels
+	out.Path = append(out.Path, sc.choices...)
+	out.FinalLevels = append(out.FinalLevels, levels...)
 
-	res.Finish = now
-	res.MetDeadline = now <= d*(1+feasTol)
+	out.Finish = now
+	out.MetDeadline = now <= d*(1+feasTol)
 	horizon := math.Max(d, now)
-	idleTime := float64(p.Procs)*horizon - res.BusyTime - res.OverheadTime
+	idleTime := float64(p.Procs)*horizon - out.BusyTime - out.OverheadTime
 	if idleTime < 0 {
 		idleTime = 0
 	}
-	res.IdleEnergy = p.Platform.IdlePower() * idleTime
+	out.IdleEnergy = p.Platform.IdlePower() * idleTime
 	if cfg.Metrics != nil {
 		snap := cfg.Metrics.Snapshot()
-		res.Metrics = &snap
+		out.Metrics = &snap
 	}
-	return res, nil
+	return nil
 }
 
 // runtimeTasks instantiates the section's task templates for one step of a
 // script: actual works installed, latest finish times resolved against the
-// deadline.
-func (p *Plan) runtimeTasks(sp *secPlan, d float64, works []float64) []*sim.Task {
-	out := make([]*sim.Task, len(sp.tasks))
+// deadline. The returned slice and the tasks it points to are arena-owned
+// and recycled by the next section.
+func (p *Plan) runtimeTasks(a *Arena, sp *secPlan, d float64, works []float64) []*sim.Task {
+	n := len(sp.tasks)
+	if cap(a.taskBuf) < n {
+		a.taskBuf = make([]sim.Task, n)
+	}
+	a.taskBuf = a.taskBuf[:n]
+	if cap(a.tasks) < n {
+		a.tasks = make([]*sim.Task, n)
+	}
+	a.tasks = a.tasks[:n]
 	for i := range sp.tasks {
 		t := sp.tasks[i].tmpl // copy
 		t.LFT = d + sp.tasks[i].relLFT
 		t.WorkA = works[i]
-		out[i] = &t
+		a.taskBuf[i] = t
+		a.tasks[i] = &a.taskBuf[i]
 	}
-	return out
+	return a.tasks
 }
 
 // chooseBranch resolves an OR node: forced branches first, then the
 // sampler's distribution, then branch 0.
-func (p *Plan) chooseBranch(or *andor.Node, orCount int, cfg RunConfig) int {
+func (p *Plan) chooseBranch(or *andor.Node, orCount int, cfg RunConfig, a *Arena) int {
 	if orCount < len(cfg.ForceBranches) {
 		b := cfg.ForceBranches[orCount]
 		if b >= 0 && b < len(or.Succs()) {
@@ -322,11 +372,11 @@ func (p *Plan) chooseBranch(or *andor.Node, orCount int, cfg RunConfig) int {
 		return 0
 	}
 	if cfg.Sampler != nil {
-		probs := make([]float64, len(or.Succs()))
-		for i := range probs {
-			probs[i] = or.BranchProb(i)
+		a.probs = ensureFloats(a.probs, len(or.Succs()))
+		for i := range a.probs {
+			a.probs[i] = or.BranchProb(i)
 		}
-		return cfg.Sampler.Source().Pick(probs)
+		return cfg.Sampler.Source().Pick(a.probs)
 	}
 	return 0
 }
@@ -351,7 +401,7 @@ func (pol *policy) initialLevel() int {
 // that constant speed with no power-management costs. CLV is not one of the
 // paper's schemes; it bounds what speculation can hope to achieve and is
 // used by the ablation benches.
-func (p *Plan) runClairvoyant(cfg RunConfig, sc *script) (*RunResult, error) {
+func (p *Plan) runClairvoyant(cfg RunConfig, a *Arena, sc *script, out *RunResult) error {
 	probeCfg := cfg
 	probeCfg.CollectTrace = false
 	probeCfg.Validate = false
@@ -359,16 +409,15 @@ func (p *Plan) runClairvoyant(cfg RunConfig, sc *script) (*RunResult, error) {
 	// being observed: keep it out of the event stream and the metrics.
 	probeCfg.Tracer = nil
 	probeCfg.Metrics = nil
-	probe := &policy{plan: p, d: cfg.Deadline, scheme: CLV, fixed: p.Platform.MaxIndex()}
-	base, err := p.execute(probeCfg, sc, probe, nil)
-	if err != nil {
-		return nil, err
+	a.probePol = policy{plan: p, d: cfg.Deadline, scheme: CLV, fixed: p.Platform.MaxIndex()}
+	if err := p.execute(probeCfg, a, sc, &a.probePol, nil, &a.probe); err != nil {
+		return err
 	}
-	idx := p.Platform.QuantizeUp(p.fmax * base.Finish / cfg.Deadline)
-	pol := &policy{plan: p, d: cfg.Deadline, scheme: CLV, fixed: idx}
-	levels := make([]int, p.Procs)
-	for i := range levels {
-		levels[i] = idx
+	idx := p.Platform.QuantizeUp(p.fmax * a.probe.Finish / cfg.Deadline)
+	a.probePol = policy{plan: p, d: cfg.Deadline, scheme: CLV, fixed: idx}
+	a.clvLevels = ensureInts(a.clvLevels, p.Procs)
+	for i := range a.clvLevels {
+		a.clvLevels[i] = idx
 	}
-	return p.execute(cfg, sc, pol, levels)
+	return p.execute(cfg, a, sc, &a.probePol, a.clvLevels, out)
 }

@@ -69,8 +69,16 @@ func (r *StreamResult) Energy() float64 {
 // RunStream simulates Frames consecutive frames under one scheme. Each
 // frame is one execution of the application; its OR path and actual times
 // are drawn from the sampler. With CarryLevels set, processor levels
-// persist across frames.
+// persist across frames. It is a thin wrapper over RunStreamArena with
+// fresh scratch state.
 func (p *Plan) RunStream(cfg StreamConfig) (*StreamResult, error) {
+	return p.RunStreamArena(cfg, nil)
+}
+
+// RunStreamArena is the arena-threaded form of RunStream: one Arena (nil
+// uses fresh buffers) serves every frame, so long streams allocate
+// per-stream, not per-frame, state. Results are bit-identical to RunStream.
+func (p *Plan) RunStreamArena(cfg StreamConfig, a *Arena) (*StreamResult, error) {
 	if cfg.Frames <= 0 {
 		return nil, fmt.Errorf("core: stream needs a positive frame count")
 	}
@@ -80,6 +88,9 @@ func (p *Plan) RunStream(cfg StreamConfig) (*StreamResult, error) {
 	if !p.Feasible(cfg.Period) {
 		return nil, fmt.Errorf("core: infeasible period %g < canonical worst case %g", cfg.Period, p.CTWorst)
 	}
+	if a == nil {
+		a = NewArena()
+	}
 	out := &StreamResult{
 		Frames:    cfg.Frames,
 		LevelTime: make([]float64, p.Platform.NumLevels()),
@@ -88,19 +99,20 @@ func (p *Plan) RunStream(cfg StreamConfig) (*StreamResult, error) {
 		Scheme: cfg.Scheme, Deadline: cfg.Period, Sampler: cfg.Sampler,
 		Tracer: cfg.Tracer, Metrics: cfg.Metrics,
 	}
+	var res RunResult
 	var carry []int
 	for f := 0; f < cfg.Frames; f++ {
-		sc := p.resolve(runCfg)
-		var res *RunResult
+		sc := p.resolve(runCfg, a)
 		var err error
 		if cfg.Scheme == CLV {
-			res, err = p.runClairvoyant(runCfg, sc)
+			err = p.runClairvoyant(runCfg, a, sc, &res)
 		} else {
 			var levels []int
 			if cfg.CarryLevels {
 				levels = carry // nil on the first frame → scheme default
 			}
-			res, err = p.execute(runCfg, sc, newPolicy(p, cfg.Scheme, cfg.Period), levels)
+			a.pol.init(p, cfg.Scheme, cfg.Period)
+			err = p.execute(runCfg, a, sc, &a.pol, levels, &res)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: frame %d: %w", f, err)
@@ -117,7 +129,7 @@ func (p *Plan) RunStream(cfg StreamConfig) (*StreamResult, error) {
 		for i, v := range res.LevelTime {
 			out.LevelTime[i] += v
 		}
-		carry = res.FinalLevels
+		carry = append(carry[:0], res.FinalLevels...)
 	}
 	if cfg.Metrics != nil {
 		snap := cfg.Metrics.Snapshot()

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"andorsched/internal/exectime"
+	"andorsched/internal/power"
+	"andorsched/internal/workload"
+)
+
+// TestTheorem1InvariantSweep is the Theorem-1 table test: across both
+// processor tables, α ∈ {0.1, 0.5, 1.0}, two loads, several seeds and every
+// scheme, no task starts after its latest start time and the application
+// deadline is met. All runs go through a shared arena (the engine-level
+// validator is also enabled, cross-checking each section's schedule against
+// the machine model). CLV replays a probed path rather than dispatching
+// against LSTs, so the run driver exempts it from the LST count; it still
+// must meet the deadline.
+func TestTheorem1InvariantSweep(t *testing.T) {
+	arena := NewArena()
+	var res RunResult
+	for _, plat := range []*power.Platform{power.Transmeta5400(), power.IntelXScale()} {
+		for _, alpha := range []float64{0.1, 0.5, 1.0} {
+			g := workload.ATR(workload.DefaultATRConfig())
+			g.ScaleACET(alpha)
+			plan, err := NewPlan(g, 2, plat, power.DefaultOverheads())
+			if err != nil {
+				t.Fatalf("%s α=%g: NewPlan: %v", plat.Name, alpha, err)
+			}
+			for _, load := range []float64{0.5, 0.9} {
+				d := plan.CTWorst / load
+				for _, s := range allSchemes() {
+					for seed := uint64(0); seed < 3; seed++ {
+						err := plan.RunInto(RunConfig{
+							Scheme: s, Deadline: d,
+							Sampler:  exectime.NewSampler(exectime.NewSource(seed)),
+							Validate: true,
+						}, arena, &res)
+						if err != nil {
+							t.Fatalf("%s α=%g load=%g %s seed=%d: %v",
+								plat.Name, alpha, load, s, seed, err)
+						}
+						if res.LSTViolations != 0 {
+							t.Errorf("%s α=%g load=%g %s seed=%d: %d tasks started after their LST",
+								plat.Name, alpha, load, s, seed, res.LSTViolations)
+						}
+						if !res.MetDeadline {
+							t.Errorf("%s α=%g load=%g %s seed=%d: finish %g misses deadline %g",
+								plat.Name, alpha, load, s, seed, res.Finish, d)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -81,6 +81,16 @@ func (s *Source) Fork() *Source {
 	return NewSource(s.Uint64())
 }
 
+// Reseed resets the receiver to the exact state of NewSource(seed),
+// discarding any cached Box–Muller spare. It lets hot loops (one source per
+// worker, reseeded per run) reproduce the stream a fresh source would
+// produce without allocating.
+func (s *Source) Reseed(seed uint64) {
+	s.state = seed
+	s.haveSpare = false
+	s.spare = 0
+}
+
 // Pick samples an index from the discrete distribution probs (which should
 // sum to 1). Rounding residue goes to the last index, so Pick always
 // returns a valid index for a non-empty distribution.

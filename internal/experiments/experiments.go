@@ -95,19 +95,28 @@ func SetDefaultWorkers(n int) {
 	defaultWorkers.Store(int32(n))
 }
 
-// runOut is one run's per-scheme outputs, produced by a worker and folded
-// into the point's accumulators in run order.
-type runOut struct {
-	norm    []float64 // E_s/E_NPM per scheme
-	changes []float64 // speed changes per scheme
-	npm     float64   // absolute NPM energy
-	err     error
+// pointWorker is one goroutine's reusable run state: a simulation arena, a
+// reseedable sampler and the two result holders. Every run of every scheme
+// reuses these, so a data point's allocation count is O(workers), not
+// O(runs).
+type pointWorker struct {
+	arena     *core.Arena
+	src       *exectime.Source
+	sampler   *exectime.Sampler
+	base, res core.RunResult
+}
+
+func newPointWorker() *pointWorker {
+	src := exectime.NewSource(0)
+	return &pointWorker{arena: core.NewArena(), src: src, sampler: exectime.NewSampler(src)}
 }
 
 // measurePoint runs all schemes `runs` times against one plan and deadline,
-// spreading runs over `workers` goroutines (Plan.Run is pure, so runs are
-// embarrassingly parallel; per-run seeds are fixed beforehand and results
-// folded in run order, keeping the output independent of scheduling).
+// spreading runs over `workers` goroutines (Plan.RunInto is pure, so runs
+// are embarrassingly parallel; per-run seeds are fixed beforehand and
+// results folded in run order, keeping the output independent of
+// scheduling). Each worker holds one arena; per-run outputs land in flat
+// preallocated slices.
 func measurePoint(plan *core.Plan, schemes []core.Scheme, x, deadline float64,
 	runs int, seed uint64, workers int) (Point, error) {
 	pt := Point{
@@ -116,42 +125,45 @@ func measurePoint(plan *core.Plan, schemes []core.Scheme, x, deadline float64,
 		CI95:         make(map[core.Scheme]float64, len(schemes)),
 		SpeedChanges: make(map[core.Scheme]float64, len(schemes)),
 	}
+	k := len(schemes)
 	seeds := make([]uint64, runs)
 	master := exectime.NewSource(seed)
 	for r := range seeds {
 		seeds[r] = master.Uint64()
 	}
 
-	outs := make([]runOut, runs)
-	oneRun := func(r int) runOut {
-		out := runOut{norm: make([]float64, len(schemes)), changes: make([]float64, len(schemes))}
-		base, err := plan.Run(core.RunConfig{
-			Scheme: core.NPM, Deadline: deadline,
-			Sampler: exectime.NewSampler(exectime.NewSource(seeds[r])),
-		})
-		if err != nil {
-			out.err = fmt.Errorf("experiments: NPM run %d: %w", r, err)
-			return out
+	norms := make([]float64, runs*k)   // E_s/E_NPM, indexed [r*k+i]
+	changes := make([]float64, runs*k) // speed changes, same indexing
+	npms := make([]float64, runs)      // absolute NPM energy
+	errs := make([]error, runs)
+	oneRun := func(w *pointWorker, r int) {
+		// Reseeding before every scheme reproduces the common-random-
+		// numbers discipline: within one run index every scheme sees the
+		// same actual execution times and OR branch outcomes.
+		w.src.Reseed(seeds[r])
+		if err := plan.RunInto(core.RunConfig{
+			Scheme: core.NPM, Deadline: deadline, Sampler: w.sampler,
+		}, w.arena, &w.base); err != nil {
+			errs[r] = fmt.Errorf("experiments: NPM run %d: %w", r, err)
+			return
 		}
-		out.npm = base.Energy()
+		npms[r] = w.base.Energy()
 		for i, s := range schemes {
-			res, err := plan.Run(core.RunConfig{
-				Scheme: s, Deadline: deadline,
-				Sampler: exectime.NewSampler(exectime.NewSource(seeds[r])),
-			})
-			if err != nil {
-				out.err = fmt.Errorf("experiments: %s run %d: %w", s, r, err)
-				return out
+			w.src.Reseed(seeds[r])
+			if err := plan.RunInto(core.RunConfig{
+				Scheme: s, Deadline: deadline, Sampler: w.sampler,
+			}, w.arena, &w.res); err != nil {
+				errs[r] = fmt.Errorf("experiments: %s run %d: %w", s, r, err)
+				return
 			}
-			if res.LSTViolations > 0 || !res.MetDeadline {
-				out.err = fmt.Errorf("experiments: %s run %d violated timing (finish %g, deadline %g, %d LST violations)",
-					s, r, res.Finish, deadline, res.LSTViolations)
-				return out
+			if w.res.LSTViolations > 0 || !w.res.MetDeadline {
+				errs[r] = fmt.Errorf("experiments: %s run %d violated timing (finish %g, deadline %g, %d LST violations)",
+					s, r, w.res.Finish, deadline, w.res.LSTViolations)
+				return
 			}
-			out.norm[i] = res.Energy() / base.Energy()
-			out.changes[i] = float64(res.SpeedChanges)
+			norms[r*k+i] = w.res.Energy() / w.base.Energy()
+			changes[r*k+i] = float64(w.res.SpeedChanges)
 		}
-		return out
 	}
 
 	if workers <= 0 {
@@ -164,8 +176,9 @@ func measurePoint(plan *core.Plan, schemes []core.Scheme, x, deadline float64,
 		workers = runs
 	}
 	if workers <= 1 {
+		w := newPointWorker()
 		for r := 0; r < runs; r++ {
-			outs[r] = oneRun(r)
+			oneRun(w, r)
 		}
 	} else {
 		var next atomic.Int64
@@ -174,29 +187,30 @@ func measurePoint(plan *core.Plan, schemes []core.Scheme, x, deadline float64,
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				ws := newPointWorker()
 				for {
 					r := int(next.Add(1)) - 1
 					if r >= runs {
 						return
 					}
-					outs[r] = oneRun(r)
+					oneRun(ws, r)
 				}
 			}()
 		}
 		wg.Wait()
 	}
 
-	accs := make([]stats.Acc, len(schemes))
-	chg := make([]stats.Acc, len(schemes))
+	accs := make([]stats.Acc, k)
+	chg := make([]stats.Acc, k)
 	var npmAcc stats.Acc
-	for r := range outs {
-		if outs[r].err != nil {
-			return pt, outs[r].err
+	for r := 0; r < runs; r++ {
+		if errs[r] != nil {
+			return pt, errs[r]
 		}
-		npmAcc.Add(outs[r].npm)
-		for i := range schemes {
-			accs[i].Add(outs[r].norm[i])
-			chg[i].Add(outs[r].changes[i])
+		npmAcc.Add(npms[r])
+		for i := 0; i < k; i++ {
+			accs[i].Add(norms[r*k+i])
+			chg[i].Add(changes[r*k+i])
 		}
 	}
 	for i, s := range schemes {
@@ -230,17 +244,17 @@ func CompareSchemes(plan *core.Plan, a, b core.Scheme, deadline float64,
 	cmp := Comparison{A: a, B: b, Runs: runs}
 	var paired stats.Paired
 	master := exectime.NewSource(seed)
+	w := newPointWorker()
 	for r := 0; r < runs; r++ {
 		runSeed := master.Uint64()
 		one := func(s core.Scheme) (float64, error) {
-			res, err := plan.Run(core.RunConfig{
-				Scheme: s, Deadline: deadline,
-				Sampler: exectime.NewSampler(exectime.NewSource(runSeed)),
-			})
-			if err != nil {
+			w.src.Reseed(runSeed)
+			if err := plan.RunInto(core.RunConfig{
+				Scheme: s, Deadline: deadline, Sampler: w.sampler,
+			}, w.arena, &w.res); err != nil {
 				return 0, err
 			}
-			return res.Energy(), nil
+			return w.res.Energy(), nil
 		}
 		base, err := one(core.NPM)
 		if err != nil {

@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"andorsched/internal/andor"
+	"andorsched/internal/power"
+	"andorsched/internal/workload"
+)
+
+// layeredTasks builds the 4-wide layered section used by the engine
+// benchmarks: n tasks, each depending on the task 4 positions earlier.
+func layeredTasks(n int) []*Task {
+	tasks := make([]*Task, n)
+	for i := range tasks {
+		t := &Task{Name: "t", WorkW: 5e6, WorkA: 4e6, Order: i, LFT: 10}
+		if i >= 4 {
+			t.Preds = []int{i - 4}
+			tasks[i-4].Succs = append(tasks[i-4].Succs, i)
+		}
+		tasks[i] = t
+	}
+	return tasks
+}
+
+// TestArenaRunZeroAllocs asserts the tentpole property at the engine level:
+// a warmed arena run allocates nothing, in both dispatch modes.
+func TestArenaRunZeroAllocs(t *testing.T) {
+	plat := power.Transmeta5400()
+	tasks := layeredTasks(64)
+	for _, mode := range []Mode{ByPriority, ByOrder} {
+		cfg := Config{Platform: plat, Mode: mode, Procs: 4, Policy: fixedPolicy(1),
+			Overheads: power.DefaultOverheads()}
+		a := NewArena()
+		if _, err := a.Run(cfg, tasks); err != nil { // warm-up sizes the buffers
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if _, err := a.Run(cfg, tasks); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("mode %d: warmed arena run allocates %.1f times, want 0", mode, allocs)
+		}
+	}
+}
+
+// TestArenaRunMatchesFresh asserts bit-identical results between the
+// package-level Run and a heavily reused arena, including when the arena
+// was previously used on a larger workload (stale buffer contents).
+func TestArenaRunMatchesFresh(t *testing.T) {
+	plat := power.IntelXScale()
+	big := layeredTasks(128)
+	small := layeredTasks(16)
+	cfgFor := func(mode Mode) Config {
+		return Config{Platform: plat, Mode: mode, Procs: 3, Policy: fixedPolicy(2),
+			Overheads: power.DefaultOverheads(), Start: 0.25}
+	}
+	a := NewArena()
+	for _, mode := range []Mode{ByPriority, ByOrder} {
+		cfg := cfgFor(mode)
+		if _, err := a.Run(cfg, big); err != nil { // dirty the buffers
+			t.Fatal(err)
+		}
+		want, err := Run(cfg, small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 100; rep++ {
+			got, err := a.Run(cfg, small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResultsIdentical(t, want, got)
+			if t.Failed() {
+				t.Fatalf("mode %d, reuse %d: arena diverged from fresh run", mode, rep)
+			}
+		}
+	}
+}
+
+// assertResultsIdentical compares two engine results for exact (==, not
+// tolerance) equality of every schedule and energy field.
+func assertResultsIdentical(t *testing.T, want, got *Result) {
+	t.Helper()
+	if len(want.Records) != len(got.Records) {
+		t.Errorf("records: %d vs %d", len(want.Records), len(got.Records))
+		return
+	}
+	for i := range want.Records {
+		if want.Records[i] != got.Records[i] {
+			t.Errorf("record %d: %+v vs %+v", i, want.Records[i], got.Records[i])
+		}
+	}
+	if want.Finish != got.Finish {
+		t.Errorf("Finish: %v vs %v", want.Finish, got.Finish)
+	}
+	if want.ActiveEnergy != got.ActiveEnergy || want.OverheadEnergy != got.OverheadEnergy {
+		t.Errorf("energy: (%v,%v) vs (%v,%v)",
+			want.ActiveEnergy, want.OverheadEnergy, got.ActiveEnergy, got.OverheadEnergy)
+	}
+	if want.SpeedChanges != got.SpeedChanges {
+		t.Errorf("SpeedChanges: %d vs %d", want.SpeedChanges, got.SpeedChanges)
+	}
+	for i := range want.BusyTime {
+		if want.BusyTime[i] != got.BusyTime[i] || want.OverheadTime[i] != got.OverheadTime[i] {
+			t.Errorf("proc %d busy/overhead differ", i)
+		}
+	}
+	for i := range want.FinalLevels {
+		if want.FinalLevels[i] != got.FinalLevels[i] {
+			t.Errorf("FinalLevels[%d]: %d vs %d", i, want.FinalLevels[i], got.FinalLevels[i])
+		}
+	}
+}
+
+// ---- Fuzz differential: fresh engine vs reused arena vs naive reference ----
+
+// fuzzPlats are the platforms a fuzz workload can select.
+func fuzzPlats() []*power.Platform {
+	return []*power.Platform{testPlat(), power.Transmeta5400(), power.IntelXScale()}
+}
+
+// encodeWorkload serializes an order-gated workload for the fuzz corpus:
+//
+//	[m][plat][level][n] then per task (in dispatch order):
+//	[flags][workW:2 (1e5-cycle units)][workAfrac][npreds] [npreds × pred delta]
+//
+// Tasks must be sorted by Order; preds must reference earlier tasks.
+func encodeWorkload(m, plat, level int, tasks []*Task) []byte {
+	data := []byte{byte(m), byte(plat), byte(level), byte(len(tasks))}
+	for i, t := range tasks {
+		var flags byte
+		if t.Dummy {
+			flags |= 1
+		}
+		wu := int(math.Round(t.WorkW / 1e5))
+		if wu > 65535 {
+			wu = 65535
+		}
+		frac := 0
+		if t.WorkW > 0 {
+			frac = int(math.Round(t.WorkA / t.WorkW * 255))
+			if frac > 255 {
+				frac = 255
+			}
+		}
+		preds := t.Preds
+		if len(preds) > 15 {
+			preds = preds[:15]
+		}
+		data = append(data, flags, byte(wu>>8), byte(wu&0xff), byte(frac), byte(len(preds)))
+		for _, p := range preds {
+			data = append(data, byte(i-1-p))
+		}
+	}
+	return data
+}
+
+// decodeWorkload is the tolerant inverse of encodeWorkload: any byte slice
+// yields either a valid order-gated workload or ok=false. Out-of-range
+// values are reduced modulo their domain.
+func decodeWorkload(data []byte) (cfg Config, tasks []*Task, ok bool) {
+	if len(data) < 4 {
+		return cfg, nil, false
+	}
+	m := int(data[0]%8) + 1
+	plat := fuzzPlats()[int(data[1])%3]
+	level := int(data[2]) % plat.NumLevels()
+	n := int(data[3]%96) + 1
+	pos := 4
+	for i := 0; i < n; i++ {
+		if pos+5 > len(data) {
+			break
+		}
+		flags := data[pos]
+		wu := int(data[pos+1])<<8 | int(data[pos+2])
+		frac := float64(data[pos+3]) / 255
+		np := int(data[pos+4] % 16)
+		pos += 5
+		t := &Task{Name: "f", Node: i, Order: i}
+		if flags&1 == 0 {
+			t.WorkW = float64(wu) * 1e5
+			t.WorkA = t.WorkW * frac
+			t.LFT = 1e9
+		} else {
+			t.Dummy = true
+		}
+		for j := 0; j < np && pos < len(data); j++ {
+			d := int(data[pos])
+			pos++
+			if i > 0 {
+				t.Preds = append(t.Preds, i-1-d%i)
+			}
+		}
+		tasks = append(tasks, t)
+	}
+	if len(tasks) == 0 {
+		return cfg, nil, false
+	}
+	for i, t := range tasks {
+		for _, p := range t.Preds {
+			tasks[p].Succs = append(tasks[p].Succs, i)
+		}
+	}
+	cfg = Config{
+		Platform: plat,
+		Overheads: power.Overheads{
+			SpeedCompCycles: float64(data[2]) * 8,
+			SpeedChangeTime: float64(data[0]) * 1e-6,
+		},
+		Mode:   ByOrder,
+		Procs:  m,
+		Policy: fixedPolicy(level),
+		Start:  float64(data[3]%16) / 16,
+	}
+	return cfg, tasks, true
+}
+
+// graphSectionWorkloads converts every program section of an AND/OR graph
+// into an encoded engine workload, assigning dispatch orders with the same
+// canonical longest-task-first schedule the off-line phase uses.
+func graphSectionWorkloads(tb testing.TB, g *andor.Graph, m int) [][]byte {
+	tb.Helper()
+	secs, err := andor.Decompose(g)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	plat := power.Transmeta5400()
+	fmax := plat.Max().Freq
+	var out [][]byte
+	for _, sec := range secs.All {
+		if len(sec.Nodes) == 0 {
+			continue
+		}
+		local := make(map[*andor.Node]int, len(sec.Nodes))
+		for i, n := range sec.Nodes {
+			local[n] = i
+		}
+		tasks := make([]*Task, len(sec.Nodes))
+		for i, n := range sec.Nodes {
+			t := &Task{Node: n.ID, Name: n.Name, Dummy: n.Kind == andor.And}
+			if n.Kind == andor.Compute {
+				t.WorkW = n.WCET * fmax
+				t.WorkA = t.WorkW * 2 / 3
+				t.LFT = 1e9
+			}
+			for _, pr := range n.Preds() {
+				if j, found := local[pr]; found {
+					t.Preds = append(t.Preds, j)
+				}
+			}
+			for _, su := range n.Succs() {
+				if j, found := local[su]; found {
+					t.Succs = append(t.Succs, j)
+				}
+			}
+			tasks[i] = t
+		}
+		res, err := Run(Config{Platform: plat, Mode: ByPriority, Procs: m}, tasks)
+		if err != nil {
+			tb.Fatalf("canonical schedule of %s section %d: %v", g.Name, sec.ID, err)
+		}
+		// Renumber tasks in dispatch order so Order is the identity and
+		// predecessors reference earlier indices, as the encoding needs.
+		perm := make([]int, len(tasks)) // perm[old] = new
+		sorted := make([]*Task, len(tasks))
+		for k, rec := range res.Records {
+			perm[rec.Task] = k
+			sorted[k] = tasks[rec.Task]
+		}
+		for k, t := range sorted {
+			t.Order = k
+			for i := range t.Preds {
+				t.Preds[i] = perm[t.Preds[i]]
+			}
+			t.Succs = nil
+			_ = k
+		}
+		out = append(out, encodeWorkload(m, 1, 2, sorted))
+	}
+	return out
+}
+
+// FuzzEngineArenaDifferential cross-checks three implementations of the
+// ByOrder dispatch semantics on fuzzed workloads: the event-driven engine
+// with fresh state, the same engine on a reused arena (run three times to
+// exercise buffer recycling), and the naive sequential reference scheduler.
+// The corpus is seeded with the paper's Figure-3 synthetic application and
+// the radar.andor workload, section by section, plus the ATR application.
+func FuzzEngineArenaDifferential(f *testing.F) {
+	for _, g := range []*andor.Graph{workload.Synthetic(), workload.ATR(workload.DefaultATRConfig())} {
+		for _, m := range []int{2, 4} {
+			for _, data := range graphSectionWorkloads(f, g, m) {
+				f.Add(data)
+			}
+		}
+	}
+	if src, err := os.ReadFile("../../workloads/radar.andor"); err == nil {
+		if g, err := andor.ParseText(string(src)); err == nil {
+			for _, data := range graphSectionWorkloads(f, g, 3) {
+				f.Add(data)
+			}
+		}
+	}
+	f.Add([]byte{2, 0, 1, 3, 0, 0, 50, 128, 0, 1, 0, 40, 200, 1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, tasks, ok := decodeWorkload(data)
+		if !ok {
+			t.Skip()
+		}
+		fresh, err := Run(cfg, tasks)
+		if err != nil {
+			t.Fatalf("engine rejected decoded workload: %v", err)
+		}
+		wantD, wantF, wantP := referenceRun(cfg, tasks)
+		for _, r := range fresh.Records {
+			if math.Abs(r.Dispatch-wantD[r.Task]) > 1e-9 ||
+				math.Abs(r.Finish-wantF[r.Task]) > 1e-9 ||
+				r.Proc != wantP[r.Task] {
+				t.Fatalf("task %d: engine (d=%g f=%g p=%d) vs reference (d=%g f=%g p=%d)",
+					r.Task, r.Dispatch, r.Finish, r.Proc,
+					wantD[r.Task], wantF[r.Task], wantP[r.Task])
+			}
+		}
+		a := NewArena()
+		for rep := 0; rep < 3; rep++ {
+			got, err := a.Run(cfg, tasks)
+			if err != nil {
+				t.Fatalf("arena reuse %d: %v", rep, err)
+			}
+			assertResultsIdentical(t, fresh, got)
+			if t.Failed() {
+				t.Fatalf("arena reuse %d diverged from fresh engine", rep)
+			}
+		}
+	})
+}

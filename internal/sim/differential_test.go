@@ -91,9 +91,12 @@ func referenceRun(cfg Config, tasks []*Task) (dispatch, finish []float64, proc [
 }
 
 // TestEngineMatchesReference differentially tests the event-driven engine
-// against the sequential reference on random order-gated workloads.
+// against the sequential reference on random order-gated workloads. Every
+// workload also runs through a shared, reused Arena so the reference
+// cross-checks the pooled engine path as well.
 func TestEngineMatchesReference(t *testing.T) {
 	plats := []*power.Platform{testPlat(), power.IntelXScale(), power.Transmeta5400()}
+	arena := NewArena()
 	prop := func(seed int64) bool {
 		rnd := newLCG(uint64(seed))
 		plat := plats[int(rnd.next()%3)]
@@ -148,6 +151,16 @@ func TestEngineMatchesReference(t *testing.T) {
 					wantD[r.Task], wantF[r.Task], wantP[r.Task])
 				return false
 			}
+		}
+		pooled, err := arena.Run(cfg, tasks)
+		if err != nil {
+			t.Logf("seed %d: arena: %v", seed, err)
+			return false
+		}
+		assertResultsIdentical(t, res, pooled)
+		if t.Failed() {
+			t.Logf("seed %d: pooled engine diverged from fresh engine", seed)
+			return false
 		}
 		return true
 	}

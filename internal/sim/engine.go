@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"andorsched/internal/obs"
 )
@@ -38,7 +37,46 @@ func newEngineMetrics(m *obs.Metrics, procs int) *engineMetrics {
 // It returns an error when the input cannot execute to completion —
 // cyclic dependences, an Order field that is not a permutation of 0..n-1
 // in ByOrder mode, or inconsistent Preds/Succs.
+//
+// Run allocates fresh state per call, so the Result is independent of later
+// calls. Hot loops that run many simulations should hold an Arena and call
+// (*Arena).Run, which reuses the scratch state and allocates nothing in the
+// steady state.
 func Run(cfg Config, tasks []*Task) (*Result, error) {
+	var rs runState
+	return rs.run(cfg, tasks)
+}
+
+// runState is the engine's complete per-run scratch state. A fresh zero
+// value is used by the package-level Run; an Arena retains one across runs
+// so that its buffers are reused. All slices are resized (never shrunk) at
+// the start of each run.
+type runState struct {
+	cfg    Config
+	tasks  []*Task
+	policy Policy
+	maxPol maxPolicy // backing store when cfg.Policy is nil
+	tracer obs.Tracer
+	met    *engineMetrics
+
+	m      int
+	levels []int
+	busy   []bool
+	freeAt []float64
+	npreds []int
+	seen   []bool // checkTasks order-permutation scratch
+
+	rq        readyQueue
+	events    eventHeap
+	seq       int
+	remaining int
+	now       float64
+
+	res         Result
+	dispatchErr error
+}
+
+func (rs *runState) run(cfg Config, tasks []*Task) (*Result, error) {
 	m := cfg.Procs
 	if cfg.InitialLevels != nil {
 		if cfg.Procs > 0 && cfg.Procs != len(cfg.InitialLevels) {
@@ -56,233 +94,110 @@ func Run(cfg Config, tasks []*Task) (*Result, error) {
 	if m <= 0 {
 		return nil, fmt.Errorf("sim: no processors configured")
 	}
-	if err := checkTasks(cfg, tasks); err != nil {
+	if err := rs.checkTasks(cfg, tasks); err != nil {
 		return nil, err
 	}
 
-	policy := cfg.Policy
-	if policy == nil {
-		policy = maxPolicy{cfg.Platform.MaxIndex()}
+	rs.cfg = cfg
+	rs.tasks = tasks
+	rs.m = m
+	rs.policy = cfg.Policy
+	if rs.policy == nil {
+		rs.maxPol = maxPolicy{cfg.Platform.MaxIndex()}
+		rs.policy = &rs.maxPol
 	}
 
-	// Processor state.
-	levels := make([]int, m)
+	// Processor state. The copy below is safe even when InitialLevels
+	// aliases a previous run's FinalLevels from this same arena: ensureInts
+	// preserves the backing array's contents.
+	rs.levels = ensureInts(rs.levels, m)
 	if cfg.InitialLevels != nil {
-		copy(levels, cfg.InitialLevels)
+		copy(rs.levels, cfg.InitialLevels)
 	} else {
-		for i := range levels {
-			levels[i] = cfg.Platform.MaxIndex()
+		for i := range rs.levels {
+			rs.levels[i] = cfg.Platform.MaxIndex()
 		}
 	}
-	busy := make([]bool, m)
-	freeAt := make([]float64, m)
-	for i := range freeAt {
-		freeAt[i] = cfg.Start
+	rs.busy = ensureBools(rs.busy, m)
+	rs.freeAt = ensureFloats(rs.freeAt, m)
+	for i := range rs.freeAt {
+		rs.freeAt[i] = cfg.Start
 	}
 
-	res := &Result{
-		BusyTime:     make([]float64, m),
-		OverheadTime: make([]float64, m),
-		Finish:       cfg.Start,
+	res := &rs.res
+	res.Records = res.Records[:0]
+	res.BusyTime = ensureFloats(res.BusyTime, m)
+	res.OverheadTime = ensureFloats(res.OverheadTime, m)
+	for i := 0; i < m; i++ {
+		res.BusyTime[i] = 0
+		res.OverheadTime[i] = 0
 	}
+	res.Finish = cfg.Start
+	res.ActiveEnergy = 0
+	res.OverheadEnergy = 0
+	res.SpeedChanges = 0
+	res.FinalLevels = nil
+	res.Metrics = nil
 
 	// Observability: both hooks are nil-gated so the default run pays one
 	// pointer comparison per hook point and allocates nothing.
-	tracer := cfg.Tracer
-	var met *engineMetrics
+	rs.tracer = cfg.Tracer
+	rs.met = nil
 	if cfg.Metrics != nil {
-		met = newEngineMetrics(cfg.Metrics, m)
+		rs.met = newEngineMetrics(cfg.Metrics, m)
 	}
 
 	// Dependence bookkeeping.
-	npreds := make([]int, len(tasks))
+	rs.npreds = ensureInts(rs.npreds, len(tasks))
 	for i, t := range tasks {
-		npreds[i] = len(t.Preds)
+		rs.npreds[i] = len(t.Preds)
 	}
 
-	rq := newReadyQueue(cfg.Mode, tasks)
+	rs.rq.reset(cfg.Mode, tasks)
 	for i, t := range tasks {
 		if len(t.Preds) == 0 {
-			rq.push(i)
+			rs.rq.push(i)
 		}
 	}
 
-	var events eventHeap
-	seq := 0
-	remaining := len(tasks)
-	now := cfg.Start
+	rs.events.h = rs.events.h[:0]
+	rs.seq = 0
+	rs.remaining = len(tasks)
+	rs.now = cfg.Start
+	rs.dispatchErr = nil
 
-	var dispatchErr error
-	complete := func(proc, task int, at float64) {
-		if tracer != nil {
-			tracer.Event(obs.Event{
-				Kind: obs.EvTaskFinish, Time: at, Proc: proc,
-				Task: task, Node: tasks[task].Node, Name: tasks[task].Name,
-				Level: levels[proc], Prev: levels[proc],
-			})
+	rs.dispatch()
+	for rs.remaining > 0 {
+		if rs.dispatchErr != nil {
+			return nil, rs.dispatchErr
 		}
-		busy[proc] = false
-		freeAt[proc] = at
-		if at > res.Finish {
-			res.Finish = at
-		}
-		for _, s := range tasks[task].Succs {
-			npreds[s]--
-			if npreds[s] == 0 {
-				rq.push(s)
-			}
-			if npreds[s] < 0 && dispatchErr == nil {
-				dispatchErr = fmt.Errorf("sim: task %q completed more predecessors than it has", tasks[s].Name)
-			}
-		}
-		remaining--
-	}
-
-	// pickProc returns the idle processor that has been idle longest
-	// (lowest freeAt, ties by index), or -1.
-	pickProc := func() int {
-		best := -1
-		for i := 0; i < m; i++ {
-			if busy[i] {
-				continue
-			}
-			if best == -1 || freeAt[i] < freeAt[best] {
-				best = i
-			}
-		}
-		return best
-	}
-
-	dispatch := func() {
-		for {
-			ti, ok := rq.peek()
-			if !ok {
-				return
-			}
-			proc := pickProc()
-			if proc < 0 {
-				return
-			}
-			rq.pop()
-			t := tasks[ti]
-			cur := levels[proc]
-			lvl := cur
-			var compT, changeT float64
-			if !t.Dummy {
-				compT = cfg.Overheads.CompTime(cfg.Platform.Levels()[cur].Freq)
-				lvl = policy.PickLevel(t, now, cur)
-				if lvl < 0 || lvl >= cfg.Platform.NumLevels() {
-					panic(fmt.Sprintf("sim: policy returned invalid level %d for task %q", lvl, t.Name))
-				}
-				if lvl != cur {
-					changeT = cfg.Overheads.ChangeTime(cfg.Platform.Levels()[cur], cfg.Platform.Levels()[lvl])
-					res.SpeedChanges++
-				}
-			}
-			var execT float64
-			if t.WorkA > 0 {
-				execT = t.WorkA / cfg.Platform.Levels()[lvl].Freq
-			}
-			start := now + compT + changeT
-			finish := start + execT
-			if tracer != nil {
-				if idle := now - freeAt[proc]; idle > 0 {
-					tracer.Event(obs.Event{
-						Kind: obs.EvIdle, Time: now, Proc: proc,
-						Task: -1, Node: -1, Value: idle,
-					})
-				}
-				tracer.Event(obs.Event{
-					Kind: obs.EvTaskDispatch, Time: now, Proc: proc,
-					Task: ti, Node: t.Node, Name: t.Name,
-					Level: lvl, Prev: cur, Value: compT + changeT,
-				})
-				if lvl != cur {
-					tracer.Event(obs.Event{
-						Kind: obs.EvSpeedChange, Time: now, Proc: proc,
-						Task: ti, Node: t.Node, Name: t.Name,
-						Level: lvl, Prev: cur, Value: changeT,
-					})
-				}
-			}
-			if met != nil {
-				if t.Dummy {
-					met.dummies.Inc()
-				} else {
-					met.tasks.Inc()
-					met.exec.Observe(execT)
-				}
-				if lvl != cur {
-					met.changes.Inc()
-					met.procChanges[proc].Inc()
-				}
-				if idle := now - freeAt[proc]; idle > 0 {
-					met.idle.Observe(idle)
-				}
-			}
-			res.Records = append(res.Records, Record{
-				Task: ti, Proc: proc,
-				Dispatch: now, Start: start, Finish: finish,
-				Level: lvl, CompOH: compT, ChangeOH: changeT,
-			})
-			res.BusyTime[proc] += execT
-			res.OverheadTime[proc] += compT + changeT
-			res.ActiveEnergy += cfg.Platform.PowerAt(lvl) * execT
-			// The speed computation runs at the old level; the transition
-			// is charged at the higher-powered of the two levels (the
-			// paper does not specify transition power; this choice is
-			// conservative and documented in DESIGN.md).
-			res.OverheadEnergy += cfg.Platform.PowerAt(cur) * compT
-			res.OverheadEnergy += math.Max(cfg.Platform.PowerAt(cur), cfg.Platform.PowerAt(lvl)) * changeT
-			levels[proc] = lvl
-			if finish == now {
-				// Instantaneous work (synchronization nodes): the paper's
-				// scheduler handles them and immediately looks for the
-				// next task, so the processor never appears busy.
-				complete(proc, ti, now)
-				if dispatchErr != nil {
-					return
-				}
-				continue
-			}
-			busy[proc] = true
-			events.push(event{time: finish, seq: seq, proc: proc, task: ti})
-			seq++
-		}
-	}
-
-	dispatch()
-	for remaining > 0 {
-		if dispatchErr != nil {
-			return nil, dispatchErr
-		}
-		ev, ok := events.pop()
+		ev, ok := rs.events.pop()
 		if !ok {
-			return nil, fmt.Errorf("sim: deadlock with %d tasks unfinished (bad precedence or order gating)", remaining)
+			return nil, fmt.Errorf("sim: deadlock with %d tasks unfinished (bad precedence or order gating)", rs.remaining)
 		}
-		now = ev.time
-		complete(ev.proc, ev.task, ev.time)
+		rs.now = ev.time
+		rs.complete(ev.proc, ev.task, ev.time)
 		// Drain every completion at this same instant before dispatching,
 		// so that simultaneously freed processors compete for the next
 		// task deterministically (idle-longest first, ties by index).
 		for {
-			next, ok := events.peek()
-			if !ok || next.time != now {
+			next, ok := rs.events.peek()
+			if !ok || next.time != rs.now {
 				break
 			}
-			ev, _ = events.pop()
-			complete(ev.proc, ev.task, ev.time)
+			ev, _ = rs.events.pop()
+			rs.complete(ev.proc, ev.task, ev.time)
 		}
-		if dispatchErr != nil {
-			return nil, dispatchErr
+		if rs.dispatchErr != nil {
+			return nil, rs.dispatchErr
 		}
-		dispatch()
+		rs.dispatch()
 	}
-	if dispatchErr != nil {
-		return nil, dispatchErr
+	if rs.dispatchErr != nil {
+		return nil, rs.dispatchErr
 	}
 
-	res.FinalLevels = levels
+	res.FinalLevels = rs.levels
 	if cfg.Metrics != nil {
 		for i := 0; i < m; i++ {
 			cfg.Metrics.Gauge(MetricProcBusy(i)).Add(res.BusyTime[i])
@@ -294,15 +209,160 @@ func Run(cfg Config, tasks []*Task) (*Result, error) {
 	return res, nil
 }
 
-func checkTasks(cfg Config, tasks []*Task) error {
+// complete marks task's execution on proc finished at time at, releasing
+// the processor and its successors.
+func (rs *runState) complete(proc, task int, at float64) {
+	tasks := rs.tasks
+	if rs.tracer != nil {
+		rs.tracer.Event(obs.Event{
+			Kind: obs.EvTaskFinish, Time: at, Proc: proc,
+			Task: task, Node: tasks[task].Node, Name: tasks[task].Name,
+			Level: rs.levels[proc], Prev: rs.levels[proc],
+		})
+	}
+	rs.busy[proc] = false
+	rs.freeAt[proc] = at
+	if at > rs.res.Finish {
+		rs.res.Finish = at
+	}
+	for _, s := range tasks[task].Succs {
+		rs.npreds[s]--
+		if rs.npreds[s] == 0 {
+			rs.rq.push(s)
+		}
+		if rs.npreds[s] < 0 && rs.dispatchErr == nil {
+			rs.dispatchErr = fmt.Errorf("sim: task %q completed more predecessors than it has", tasks[s].Name)
+		}
+	}
+	rs.remaining--
+}
+
+// pickProc returns the idle processor that has been idle longest
+// (lowest freeAt, ties by index), or -1.
+func (rs *runState) pickProc() int {
+	best := -1
+	for i := 0; i < rs.m; i++ {
+		if rs.busy[i] {
+			continue
+		}
+		if best == -1 || rs.freeAt[i] < rs.freeAt[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// dispatch assigns ready tasks to idle processors until one side runs out.
+func (rs *runState) dispatch() {
+	cfg := &rs.cfg
+	res := &rs.res
+	for {
+		ti, ok := rs.rq.peek()
+		if !ok {
+			return
+		}
+		proc := rs.pickProc()
+		if proc < 0 {
+			return
+		}
+		rs.rq.pop()
+		t := rs.tasks[ti]
+		now := rs.now
+		cur := rs.levels[proc]
+		lvl := cur
+		var compT, changeT float64
+		if !t.Dummy {
+			compT = cfg.Overheads.CompTime(cfg.Platform.Levels()[cur].Freq)
+			lvl = rs.policy.PickLevel(t, now, cur)
+			if lvl < 0 || lvl >= cfg.Platform.NumLevels() {
+				panic(fmt.Sprintf("sim: policy returned invalid level %d for task %q", lvl, t.Name))
+			}
+			if lvl != cur {
+				changeT = cfg.Overheads.ChangeTime(cfg.Platform.Levels()[cur], cfg.Platform.Levels()[lvl])
+				res.SpeedChanges++
+			}
+		}
+		var execT float64
+		if t.WorkA > 0 {
+			execT = t.WorkA / cfg.Platform.Levels()[lvl].Freq
+		}
+		start := now + compT + changeT
+		finish := start + execT
+		if rs.tracer != nil {
+			if idle := now - rs.freeAt[proc]; idle > 0 {
+				rs.tracer.Event(obs.Event{
+					Kind: obs.EvIdle, Time: now, Proc: proc,
+					Task: -1, Node: -1, Value: idle,
+				})
+			}
+			rs.tracer.Event(obs.Event{
+				Kind: obs.EvTaskDispatch, Time: now, Proc: proc,
+				Task: ti, Node: t.Node, Name: t.Name,
+				Level: lvl, Prev: cur, Value: compT + changeT,
+			})
+			if lvl != cur {
+				rs.tracer.Event(obs.Event{
+					Kind: obs.EvSpeedChange, Time: now, Proc: proc,
+					Task: ti, Node: t.Node, Name: t.Name,
+					Level: lvl, Prev: cur, Value: changeT,
+				})
+			}
+		}
+		if rs.met != nil {
+			if t.Dummy {
+				rs.met.dummies.Inc()
+			} else {
+				rs.met.tasks.Inc()
+				rs.met.exec.Observe(execT)
+			}
+			if lvl != cur {
+				rs.met.changes.Inc()
+				rs.met.procChanges[proc].Inc()
+			}
+			if idle := now - rs.freeAt[proc]; idle > 0 {
+				rs.met.idle.Observe(idle)
+			}
+		}
+		res.Records = append(res.Records, Record{
+			Task: ti, Proc: proc,
+			Dispatch: now, Start: start, Finish: finish,
+			Level: lvl, CompOH: compT, ChangeOH: changeT,
+		})
+		res.BusyTime[proc] += execT
+		res.OverheadTime[proc] += compT + changeT
+		res.ActiveEnergy += cfg.Platform.PowerAt(lvl) * execT
+		// The speed computation runs at the old level; the transition
+		// is charged at the higher-powered of the two levels (the
+		// paper does not specify transition power; this choice is
+		// conservative and documented in DESIGN.md).
+		res.OverheadEnergy += cfg.Platform.PowerAt(cur) * compT
+		res.OverheadEnergy += math.Max(cfg.Platform.PowerAt(cur), cfg.Platform.PowerAt(lvl)) * changeT
+		rs.levels[proc] = lvl
+		if finish == now {
+			// Instantaneous work (synchronization nodes): the paper's
+			// scheduler handles them and immediately looks for the
+			// next task, so the processor never appears busy.
+			rs.complete(proc, ti, now)
+			if rs.dispatchErr != nil {
+				return
+			}
+			continue
+		}
+		rs.busy[proc] = true
+		rs.events.push(event{time: finish, seq: rs.seq, proc: proc, task: ti})
+		rs.seq++
+	}
+}
+
+func (rs *runState) checkTasks(cfg Config, tasks []*Task) error {
 	n := len(tasks)
 	if cfg.Mode == ByOrder {
-		seen := make([]bool, n)
+		rs.seen = ensureBools(rs.seen, n)
 		for _, t := range tasks {
-			if t.Order < 0 || t.Order >= n || seen[t.Order] {
+			if t.Order < 0 || t.Order >= n || rs.seen[t.Order] {
 				return fmt.Errorf("sim: task %q has invalid or duplicate order %d", t.Name, t.Order)
 			}
-			seen[t.Order] = true
+			rs.seen[t.Order] = true
 		}
 	}
 	for _, t := range tasks {
@@ -399,20 +459,26 @@ type readyQueue struct {
 	readyByOrder []int
 	nextOrder    int
 
-	// ByPriority: sorted slice of ready task indices, longest WCET first,
-	// ties by node ID then index.
-	pq []int
+	// ByPriority: pq[pqHead:] is the sorted queue of ready task indices,
+	// longest WCET first, ties by node ID then arrival. The head index
+	// replaces re-slicing on pop so the backing array survives reuse.
+	pq     []int
+	pqHead int
 }
 
-func newReadyQueue(mode Mode, tasks []*Task) *readyQueue {
-	rq := &readyQueue{mode: mode, tasks: tasks}
+// reset prepares the queue for a new run, reusing buffers.
+func (rq *readyQueue) reset(mode Mode, tasks []*Task) {
+	rq.mode = mode
+	rq.tasks = tasks
+	rq.nextOrder = 0
+	rq.pq = rq.pq[:0]
+	rq.pqHead = 0
 	if mode == ByOrder {
-		rq.readyByOrder = make([]int, len(tasks))
+		rq.readyByOrder = ensureInts(rq.readyByOrder, len(tasks))
 		for i := range rq.readyByOrder {
 			rq.readyByOrder[i] = -1
 		}
 	}
-	return rq
 }
 
 func (rq *readyQueue) push(ti int) {
@@ -420,14 +486,22 @@ func (rq *readyQueue) push(ti int) {
 		rq.readyByOrder[rq.tasks[ti].Order] = ti
 		return
 	}
-	rq.pq = append(rq.pq, ti)
-	sort.SliceStable(rq.pq, func(a, b int) bool {
-		ta, tb := rq.tasks[rq.pq[a]], rq.tasks[rq.pq[b]]
-		if ta.WorkW != tb.WorkW {
-			return ta.WorkW > tb.WorkW
+	// Ordered insertion: place ti before the first queued task it must
+	// precede (strictly longer WCET, ties by lower node ID), after any
+	// equal tasks — exactly where a stable sort of the appended element
+	// would land it.
+	t := rq.tasks[ti]
+	pos := len(rq.pq)
+	for i := rq.pqHead; i < len(rq.pq); i++ {
+		o := rq.tasks[rq.pq[i]]
+		if t.WorkW > o.WorkW || (t.WorkW == o.WorkW && t.Node < o.Node) {
+			pos = i
+			break
 		}
-		return ta.Node < tb.Node
-	})
+	}
+	rq.pq = append(rq.pq, 0)
+	copy(rq.pq[pos+1:], rq.pq[pos:])
+	rq.pq[pos] = ti
 }
 
 // peek returns the next dispatchable task, honoring the order gate.
@@ -442,10 +516,10 @@ func (rq *readyQueue) peek() (int, bool) {
 		}
 		return ti, true
 	}
-	if len(rq.pq) == 0 {
+	if rq.pqHead >= len(rq.pq) {
 		return 0, false
 	}
-	return rq.pq[0], true
+	return rq.pq[rq.pqHead], true
 }
 
 func (rq *readyQueue) pop() {
@@ -453,5 +527,5 @@ func (rq *readyQueue) pop() {
 		rq.nextOrder++
 		return
 	}
-	rq.pq = rq.pq[1:]
+	rq.pqHead++
 }

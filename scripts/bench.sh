@@ -1,0 +1,38 @@
+#!/bin/sh
+# bench.sh — run the benchmark suite with -benchmem and maintain BENCH.json.
+#
+#   scripts/bench.sh emit    run benchmarks, rewrite BENCH.json (new baseline)
+#   scripts/bench.sh check   run benchmarks, fail if any benchmark regressed
+#                            beyond the tolerance band vs the committed
+#                            BENCH.json (±20% + small absolute slack)
+#
+# Environment:
+#   BENCH_PATTERN  -bench regexp          (default: .)
+#   BENCH_TIME     -benchtime             (default: 1s)
+#   BENCH_COUNT    -count                 (default: 1; repeats are averaged)
+#   ANDORSCHED_BENCH_TOL  tolerance for check (default: 0.20)
+#
+# See docs/BENCHMARKS.md.
+set -eu
+cd "$(dirname "$0")/.."
+
+mode="${1:-emit}"
+raw="$(mktemp /tmp/andorsched-bench.XXXXXX)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "${BENCH_PATTERN:-.}" -benchmem \
+    -benchtime "${BENCH_TIME:-1s}" -count "${BENCH_COUNT:-1}" . | tee "$raw"
+
+case "$mode" in
+emit)
+    go run ./cmd/benchregress -emit -in "$raw" -out BENCH.json
+    ;;
+check)
+    ANDORSCHED_BENCH_NEW="$raw" go test ./internal/benchregress \
+        -run TestGuardAgainstCommittedBaseline -count=1 -v
+    ;;
+*)
+    echo "usage: scripts/bench.sh [emit|check]" >&2
+    exit 2
+    ;;
+esac
