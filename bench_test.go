@@ -13,8 +13,11 @@ package andorsched
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strconv"
+	"strings"
 	"testing"
 
 	"andorsched/internal/andor"
@@ -23,6 +26,7 @@ import (
 	"andorsched/internal/experiments"
 	"andorsched/internal/obs"
 	"andorsched/internal/power"
+	"andorsched/internal/serve"
 	"andorsched/internal/sim"
 	"andorsched/internal/workload"
 )
@@ -394,4 +398,32 @@ func BenchmarkEngineTracerOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServeRun measures one warmed POST /v1/run request through the
+// full service stack — middleware, plan cache hit, worker-pool dispatch,
+// arena-backed simulation, JSON response — the steady-state request the
+// andord daemon serves. Allocations are the per-request HTTP/encoding
+// cost only; the simulation itself is allocation-free (see
+// serve.TestWorkerRunZeroAlloc).
+func BenchmarkServeRun(b *testing.B) {
+	s := serve.New(serve.Config{Workers: 1, QueueSize: 8})
+	defer s.Close()
+	body := `{"workload":"atr","scheme":"GSS","seed":1,"load":0.5}`
+	do := func() int {
+		req := httptest.NewRequest(http.MethodPost, "/v1/run", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		return w.Code
+	}
+	if code := do(); code != http.StatusOK { // compile the plan, warm the worker
+		b.Fatalf("status %d", code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := do(); code != http.StatusOK {
+			b.Fatalf("status %d", code)
+		}
+	}
 }

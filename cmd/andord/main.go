@@ -1,0 +1,83 @@
+// Command andord serves the AND/OR power-aware scheduler over HTTP/JSON.
+//
+// The daemon compiles applications once (LRU plan cache with
+// duplicate-compile suppression) and executes runs on a bounded worker
+// pool of zero-allocation simulation arenas. See docs/SERVER.md for the
+// API.
+//
+// Usage:
+//
+//	andord [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	       [-timeout 15s] [-max-body 1048576] [-max-runs 100000]
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes first, in-flight
+// requests complete, then the worker pool stops.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"andorsched/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue bound; beyond it requests get 429")
+	cache := flag.Int("cache", 128, "plan cache capacity (compiled applications)")
+	timeout := flag.Duration("timeout", 15*time.Second, "per-request timeout")
+	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+	maxRuns := flag.Int("max-runs", 100000, "largest runs count a single request may ask for")
+	maxProcs := flag.Int("max-procs", 64, "largest processor count a single request may ask for")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown grace period")
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueSize:      *queue,
+		CacheSize:      *cache,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		MaxRuns:        *maxRuns,
+		MaxProcs:       *maxProcs,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("andord: %v", err)
+	}
+	log.Printf("andord: listening on %s (workers=%d queue=%d cache=%d)",
+		l.Addr(), *workers, *queue, *cache)
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		log.Printf("andord: %s, draining (grace %s)", got, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			log.Printf("andord: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		<-errc // http.ErrServerClosed
+		log.Print("andord: drained cleanly")
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "andord: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command andorload is a closed-loop load generator for andord. A fixed
+// set of workers POSTs run requests back to back (optionally paced to a
+// target rate), mixing schemes across requests, and reports throughput,
+// outcome counts and latency percentiles.
+//
+// Usage:
+//
+//	andorload -base http://localhost:8080 [-workload atr] [-schemes GSS,AS]
+//	          [-runs 1] [-load 0.5] [-n 1000 | -duration 30s] [-c 8] [-rps 0]
+//
+// The exit status is non-zero when any request failed outright or was
+// accepted and then dropped (incomplete stream) — 429 rejections are
+// counted but are correct backpressure, not failures.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"andorsched/internal/loadgen"
+)
+
+func main() {
+	base := flag.String("base", "http://localhost:8080", "server base URL")
+	workloadName := flag.String("workload", "atr", "built-in workload: atr, synthetic or random[:seed]")
+	schemesFlag := flag.String("schemes", "NPM,SPM,GSS,SS1,SS2,AS,CLV,ASP",
+		"comma-separated schemes, cycled across requests")
+	runs := flag.Int("runs", 1, "Monte-Carlo runs per request (>1 streams NDJSON)")
+	loadFactor := flag.Float64("load", 0.5, "system load CT_worst/D")
+	n := flag.Int("n", 0, "total requests (0 = use -duration)")
+	duration := flag.Duration("duration", 10*time.Second, "run duration when -n is 0")
+	conc := flag.Int("c", 8, "concurrent closed-loop workers")
+	rps := flag.Float64("rps", 0, "target aggregate request rate (0 = unthrottled)")
+	procs := flag.Int("procs", 2, "processors m in each request")
+	flag.Parse()
+
+	schemes := strings.Split(*schemesFlag, ",")
+	body := func(i int) []byte {
+		return []byte(fmt.Sprintf(
+			`{"workload":%q,"scheme":%q,"runs":%d,"load":%g,"procs":%d,"seed":%d}`,
+			*workloadName, strings.TrimSpace(schemes[i%len(schemes)]), *runs,
+			*loadFactor, *procs, i))
+	}
+
+	cfg := loadgen.Config{
+		URL:         strings.TrimRight(*base, "/") + "/v1/run",
+		Body:        body,
+		Concurrency: *conc,
+		Requests:    *n,
+		RPS:         *rps,
+	}
+	if *n == 0 {
+		cfg.Duration = *duration
+	}
+
+	fmt.Printf("andorload: %s workload=%s schemes=%s runs=%d c=%d",
+		cfg.URL, *workloadName, *schemesFlag, *runs, *conc)
+	if *rps > 0 {
+		fmt.Printf(" rps=%g", *rps)
+	}
+	fmt.Println()
+
+	res, err := loadgen.Run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "andorload: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(res)
+	if res.Failed > 0 || res.Incomplete > 0 {
+		os.Exit(1)
+	}
+}

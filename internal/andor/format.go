@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // This file implements the ".andor" text format: a small line-oriented
@@ -73,7 +74,20 @@ type textParser struct {
 	nodes map[string]*Node
 }
 
+// validName rejects names that cannot survive a format round-trip: invalid
+// UTF-8 is transcoded to U+FFFD by every encoder in the system (text, JSON,
+// DOT), so such a name would silently change identity.
+func validName(name string) error {
+	if !utf8.ValidString(name) {
+		return fmt.Errorf("name %q is not valid UTF-8", name)
+	}
+	return nil
+}
+
 func (p *textParser) define(name string, n *Node) error {
+	if err := validName(name); err != nil {
+		return err
+	}
 	if _, dup := p.nodes[name]; dup {
 		return fmt.Errorf("node %q defined twice", name)
 	}
@@ -94,6 +108,9 @@ func (p *textParser) directive(f []string) error {
 	case "app":
 		if len(f) != 2 {
 			return fmt.Errorf("app wants one name")
+		}
+		if err := validName(f[1]); err != nil {
+			return err
 		}
 		p.g.Name = f[1]
 		return nil
@@ -216,6 +233,9 @@ func (p *textParser) directive(f []string) error {
 		}
 		if colon != 4 || colon == len(f)-1 {
 			return fmt.Errorf("loop wants: loop NAME WCET ACET : p1 p2 ...")
+		}
+		if err := validName(f[1]); err != nil {
+			return err
 		}
 		w, err := parseDuration(f[2])
 		if err != nil {

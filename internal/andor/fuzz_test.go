@@ -103,3 +103,49 @@ func FuzzDecompose(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseText drives arbitrary bytes through the .andor text parser —
+// the same path the serve package exposes over the network — and checks
+// the round-trip property on everything that parses: FormatText must
+// render a form that reparses to a graph of identical shape.
+func FuzzParseText(f *testing.F) {
+	f.Add("task A 1ms 0.5ms\ntask B 2ms 1ms\nedge A -> B")
+	f.Add(FormatText(RandomGraph(&fakeRand{state: 3}, DefaultRandomOpts())))
+	f.Add("or O\ntask A 1ms 1ms\nedge O -> A\nprob O 100%")
+	f.Add("loop L 1ms 1ms : 0.5 0.5")
+	f.Add("# comment only")
+	f.Add("task A 1ms")
+	f.Add("edge A -> B")
+	f.Add("task A 1ms 1ms\ntask A 1ms 1ms")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseText(src)
+		if err != nil {
+			return // rejected input: fine
+		}
+		// ParseText validates, so the graph must decompose or be rejected
+		// for a documented structural reason — never panic.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("ParseText returned an invalid graph: %v", err)
+		}
+		text := FormatText(g)
+		back, err := ParseText(text)
+		if err != nil {
+			t.Fatalf("format→parse failed: %v\n%s", err, text)
+		}
+		if back.Len() != g.Len() {
+			t.Fatalf("round-trip changed node count: %d vs %d", back.Len(), g.Len())
+		}
+		for _, n := range g.Nodes() {
+			bn := back.NodeByName(n.Name)
+			if bn == nil || bn.Kind != n.Kind || len(bn.Succs()) != len(n.Succs()) {
+				t.Fatalf("round-trip changed node %q", n.Name)
+			}
+		}
+		// Unit scaling in the text form may perturb times by 1 ulp, so
+		// exact text equality is too strong; totals must agree to within
+		// floating-point noise.
+		if w, bw := g.TotalWCET(), back.TotalWCET(); bw < w*(1-1e-12) || bw > w*(1+1e-12) {
+			t.Fatalf("round-trip changed total WCET: %g vs %g", w, bw)
+		}
+	})
+}

@@ -21,6 +21,7 @@ type Arena struct {
 	levels    []int       // per-section level carry
 	clvLevels []int       // clairvoyant initial levels
 	probs     []float64   // chooseBranch scratch
+	batch     []float64   // batched-sampling scratch (one section's times)
 	pol       policy      // the run's policy, re-initialized per run
 	probePol  policy      // clairvoyant probe policy
 	probe     RunResult   // clairvoyant probe output

@@ -13,7 +13,17 @@ import (
 // system configuration (processor count, platform, overheads). It is
 // deadline-independent: the shifting step only moves schedules rigidly, so
 // latest finish times are stored relative to the deadline and resolved when
-// Run is called. A Plan is immutable and safe for concurrent Runs.
+// Run is called.
+//
+// A Plan is immutable once NewPlan returns: no method mutates it, its
+// graph, its sections or its platform. It may therefore be shared freely —
+// cached, handed to any number of goroutines, published through a service —
+// and Run, RunInto, RunStream and the read-only accessors may be called
+// concurrently on the same Plan at any scale, provided each goroutine
+// brings its own Arena and Sampler (both are single-owner scratch state).
+// Callers must likewise not mutate the Graph they passed to NewPlan
+// afterwards. TestPlanSharedAcrossGoroutines exercises this contract under
+// the race detector.
 type Plan struct {
 	// Graph is the application.
 	Graph *andor.Graph
@@ -57,6 +67,12 @@ type secPlan struct {
 	// tasks are the section's schedulable units in canonical dispatch
 	// order; templates[i] lacks only the run-specific WorkA and LFT.
 	tasks []taskPlan
+	// computeIdx indexes the Compute entries of tasks, in task order, and
+	// wcets/acets hold their execution-time parameters contiguously — the
+	// layout batched sampling (exectime.BatchSampler) consumes when the
+	// on-line phase draws a whole section's actual times in one call.
+	computeIdx   []int
+	wcets, acets []float64
 }
 
 // taskPlan pairs a graph node with its engine-task template.
@@ -154,6 +170,11 @@ func (p *Plan) planSection(sec *andor.Section, pad float64) (*secPlan, error) {
 			}
 		}
 		sp.tasks[i] = taskPlan{node: n, tmpl: t}
+		if n.Kind == andor.Compute {
+			sp.computeIdx = append(sp.computeIdx, i)
+			sp.wcets = append(sp.wcets, n.WCET)
+			sp.acets = append(sp.acets, n.ACET)
+		}
 	}
 
 	// Worst-case canonical schedule: padded WCETs at f_max, longest task

@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"andorsched/internal/core"
+	"andorsched/internal/exectime"
+	"andorsched/internal/power"
+	"andorsched/internal/workload"
+)
+
+// TestPlanSharedAcrossGoroutines exercises the Plan immutability contract
+// at scale: one Plan shared by many goroutines, each with its own Arena
+// and reseeded Sampler, must produce exactly the results a lone goroutine
+// produces for the same seeds — and must not trip the race detector, which
+// is what certifies "compile once, serve concurrently" for the plan cache.
+// Runs mix schemes (including the clairvoyant probe, which reuses extra
+// arena state) and interleave single runs with frame streams.
+func TestPlanSharedAcrossGoroutines(t *testing.T) {
+	plan, err := core.NewPlan(workload.ATR(workload.DefaultATRConfig()), 2,
+		power.Transmeta5400(), power.DefaultOverheads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := plan.CTWorst / 0.6
+	schemes := []core.Scheme{core.NPM, core.SPM, core.GSS, core.SS1, core.SS2, core.AS, core.CLV, core.ASP}
+
+	const goroutines = 16
+	const runsPer = 60
+
+	// Reference pass: one goroutine computes every (worker, run) result.
+	type key struct{ w, r int }
+	want := make(map[key]fingerprint, goroutines*runsPer)
+	refArena := core.NewArena()
+	refSrc := exectime.NewSource(0)
+	refSampler := exectime.NewSampler(refSrc)
+	var res core.RunResult
+	for w := 0; w < goroutines; w++ {
+		for r := 0; r < runsPer; r++ {
+			seed := uint64(w)<<32 | uint64(r)
+			refSrc.Reseed(seed)
+			cfg := core.RunConfig{
+				Scheme:   schemes[(w+r)%len(schemes)],
+				Deadline: d,
+				Sampler:  refSampler,
+			}
+			if err := plan.RunInto(cfg, refArena, &res); err != nil {
+				t.Fatal(err)
+			}
+			want[key{w, r}] = fingerprintOf(&res)
+		}
+	}
+
+	// Concurrent pass: the same seeds spread over goroutines sharing plan.
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			arena := core.NewArena()
+			src := exectime.NewSource(0)
+			sampler := exectime.NewSampler(src)
+			var out core.RunResult
+			for r := 0; r < runsPer; r++ {
+				seed := uint64(w)<<32 | uint64(r)
+				src.Reseed(seed)
+				cfg := core.RunConfig{
+					Scheme:   schemes[(w+r)%len(schemes)],
+					Deadline: d,
+					Sampler:  sampler,
+				}
+				if err := plan.RunInto(cfg, arena, &out); err != nil {
+					errs <- fmt.Errorf("worker %d run %d: %w", w, r, err)
+					return
+				}
+				if got := fingerprintOf(&out); got != want[key{w, r}] {
+					errs <- fmt.Errorf("worker %d run %d: concurrent result %+v != serial %+v", w, r, got, want[key{w, r}])
+					return
+				}
+				// Read-only accessors race against other workers' runs.
+				_ = plan.Feasible(d)
+				_ = plan.SectionAvgRemaining(r % plan.NumSections())
+			}
+			// A stream on the same shared plan, same arena.
+			src.Reseed(uint64(w) + 1)
+			if _, err := plan.RunStreamArena(core.StreamConfig{
+				Scheme: core.AS, Period: d, Frames: 20,
+				Sampler: sampler, CarryLevels: true,
+			}, arena); err != nil {
+				errs <- fmt.Errorf("worker %d stream: %w", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	runtime.KeepAlive(plan)
+}
+
+// fingerprint condenses a RunResult into a comparable value. Exact float
+// equality is intentional: the contract is bit-identical results.
+type fingerprint struct {
+	finish, energy float64
+	speedChanges   int
+	met            bool
+	lst            int
+	pathLen        int
+}
+
+func fingerprintOf(r *core.RunResult) fingerprint {
+	return fingerprint{
+		finish: r.Finish, energy: r.Energy(),
+		speedChanges: r.SpeedChanges, met: r.MetDeadline,
+		lst: r.LSTViolations, pathLen: len(r.Path),
+	}
+}

@@ -25,6 +25,8 @@ type Sampler struct {
 	// The default (1/3) puts the WCET at 3σ above the mean, so nearly all of
 	// the untruncated mass lies below the worst case.
 	sigmaFactor float64
+	// norms is SampleBatch's retained scratch for normal variates.
+	norms []float64
 }
 
 // DefaultSigmaFactor is the default ratio of σ to (WCET − ACET).

@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name, ct, body string
+		status         int
+		want           outcome
+	}{
+		{"plain ok", "application/json", `{"run":0}`, 200, outOK},
+		{"rejected", "application/json", `{"error":"full"}`, 429, outRejected},
+		{"server error", "application/json", `{"error":"x"}`, 500, outFailed},
+		{"bad request", "application/json", `{"error":"x"}`, 400, outFailed},
+		{"ndjson complete", "application/x-ndjson",
+			"{\"run\":0}\n{\"summary\":true,\"runs\":1}\n", 200, outOK},
+		{"ndjson truncated", "application/x-ndjson",
+			"{\"run\":0}\n{\"run\":1}\n", 200, outIncomplete},
+		{"ndjson error line", "application/x-ndjson",
+			"{\"run\":0}\n{\"error\":\"queue full\"}\n", 200, outIncomplete},
+		{"ndjson empty", "application/x-ndjson", "", 200, outIncomplete},
+	}
+	for _, tc := range cases {
+		if got := classify(tc.status, tc.ct, []byte(tc.body)); got != tc.want {
+			t.Errorf("%s: classify = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		if n%5 == 0 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprintln(w, `{"run":0}`)
+	}))
+	defer srv.Close()
+
+	res, err := Run(context.Background(), Config{
+		URL:         srv.URL,
+		Body:        func(i int) []byte { return []byte(`{}`) },
+		Concurrency: 4,
+		Requests:    100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 100 {
+		t.Errorf("sent %d, want 100", res.Sent)
+	}
+	if res.OK+res.Rejected != 100 || res.Failed != 0 || res.Incomplete != 0 {
+		t.Errorf("unexpected outcome mix: %+v", res)
+	}
+	if res.Rejected != 20 {
+		t.Errorf("rejected %d, want 20", res.Rejected)
+	}
+	if res.Percentile(50) <= 0 || res.Percentile(99) < res.Percentile(50) {
+		t.Errorf("implausible percentiles: p50=%v p99=%v", res.Percentile(50), res.Percentile(99))
+	}
+	if res.String() == "" {
+		t.Error("empty report")
+	}
+}
+
+func TestRunDurationBounded(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{}`)
+	}))
+	defer srv.Close()
+	start := time.Now()
+	res, err := Run(context.Background(), Config{
+		URL:         srv.URL,
+		Body:        func(i int) []byte { return []byte(`{}`) },
+		Concurrency: 2,
+		Duration:    200 * time.Millisecond,
+		RPS:         50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("duration-bounded run took %v", el)
+	}
+	if res.Sent == 0 {
+		t.Error("no requests issued")
+	}
+	// 50 RPS over 200ms is ~10 requests; allow broad slack but catch an
+	// unthrottled runaway.
+	if res.Sent > 40 {
+		t.Errorf("pacing ineffective: %d requests in 200ms at 50 RPS", res.Sent)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("no error for empty config")
+	}
+	if _, err := Run(context.Background(), Config{URL: "http://x", Body: func(int) []byte { return nil }}); err == nil {
+		t.Error("no error without a stop condition")
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4), the lingua franca of scrape-based
+// monitoring. Metric names are sanitized to the Prometheus charset
+// ([a-zA-Z0-9_:]): the registry's dotted names become underscore-separated
+// ones, e.g. "serve.http.requests" → "serve_http_requests". Counters map
+// to counter, gauges to gauge, and histograms to the cumulative
+// Prometheus histogram convention (le-labelled buckets, _sum, _count,
+// +Inf bucket).
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	for _, c := range s.Counters {
+		name := promName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		// The registry's buckets are disjoint; Prometheus buckets are
+		// cumulative.
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Counts[len(h.Counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(h.Sum), name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a registry name onto the Prometheus metric charset.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float the way Prometheus expects (no exponent for
+// integral values is not required; %g is accepted; infinities spelled out).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}

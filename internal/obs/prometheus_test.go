@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("serve.http.requests").Add(7)
+	m.Gauge("serve.queue.depth").Set(3)
+	h := m.Histogram("serve.http.latency_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005) // ≤ 0.001
+	h.Observe(0.005)  // ≤ 0.01
+	h.Observe(5)      // overflow
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE serve_http_requests counter\nserve_http_requests 7\n",
+		"# TYPE serve_queue_depth gauge\nserve_queue_depth 3\n",
+		"# TYPE serve_http_latency_seconds histogram\n",
+		"serve_http_latency_seconds_bucket{le=\"0.001\"} 1\n",
+		"serve_http_latency_seconds_bucket{le=\"0.01\"} 2\n",
+		"serve_http_latency_seconds_bucket{le=\"+Inf\"} 3\n",
+		"serve_http_latency_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"serve.http.requests": "serve_http_requests",
+		"core.or.resolves":    "core_or_resolves",
+		"9lives":              "_9lives",
+		"ok_name:x":           "ok_name:x",
+		"sp ace-dash":         "sp_ace_dash",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

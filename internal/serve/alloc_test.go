@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"andorsched/internal/core"
+	"andorsched/internal/exectime"
+	"andorsched/internal/power"
+	"andorsched/internal/workload"
+)
+
+// TestWorkerRunZeroAlloc pins the steady-state contract the pool relies
+// on: a warmed worker executing the /v1/run inner loop — reseed, RunInto,
+// fillRow — allocates nothing.
+func TestWorkerRunZeroAlloc(t *testing.T) {
+	plan, err := core.NewPlan(workload.ATR(workload.DefaultATRConfig()), 2,
+		power.Transmeta5400(), power.DefaultOverheads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := exectime.NewSource(1)
+	wk := &Worker{Arena: core.NewArena(), Src: src, Sampler: exectime.NewSampler(src)}
+	cfg := core.RunConfig{Scheme: core.AS, Deadline: plan.CTWorst / 0.5, Sampler: wk.Sampler}
+	var row RunRow
+	seed := uint64(0)
+	run := func() {
+		wk.Src.Reseed(seed)
+		seed++
+		if err := plan.RunInto(cfg, wk.Arena, &wk.Res); err != nil {
+			t.Fatal(err)
+		}
+		fillRow(&row, 0, &wk.Res)
+	}
+	for i := 0; i < 10; i++ {
+		run() // warm the arena and the row's path buffer
+	}
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Errorf("warmed worker run path allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestRunRequestAllocsPerRun bounds the handler's marginal cost per
+// simulated run: after warmup, growing a /v1/run request by 300 extra runs
+// may only add the allocations of encoding 300 extra rows — nothing
+// proportional to the application's size (ATR has ~100 tasks per frame).
+func TestRunRequestAllocsPerRun(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueSize: 8})
+	request := func(runs int) func() {
+		body := fmt.Sprintf(`{"workload":"atr","scheme":"GSS","runs":%d,"seed":11}`, runs)
+		return func() {
+			req := httptest.NewRequest(http.MethodPost, "/v1/run", strings.NewReader(body))
+			w := httptest.NewRecorder()
+			s.Handler().ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				t.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	}
+	small, large := request(50), request(350)
+	small() // compile + warm the worker arena
+	large()
+	allocsSmall := testing.AllocsPerRun(5, small)
+	allocsLarge := testing.AllocsPerRun(5, large)
+	perRun := (allocsLarge - allocsSmall) / 300
+	t.Logf("allocs: runs=50 %.0f, runs=350 %.0f, marginal %.2f/run", allocsSmall, allocsLarge, perRun)
+	if perRun > 32 {
+		t.Errorf("marginal cost %.1f allocs per simulated run; want O(row encoding), <= 32", perRun)
+	}
+}

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"andorsched/internal/andor"
+	"andorsched/internal/core"
+	"andorsched/internal/obs"
+	"andorsched/internal/power"
+	"andorsched/internal/workload"
+)
+
+func testKey(n int) cacheKey {
+	var k cacheKey
+	k.graph[0] = byte(n)
+	k.graph[1] = byte(n >> 8)
+	k.platform = "transmeta"
+	k.procs = 2
+	return k
+}
+
+func compilePlan(t testing.TB) func() (*core.Plan, error) {
+	g := workload.Synthetic()
+	return func() (*core.Plan, error) {
+		return core.NewPlan(g, 2, power.Transmeta5400(), power.DefaultOverheads())
+	}
+}
+
+// TestCacheSingleCompile is the issue's acceptance test: N concurrent
+// identical submissions trigger exactly one compile; everyone gets the
+// same Plan.
+func TestCacheSingleCompile(t *testing.T) {
+	c := NewPlanCache(8, obs.NewMetrics())
+	var compiles atomic.Int64
+	mk := compilePlan(t)
+	compile := func() (*core.Plan, error) {
+		compiles.Add(1)
+		// Stretch the compile window so every goroutine is in flight
+		// before it finishes.
+		time.Sleep(20 * time.Millisecond)
+		return mk()
+	}
+
+	const n = 64
+	plans := make([]*core.Plan, n)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			p, _, err := c.GetOrCompile(context.Background(), testKey(1), compile)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			plans[i] = p
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+
+	if got := compiles.Load(); got != 1 {
+		t.Fatalf("compile ran %d times under %d concurrent requests, want exactly 1", got, n)
+	}
+	for i := 1; i < n; i++ {
+		if plans[i] != plans[0] {
+			t.Fatalf("goroutine %d received a different Plan pointer", i)
+		}
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	m := obs.NewMetrics()
+	c := NewPlanCache(2, m)
+	var compiles atomic.Int64
+	mk := compilePlan(t)
+	compile := func() (*core.Plan, error) { compiles.Add(1); return mk() }
+
+	get := func(k int) {
+		t.Helper()
+		if _, _, err := c.GetOrCompile(context.Background(), testKey(k), compile); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get(1)
+	get(2)
+	get(1) // refresh 1: now 2 is least recently used
+	get(3) // evicts 2
+	if c.Len() != 2 {
+		t.Fatalf("cache length %d, want 2", c.Len())
+	}
+	if compiles.Load() != 3 {
+		t.Fatalf("%d compiles for 3 distinct keys, want 3", compiles.Load())
+	}
+	get(1) // still cached
+	if compiles.Load() != 3 {
+		t.Error("key 1 was evicted but should have been refreshed")
+	}
+	get(2) // was evicted: recompiles
+	if compiles.Load() != 4 {
+		t.Error("evicted key 2 did not recompile")
+	}
+	if ev, _ := m.Snapshot().Counter(MetricCacheEvictions); ev < 1 {
+		t.Errorf("eviction counter %d, want >= 1", ev)
+	}
+}
+
+func TestCacheFailedCompileNotCached(t *testing.T) {
+	c := NewPlanCache(8, obs.NewMetrics())
+	var compiles atomic.Int64
+	boom := errors.New("boom")
+	fail := func() (*core.Plan, error) { compiles.Add(1); return nil, boom }
+
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.GetOrCompile(context.Background(), testKey(9), fail); !errors.Is(err, boom) {
+			t.Fatalf("attempt %d: err %v, want boom", i, err)
+		}
+	}
+	if compiles.Load() != 3 {
+		t.Errorf("failed compile was cached: %d compiles, want 3", compiles.Load())
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed entries left in cache: len %d", c.Len())
+	}
+}
+
+func TestCacheWaitBoundedByContext(t *testing.T) {
+	c := NewPlanCache(8, obs.NewMetrics())
+	slow := make(chan struct{})
+	go c.GetOrCompile(context.Background(), testKey(5), func() (*core.Plan, error) {
+		<-slow
+		return nil, errors.New("never mind")
+	})
+	// Give the first goroutine time to claim the entry.
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := c.GetOrCompile(ctx, testKey(5), func() (*core.Plan, error) {
+		t.Error("second compile must not run")
+		return nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want deadline exceeded", err)
+	}
+	close(slow)
+}
+
+// TestHTTPSingleCompile drives the same property through the HTTP layer:
+// concurrent identical /v1/plan requests produce one cache miss (one
+// core.NewPlan) and n-1 hits.
+func TestHTTPSingleCompile(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, QueueSize: 64})
+	const n = 16
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := post(t, s, "/v1/plan", `{"workload":"atr","procs":4}`)
+			codes[i] = w.Code
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	misses, _ := snap.Counter(MetricCacheMisses)
+	hits, _ := snap.Counter(MetricCacheHits)
+	if misses != 1 {
+		t.Errorf("cache misses %d, want exactly 1 (duplicate-compile suppression)", misses)
+	}
+	if hits != n-1 {
+		t.Errorf("cache hits %d, want %d", hits, n-1)
+	}
+}
+
+// TestCacheKeyDistinguishesConfigs ensures the key covers everything the
+// off-line phase depends on.
+func TestCacheKeyDistinguishesConfigs(t *testing.T) {
+	s := newTestServer(t, Config{})
+	bodies := []string{
+		`{"workload":"synthetic","procs":2}`,
+		`{"workload":"synthetic","procs":4}`,
+		`{"workload":"synthetic","procs":2,"platform":"xscale"}`,
+		`{"workload":"synthetic","procs":2,"overheads":{"speed_comp_cycles":9000,"speed_change_us":30,"volt_slew_us_per_volt":100}}`,
+		`{"workload":"atr","procs":2}`,
+	}
+	for i, body := range bodies {
+		w := post(t, s, "/v1/plan", body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("body %d: status %d: %s", i, w.Code, w.Body.String())
+		}
+	}
+	if misses, _ := s.Metrics().Snapshot().Counter(MetricCacheMisses); misses != int64(len(bodies)) {
+		t.Errorf("%d distinct configurations produced %d misses", len(bodies), misses)
+	}
+	// Equivalent encodings collapse: the same graph as text hits the
+	// workload's entry.
+	g := workload.Synthetic()
+	w := post(t, s, "/v1/plan", fmt.Sprintf(`{"text":%q,"procs":2}`, andor.FormatText(g)))
+	if w.Code != http.StatusOK {
+		t.Fatalf("text form: status %d: %s", w.Code, w.Body.String())
+	}
+	var resp PlanResponse
+	decodeBody(t, w, &resp)
+	if !resp.Cached {
+		t.Error("text rendering of a cached workload missed the cache")
+	}
+}

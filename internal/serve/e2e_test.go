@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"andorsched/internal/loadgen"
+)
+
+// startE2E binds a real listener and serves on it, returning the base URL
+// and the Serve error channel.
+func startE2E(t *testing.T, cfg Config) (*Server, string, chan error) {
+	t.Helper()
+	s := New(cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(l) }()
+	return s, "http://" + l.Addr().String(), errc
+}
+
+// e2eSeconds returns the sustained-load duration: a quick default for the
+// ordinary test run, longer when ANDORD_E2E_SECONDS is set (as
+// scripts/loadtest.sh does).
+func e2eSeconds(t *testing.T) time.Duration {
+	if v := os.Getenv("ANDORD_E2E_SECONDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad ANDORD_E2E_SECONDS %q", v)
+		}
+		return time.Duration(n) * time.Second
+	}
+	if testing.Short() {
+		return 500 * time.Millisecond
+	}
+	return 2 * time.Second
+}
+
+// TestE2ESustainedLoad is the issue's acceptance test: the server sustains
+// a closed-loop load of ATR requests mixing all eight schemes with zero
+// dropped-but-accepted requests, then drains cleanly.
+func TestE2ESustainedLoad(t *testing.T) {
+	s, base, errc := startE2E(t, Config{Workers: 4, QueueSize: 64})
+
+	schemes := []string{"NPM", "SPM", "GSS", "SS1", "SS2", "AS", "CLV", "ASP"}
+	body := func(i int) []byte {
+		// Every third request streams a small Monte-Carlo batch, the rest
+		// are single runs; all schemes cycle through.
+		runs := 1
+		if i%3 == 0 {
+			runs = 8
+		}
+		return []byte(fmt.Sprintf(
+			`{"workload":"atr","scheme":%q,"runs":%d,"seed":%d,"load":0.5}`,
+			schemes[i%len(schemes)], runs, i))
+	}
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		URL:         base + "/v1/run",
+		Body:        body,
+		Concurrency: 8,
+		Duration:    e2eSeconds(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sustained load:\n%s", res)
+	if res.OK == 0 {
+		t.Fatal("no requests completed")
+	}
+	if res.Failed != 0 {
+		t.Errorf("%d failed requests under sustained load", res.Failed)
+	}
+	if res.Incomplete != 0 {
+		t.Errorf("%d accepted-but-dropped requests (incomplete streams)", res.Incomplete)
+	}
+	if res.OK+res.Rejected != res.Sent {
+		t.Errorf("outcome accounting broken: %+v", res)
+	}
+
+	// Graceful drain: Serve must return ErrServerClosed and the port must
+	// stop accepting.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	if _, err := net.DialTimeout("tcp", strings.TrimPrefix(base, "http://"), 200*time.Millisecond); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+// TestE2EBackpressure saturates a deliberately tiny server and checks the
+// full 429 contract: rejections happen, they carry Retry-After, and no
+// accepted request is dropped.
+func TestE2EBackpressure(t *testing.T) {
+	s, base, errc := startE2E(t, Config{Workers: 1, QueueSize: 1})
+
+	// Saturate the one worker and the one queue slot with streaming
+	// requests, then check a direct request is turned away correctly.
+	heavy := []byte(`{"workload":"atr","scheme":"AS","runs":30000,"seed":1}`)
+	client := &http.Client{Timeout: 60 * time.Second}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Post(base+"/v1/run", "application/json", strings.NewReader(string(heavy)))
+			if err != nil {
+				t.Errorf("occupier: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("occupier status %d", resp.StatusCode)
+				return
+			}
+			// Drain fully: the stream must end with a summary even though
+			// the server was saturated while it ran.
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			last := ""
+			for sc.Scan() {
+				if line := strings.TrimSpace(sc.Text()); line != "" {
+					last = line
+				}
+			}
+			if !strings.Contains(last, `"summary":true`) {
+				t.Errorf("occupier stream incomplete; last line %q", last)
+			}
+		}()
+	}
+
+	// Wait until worker + queue slot are taken.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.pool.InFlight() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never saturated")
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+
+	// Burst more requests: they must all be clean 429s with Retry-After.
+	sawReject := false
+	for i := 0; i < 8 && !sawReject; i++ {
+		resp, err := client.Post(base+"/v1/run", "application/json",
+			strings.NewReader(`{"workload":"atr","scheme":"GSS","runs":50}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			sawReject = true
+			if ra := resp.Header.Get("Retry-After"); ra == "" {
+				t.Error("429 without Retry-After header")
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "json") {
+				t.Errorf("429 content type %q", ct)
+			}
+		}
+		resp.Body.Close()
+	}
+	if !sawReject {
+		t.Error("saturated server never answered 429")
+	}
+	wg.Wait()
+
+	if n, _ := s.Metrics().Snapshot().Counter(MetricRejections); !sawReject || n < 1 {
+		t.Errorf("rejection counter %d", n)
+	}
+	shutdownE2E(t, s, errc)
+}
+
+// TestE2EGracefulDrain starts a long streaming request and shuts down
+// while it is in flight: the response must still complete with its
+// summary, and Shutdown must not return before it does.
+func TestE2EGracefulDrain(t *testing.T) {
+	s, base, errc := startE2E(t, Config{Workers: 2, QueueSize: 8})
+
+	started := make(chan struct{})
+	finished := make(chan string, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/run", "application/json",
+			strings.NewReader(`{"workload":"atr","scheme":"GSS","runs":3000,"seed":9}`))
+		if err != nil {
+			finished <- "request error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		close(started)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		last := ""
+		for sc.Scan() {
+			if line := strings.TrimSpace(sc.Text()); line != "" {
+				last = line
+			}
+		}
+		finished <- last
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown while draining: %v", err)
+	}
+	select {
+	case last := <-finished:
+		if !strings.Contains(last, `"summary":true`) {
+			t.Errorf("in-flight stream did not complete across shutdown; last line %q", last)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("in-flight request never finished")
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v", err)
+	}
+}
+
+func shutdownE2E(t *testing.T, s *Server, errc chan error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v", err)
+	}
+}

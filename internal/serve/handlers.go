@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"andorsched/internal/cli"
+	"andorsched/internal/core"
+	"andorsched/internal/exectime"
+	"andorsched/internal/obs"
+	"andorsched/internal/stats"
+)
+
+// planFor resolves an AppSpec to a compiled Plan through the cache. The
+// boolean reports a cache hit.
+func (s *Server) planFor(ctx context.Context, spec *AppSpec) (*core.Plan, bool, *apiError) {
+	g, key, apiErr := s.resolveApp(spec)
+	if apiErr != nil {
+		return nil, false, apiErr
+	}
+	plan, hit, err := s.cache.GetOrCompile(ctx, key, func() (*core.Plan, error) {
+		plat, err := cli.ParsePlatform(key.platform)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewPlan(g, key.procs, plat, key.ov)
+	})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return nil, false, errf(http.StatusServiceUnavailable, "timed out waiting for plan compile")
+		}
+		// NewPlan failures are application problems (invalid graph,
+		// non-positive procs): the client's fault.
+		return nil, false, errf(http.StatusBadRequest, "plan: %v", err)
+	}
+	return plan, hit, nil
+}
+
+// handlePlan compiles (or fetches) a plan and returns its summary.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r) {
+		return
+	}
+	var req struct{ AppSpec }
+	if apiErr := s.decodeJSON(r, &req); apiErr != nil {
+		s.writeError(w, apiErr.status, apiErr.msg)
+		return
+	}
+	plan, hit, apiErr := s.planFor(r.Context(), &req.AppSpec)
+	if apiErr != nil {
+		s.writeError(w, apiErr.status, apiErr.msg)
+		return
+	}
+	writeJSON(w, http.StatusOK, PlanResponse{
+		App:         plan.Graph.Name,
+		Nodes:       plan.Graph.Len(),
+		Sections:    plan.NumSections(),
+		Paths:       plan.Sections.NumPaths(),
+		Procs:       plan.Procs,
+		Platform:    plan.Platform.Name,
+		Levels:      plan.Platform.NumLevels(),
+		CTWorst:     plan.CTWorst,
+		CTAvg:       plan.CTAvg,
+		MinDeadline: plan.MinDeadline(),
+		Cached:      hit,
+	})
+}
+
+// fillRow writes one run's result into row, reusing row.Path.
+func fillRow(row *RunRow, run int, res *core.RunResult) {
+	row.Run = run
+	row.Scheme = res.Scheme.String()
+	row.DeadlineS = res.Deadline
+	row.FinishS = res.Finish
+	row.MetDeadline = res.MetDeadline
+	row.EnergyJ = res.Energy()
+	row.ActiveJ = res.ActiveEnergy
+	row.OverheadJ = res.OverheadEnergy
+	row.IdleJ = res.IdleEnergy
+	row.SpeedChanges = res.SpeedChanges
+	row.Path = row.Path[:0]
+	for _, c := range res.Path {
+		row.Path = append(row.Path, c.Branch)
+	}
+}
+
+// handleRun executes an application once (JSON response) or runs=N times
+// (NDJSON stream: one row per run, then a summary row). The simulation
+// itself runs on a pool worker's arena; this handler only decodes,
+// resolves the plan and encodes.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r) {
+		return
+	}
+	var req RunRequest
+	if apiErr := s.decodeJSON(r, &req); apiErr != nil {
+		s.writeError(w, apiErr.status, apiErr.msg)
+		return
+	}
+	schemeName := req.Scheme
+	if schemeName == "" {
+		schemeName = "GSS"
+	}
+	scheme, err := core.ParseScheme(schemeName)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	runs := req.Runs
+	if runs == 0 {
+		runs = 1
+	}
+	if runs < 1 || runs > s.cfg.MaxRuns {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("runs %d outside [1, %d]", runs, s.cfg.MaxRuns))
+		return
+	}
+	plan, _, apiErr := s.planFor(r.Context(), &req.AppSpec)
+	if apiErr != nil {
+		s.writeError(w, apiErr.status, apiErr.msg)
+		return
+	}
+	deadline, apiErr := resolveDeadline(plan.CTWorst, req.Deadline, req.Load)
+	if apiErr != nil {
+		s.writeError(w, apiErr.status, apiErr.msg)
+		return
+	}
+
+	if runs == 1 {
+		var row RunRow
+		var runErr error
+		err := s.pool.Do(r.Context(), func(ctx context.Context, wk *Worker) {
+			wk.Src.Reseed(req.Seed)
+			cfg := core.RunConfig{Scheme: scheme, Deadline: deadline}
+			if req.Worst {
+				cfg.WorstCase = true
+			} else {
+				cfg.Sampler = wk.Sampler
+			}
+			if runErr = plan.RunInto(cfg, wk.Arena, &wk.Res); runErr != nil {
+				return
+			}
+			fillRow(&row, 0, &wk.Res)
+		})
+		if !s.checkPoolErr(w, err) {
+			return
+		}
+		if runErr != nil {
+			s.writeError(w, http.StatusInternalServerError, runErr.Error())
+			return
+		}
+		s.runs.Inc()
+		writeJSON(w, http.StatusOK, row)
+		return
+	}
+
+	// Monte-Carlo: stream NDJSON rows as they are produced, then a
+	// summary. Admission happens before the status line commits — the 200
+	// is only written once a worker has picked the job up, so a full queue
+	// still yields a clean 429. After the 200, a mid-stream failure is
+	// reported as an {"error": ...} line and an absent summary; clients
+	// (and loadgen) treat a stream without a summary as incomplete.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	poolErr := s.pool.Do(r.Context(), func(ctx context.Context, wk *Worker) {
+		w.WriteHeader(http.StatusOK)
+		var row RunRow
+		var finish, energy stats.Acc
+		var misses, lst, changes, done int
+		// Per-run seeds come from one master stream, so runs are
+		// independent but the whole request is reproducible from req.Seed.
+		var master exectime.Source
+		master.Reseed(req.Seed)
+		cfg := core.RunConfig{Scheme: scheme, Deadline: deadline}
+		if req.Worst {
+			cfg.WorstCase = true
+		} else {
+			cfg.Sampler = wk.Sampler
+		}
+		for i := 0; i < runs; i++ {
+			if ctx.Err() != nil {
+				return // request gone: stream ends without a summary
+			}
+			wk.Src.Reseed(master.Uint64())
+			if err := plan.RunInto(cfg, wk.Arena, &wk.Res); err != nil {
+				_ = enc.Encode(map[string]string{"error": err.Error()})
+				return
+			}
+			fillRow(&row, i, &wk.Res)
+			if err := enc.Encode(&row); err != nil {
+				return // client went away; stop simulating
+			}
+			finish.Add(wk.Res.Finish)
+			energy.Add(wk.Res.Energy())
+			changes += wk.Res.SpeedChanges
+			lst += wk.Res.LSTViolations
+			if !wk.Res.MetDeadline {
+				misses++
+			}
+			done++
+			if flusher != nil && done%256 == 0 {
+				flusher.Flush()
+			}
+		}
+		_ = enc.Encode(RunSummary{
+			Summary: true, Runs: done, Scheme: scheme.String(), DeadlineS: deadline,
+			MeanEnergyJ: energy.Mean(), MeanFinishS: finish.Mean(), MaxFinishS: finish.Max(),
+			DeadlineMisses: misses, LSTViolations: lst, SpeedChanges: changes,
+		})
+		s.runs.Add(int64(done))
+	})
+	if poolErr != nil {
+		// The job never ran, so no status line was written: report the
+		// rejection properly instead of committing a doomed 200.
+		w.Header().Del("Content-Type")
+		s.checkPoolErr(w, poolErr)
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// handleCompare runs every requested scheme over the same random numbers
+// and reports energies normalized to NPM.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r) {
+		return
+	}
+	var req CompareRequest
+	if apiErr := s.decodeJSON(r, &req); apiErr != nil {
+		s.writeError(w, apiErr.status, apiErr.msg)
+		return
+	}
+	schemes := make([]core.Scheme, 0, 8)
+	if len(req.Schemes) == 0 {
+		schemes = append(schemes, core.Schemes...)
+		schemes = append(schemes, core.ExtendedSchemes...)
+	} else {
+		for _, name := range req.Schemes {
+			sc, err := core.ParseScheme(name)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			schemes = append(schemes, sc)
+		}
+	}
+	runs := req.Runs
+	if runs == 0 {
+		runs = 200
+	}
+	if runs < 1 || runs*len(schemes) > s.cfg.MaxRuns {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("runs %d × %d schemes exceeds the limit of %d total executions",
+				runs, len(schemes), s.cfg.MaxRuns))
+		return
+	}
+	plan, _, apiErr := s.planFor(r.Context(), &req.AppSpec)
+	if apiErr != nil {
+		s.writeError(w, apiErr.status, apiErr.msg)
+		return
+	}
+	deadline, apiErr := resolveDeadline(plan.CTWorst, req.Deadline, req.Load)
+	if apiErr != nil {
+		s.writeError(w, apiErr.status, apiErr.msg)
+		return
+	}
+
+	resp := CompareResponse{
+		App: plan.Graph.Name, Runs: runs, DeadlineS: deadline,
+	}
+	var runErr error
+	err := s.pool.Do(r.Context(), func(ctx context.Context, wk *Worker) {
+		norm := make([]stats.Acc, len(schemes))
+		chg := make([]stats.Acc, len(schemes))
+		missed := make([]int, len(schemes))
+		var npmEnergy stats.Acc
+		var master exectime.Source
+		master.Reseed(req.Seed)
+		for i := 0; i < runs; i++ {
+			if ctx.Err() != nil {
+				runErr = ctx.Err()
+				return
+			}
+			runSeed := master.Uint64()
+			// Common random numbers: every scheme replays the same actual
+			// times and branch outcomes.
+			wk.Src.Reseed(runSeed)
+			if runErr = plan.RunInto(core.RunConfig{
+				Scheme: core.NPM, Deadline: deadline, Sampler: wk.Sampler,
+			}, wk.Arena, &wk.Base); runErr != nil {
+				return
+			}
+			base := wk.Base.Energy()
+			npmEnergy.Add(base)
+			for si, sc := range schemes {
+				wk.Src.Reseed(runSeed)
+				if runErr = plan.RunInto(core.RunConfig{
+					Scheme: sc, Deadline: deadline, Sampler: wk.Sampler,
+				}, wk.Arena, &wk.Res); runErr != nil {
+					return
+				}
+				norm[si].Add(wk.Res.Energy() / base)
+				chg[si].Add(float64(wk.Res.SpeedChanges))
+				if !wk.Res.MetDeadline {
+					missed[si]++
+				}
+			}
+		}
+		resp.NPMEnergyJ = npmEnergy.Mean()
+		for si, sc := range schemes {
+			resp.Schemes = append(resp.Schemes, CompareScheme{
+				Scheme:           sc.String(),
+				MeanNormEnergy:   norm[si].Mean(),
+				CI95:             norm[si].CI95(),
+				MeanSpeedChanges: chg[si].Mean(),
+				DeadlineMisses:   missed[si],
+			})
+		}
+		s.runs.Add(int64(runs * (len(schemes) + 1)))
+	})
+	if !s.checkPoolErr(w, err) {
+		return
+	}
+	if runErr != nil {
+		s.writeError(w, http.StatusInternalServerError, runErr.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// checkPoolErr maps pool submission failures onto responses; true means
+// the job ran and the caller should proceed.
+func (s *Server) checkPoolErr(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrQueueFull):
+		s.writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, http.StatusServiceUnavailable, "request timed out before a worker was available")
+	default:
+		s.writeError(w, http.StatusServiceUnavailable, err.Error())
+	}
+	return false
+}
+
+// handleHealthz reports liveness plus basic capacity numbers.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"workers":        s.cfg.Workers,
+		"queue_capacity": s.cfg.QueueSize,
+		"in_flight":      s.pool.InFlight(),
+		"cached_plans":   s.cache.Len(),
+	})
+}
+
+// handleMetrics exposes the registry in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = obs.WritePrometheus(w, s.metrics.Snapshot())
+}

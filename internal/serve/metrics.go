@@ -1,0 +1,40 @@
+package serve
+
+// Metric names registered by the server in its obs.Metrics registry and
+// exported at GET /metrics (Prometheus text format; dots become
+// underscores there, see obs.WritePrometheus).
+const (
+	// MetricRequests counts HTTP requests received (counter).
+	MetricRequests = "serve.http.requests"
+	// MetricErrors counts requests answered with a 4xx/5xx status
+	// (counter). Queue rejections are counted separately.
+	MetricErrors = "serve.http.errors"
+	// MetricPanics counts handler panics recovered (counter).
+	MetricPanics = "serve.http.panics"
+	// MetricRejections counts requests rejected with 429 because the
+	// admission queue was full (counter).
+	MetricRejections = "serve.http.rejections"
+	// MetricLatency is the request latency histogram in seconds.
+	MetricLatency = "serve.http.latency_seconds"
+	// MetricQueueDepth is the admission queue's current depth (gauge).
+	MetricQueueDepth = "serve.queue.depth"
+	// MetricRuns counts simulated application executions performed
+	// (counter): one per run of a /v1/run request, one per scheme per run
+	// of a /v1/compare request.
+	MetricRuns = "serve.runs"
+	// MetricCacheHits counts plan-cache lookups that found an entry
+	// (counter); in-flight compiles joined by later requests count as hits.
+	MetricCacheHits = "serve.cache.hits"
+	// MetricCacheMisses counts plan-cache lookups that triggered a compile
+	// (counter).
+	MetricCacheMisses = "serve.cache.misses"
+	// MetricCacheEvictions counts LRU evictions (counter).
+	MetricCacheEvictions = "serve.cache.evictions"
+	// MetricCacheSize is the number of cached plans (gauge).
+	MetricCacheSize = "serve.cache.size"
+)
+
+// latencyBuckets are the request-latency histogram bounds in seconds.
+var latencyBuckets = []float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1, 2.5, 5,
+}

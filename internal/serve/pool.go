@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"andorsched/internal/core"
+	"andorsched/internal/exectime"
+	"andorsched/internal/obs"
+)
+
+// ErrQueueFull reports that the admission queue was full; the handler maps
+// it to 429 Too Many Requests with a Retry-After hint.
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// ErrPoolClosed reports a submission after Close.
+var ErrPoolClosed = errors.New("serve: pool closed")
+
+// Worker is one pool goroutine's reusable simulation state: an arena, a
+// reseedable random source and a sampler wired to it. A job owns the
+// worker for its whole duration, so the steady-state request path runs on
+// the zero-allocation RunInto machinery — every run reuses the same
+// buffers, and per-run seeds come from reseeding Src.
+type Worker struct {
+	Arena   *core.Arena
+	Src     *exectime.Source
+	Sampler *exectime.Sampler
+	// Res and Base are result holders jobs may reuse (e.g. scheme runs and
+	// their NPM baseline).
+	Res, Base core.RunResult
+}
+
+type job struct {
+	ctx  context.Context
+	fn   func(ctx context.Context, w *Worker)
+	done chan struct{}
+	ran  bool // set by the worker before closing done
+}
+
+// Pool is a fixed-size worker pool with a bounded admission queue. Do
+// submits a job and blocks until it completes; when the queue is full it
+// fails fast with ErrQueueFull (backpressure) instead of queueing
+// unboundedly. Each worker holds one Worker state for its lifetime.
+type Pool struct {
+	jobs     chan *job
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	inFlight atomic.Int64
+
+	depth *obs.Gauge
+}
+
+// NewPool starts workers goroutines with a queue of the given capacity.
+// workers and queue are floored at 1.
+func NewPool(workers, queue int, m *obs.Metrics) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 1 {
+		queue = 1
+	}
+	p := &Pool{
+		jobs:  make(chan *job, queue),
+		depth: m.Gauge(MetricQueueDepth),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker(uint64(i))
+	}
+	return p
+}
+
+func (p *Pool) worker(id uint64) {
+	defer p.wg.Done()
+	src := exectime.NewSource(id)
+	w := &Worker{
+		Arena:   core.NewArena(),
+		Src:     src,
+		Sampler: exectime.NewSampler(src),
+	}
+	for j := range p.jobs {
+		p.depth.Set(float64(len(p.jobs)))
+		// A job whose request already gave up (context expired while
+		// queued) is skipped: its handler is gone, running it would only
+		// burn the worker.
+		if j.ctx.Err() == nil {
+			j.fn(j.ctx, w)
+			j.ran = true
+		}
+		close(j.done)
+		p.inFlight.Add(-1)
+	}
+}
+
+// Do submits fn and waits for it to finish. fn runs on a pool worker with
+// exclusive use of that worker's state; it must respect ctx between units
+// of work. Do returns ErrQueueFull immediately when the queue is full,
+// ErrPoolClosed after Close, and ctx's error when the job was skipped
+// because the context expired before a worker picked it up. A nil return
+// means fn ran to completion.
+func (p *Pool) Do(ctx context.Context, fn func(ctx context.Context, w *Worker)) error {
+	if p.closed.Load() {
+		return ErrPoolClosed
+	}
+	j := &job{ctx: ctx, fn: fn, done: make(chan struct{})}
+	select {
+	case p.jobs <- j:
+		p.inFlight.Add(1)
+		p.depth.Set(float64(len(p.jobs)))
+	default:
+		return ErrQueueFull
+	}
+	<-j.done
+	if !j.ran {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return ErrPoolClosed
+	}
+	return nil
+}
+
+// InFlight returns the number of jobs queued or running.
+func (p *Pool) InFlight() int { return int(p.inFlight.Load()) }
+
+// Close stops accepting jobs, lets queued and running jobs finish, and
+// waits for the workers to exit. Callers must ensure no Do call starts
+// after Close begins (the server guarantees this by draining HTTP
+// handlers first).
+func (p *Pool) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.jobs)
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"andorsched/internal/obs"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(2, 4, obs.NewMetrics())
+	defer p.Close()
+	var mu sync.Mutex
+	seen := 0
+	for i := 0; i < 10; i++ {
+		err := p.Do(context.Background(), func(ctx context.Context, w *Worker) {
+			if w.Arena == nil || w.Src == nil || w.Sampler == nil {
+				t.Error("worker state not initialized")
+			}
+			mu.Lock()
+			seen++
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	if seen != 10 {
+		t.Fatalf("ran %d jobs, want 10", seen)
+	}
+}
+
+func TestPoolQueueFull(t *testing.T) {
+	p := NewPool(1, 1, obs.NewMetrics())
+	defer p.Close()
+
+	block := make(chan struct{})
+	running := make(chan struct{})
+	// Occupy the single worker...
+	go p.Do(context.Background(), func(ctx context.Context, w *Worker) {
+		close(running)
+		<-block
+	})
+	<-running
+	// ...and the single queue slot.
+	queued := make(chan error, 1)
+	go func() {
+		queued <- p.Do(context.Background(), func(ctx context.Context, w *Worker) {})
+	}()
+	// Wait until the queue slot is actually taken.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.InFlight() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued job never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Now the pool is saturated: submissions must fail fast.
+	if err := p.Do(context.Background(), func(ctx context.Context, w *Worker) {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err %v, want ErrQueueFull", err)
+	}
+	close(block)
+	if err := <-queued; err != nil {
+		t.Fatalf("queued job failed: %v", err)
+	}
+}
+
+func TestPoolSkipsExpiredQueuedJobs(t *testing.T) {
+	p := NewPool(1, 4, obs.NewMetrics())
+	defer p.Close()
+
+	block := make(chan struct{})
+	running := make(chan struct{})
+	go p.Do(context.Background(), func(ctx context.Context, w *Worker) {
+		close(running)
+		<-block
+	})
+	<-running
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := false
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.Do(ctx, func(ctx context.Context, w *Worker) { ran = true })
+	}()
+	for p.InFlight() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel() // the queued job's request gives up
+	close(block)
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("expired job still ran")
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	p := NewPool(2, 4, obs.NewMetrics())
+	done := false
+	if err := p.Do(context.Background(), func(ctx context.Context, w *Worker) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if !done {
+		t.Error("job did not complete before Close returned")
+	}
+	if err := p.Do(context.Background(), func(ctx context.Context, w *Worker) {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("err after close %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolCloseDrainsQueued(t *testing.T) {
+	p := NewPool(1, 8, obs.NewMetrics())
+	block := make(chan struct{})
+	running := make(chan struct{})
+	go p.Do(context.Background(), func(ctx context.Context, w *Worker) {
+		close(running)
+		<-block
+	})
+	<-running
+
+	var mu sync.Mutex
+	completed := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.Do(context.Background(), func(ctx context.Context, w *Worker) {
+				mu.Lock()
+				completed++
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Errorf("queued job rejected during drain: %v", err)
+			}
+		}()
+	}
+	for p.InFlight() < 6 {
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	p.Close() // must wait for all queued jobs
+	wg.Wait()
+	if completed != 5 {
+		t.Fatalf("%d queued jobs completed across Close, want 5", completed)
+	}
+}

@@ -1,0 +1,336 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"andorsched/internal/andor"
+	"andorsched/internal/cli"
+	"andorsched/internal/power"
+	"andorsched/internal/workload"
+)
+
+// AppSpec describes the application and system configuration of a request.
+// Exactly one of Graph, Text and Workload selects the application; the
+// rest of the fields select the platform model.
+type AppSpec struct {
+	// Graph is an AND/OR graph in the andor JSON schema (see
+	// graphtool -json).
+	Graph json.RawMessage `json:"graph,omitempty"`
+	// Text is an application in the .andor text format.
+	Text string `json:"text,omitempty"`
+	// Workload names a built-in application: "atr", "synthetic" or
+	// "random[:seed]". File paths are deliberately not accepted over the
+	// network.
+	Workload string `json:"workload,omitempty"`
+	// Platform is the DVS platform spec: "transmeta" (default), "xscale"
+	// or "synthetic:N:fminMHz:fmaxMHz".
+	Platform string `json:"platform,omitempty"`
+	// Procs is the processor count m (default 2).
+	Procs int `json:"procs,omitempty"`
+	// Overheads overrides the paper's default power-management costs.
+	Overheads *OverheadsSpec `json:"overheads,omitempty"`
+}
+
+// OverheadsSpec is the wire form of power.Overheads.
+type OverheadsSpec struct {
+	SpeedCompCycles float64 `json:"speed_comp_cycles"`
+	SpeedChangeUs   float64 `json:"speed_change_us"`
+	VoltSlewUsPerV  float64 `json:"volt_slew_us_per_volt"`
+}
+
+// RunRequest asks for one or more on-line executions of an application.
+type RunRequest struct {
+	AppSpec
+	// Scheme is the power-management scheme name (default "GSS").
+	Scheme string `json:"scheme,omitempty"`
+	// Deadline is the absolute deadline in seconds; when 0, Load applies.
+	Deadline float64 `json:"deadline,omitempty"`
+	// Load is the system load CT_worst/D in (0,1] (default 0.5), used when
+	// Deadline is 0.
+	Load float64 `json:"load,omitempty"`
+	// Seed drives actual execution times and OR branches (default 42).
+	Seed uint64 `json:"seed,omitempty"`
+	// Runs is the Monte-Carlo run count (default 1). Runs > 1 switches the
+	// response to NDJSON streaming: one JSON row per run, then a summary.
+	Runs int `json:"runs,omitempty"`
+	// Worst makes every task consume its full WCET (no sampling).
+	Worst bool `json:"worst,omitempty"`
+}
+
+// CompareRequest asks for a common-random-numbers comparison of several
+// schemes on one application.
+type CompareRequest struct {
+	AppSpec
+	// Schemes lists scheme names; empty means all eight (the paper's six
+	// plus CLV and ASP).
+	Schemes []string `json:"schemes,omitempty"`
+	// Deadline / Load: as in RunRequest.
+	Deadline float64 `json:"deadline,omitempty"`
+	Load     float64 `json:"load,omitempty"`
+	// Runs is the number of frames per scheme (default 200).
+	Runs int `json:"runs,omitempty"`
+	// Seed drives the common random numbers (default 42).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// PlanResponse summarizes a compiled plan.
+type PlanResponse struct {
+	App         string  `json:"app"`
+	Nodes       int     `json:"nodes"`
+	Sections    int     `json:"sections"`
+	Paths       int     `json:"paths"`
+	Procs       int     `json:"procs"`
+	Platform    string  `json:"platform"`
+	Levels      int     `json:"levels"`
+	CTWorst     float64 `json:"ct_worst_s"`
+	CTAvg       float64 `json:"ct_avg_s"`
+	MinDeadline float64 `json:"min_deadline_s"`
+	Cached      bool    `json:"cached"`
+}
+
+// RunRow is one execution's result row.
+type RunRow struct {
+	Run          int     `json:"run"`
+	Scheme       string  `json:"scheme"`
+	DeadlineS    float64 `json:"deadline_s"`
+	FinishS      float64 `json:"finish_s"`
+	MetDeadline  bool    `json:"met_deadline"`
+	EnergyJ      float64 `json:"energy_j"`
+	ActiveJ      float64 `json:"active_j"`
+	OverheadJ    float64 `json:"overhead_j"`
+	IdleJ        float64 `json:"idle_j"`
+	SpeedChanges int     `json:"speed_changes"`
+	Path         []int   `json:"path,omitempty"`
+}
+
+// RunSummary trails a streamed multi-run response.
+type RunSummary struct {
+	Summary        bool    `json:"summary"`
+	Runs           int     `json:"runs"`
+	Scheme         string  `json:"scheme"`
+	DeadlineS      float64 `json:"deadline_s"`
+	MeanEnergyJ    float64 `json:"mean_energy_j"`
+	MeanFinishS    float64 `json:"mean_finish_s"`
+	MaxFinishS     float64 `json:"max_finish_s"`
+	DeadlineMisses int     `json:"deadline_misses"`
+	LSTViolations  int     `json:"lst_violations"`
+	SpeedChanges   int     `json:"speed_changes"`
+}
+
+// CompareResponse reports per-scheme energies normalized to NPM under
+// common random numbers.
+type CompareResponse struct {
+	App        string          `json:"app"`
+	Runs       int             `json:"runs"`
+	DeadlineS  float64         `json:"deadline_s"`
+	NPMEnergyJ float64         `json:"npm_mean_energy_j"`
+	Schemes    []CompareScheme `json:"schemes"`
+}
+
+// CompareScheme is one scheme's aggregate in a CompareResponse.
+type CompareScheme struct {
+	Scheme           string  `json:"scheme"`
+	MeanNormEnergy   float64 `json:"mean_norm_energy"`
+	CI95             float64 `json:"ci95"`
+	MeanSpeedChanges float64 `json:"mean_speed_changes"`
+	DeadlineMisses   int     `json:"deadline_misses"`
+}
+
+// apiError carries an HTTP status with a client-facing message.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) *apiError {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// maxGraphNodes bounds accepted applications; beyond this the off-line
+// phase's cost stops being interactive and a request could occupy the
+// compile path for seconds.
+const maxGraphNodes = 20000
+
+// resolveApp turns an AppSpec into a validated graph plus the cache-key
+// ingredients. The graph digest comes from the canonical text rendering,
+// so equivalent submissions in different encodings share a cache entry.
+func (s *Server) resolveApp(spec *AppSpec) (*andor.Graph, cacheKey, *apiError) {
+	var key cacheKey
+
+	given := 0
+	for _, ok := range []bool{len(spec.Graph) > 0, spec.Text != "", spec.Workload != ""} {
+		if ok {
+			given++
+		}
+	}
+	if given == 0 {
+		return nil, key, errf(http.StatusBadRequest, "one of graph, text or workload is required")
+	}
+	if given > 1 {
+		return nil, key, errf(http.StatusBadRequest, "graph, text and workload are mutually exclusive")
+	}
+
+	var g *andor.Graph
+	switch {
+	case len(spec.Graph) > 0:
+		g = andor.NewGraph("")
+		if err := json.Unmarshal(spec.Graph, g); err != nil {
+			return nil, key, errf(http.StatusBadRequest, "graph: %v", err)
+		}
+		if err := g.Validate(); err != nil {
+			return nil, key, errf(http.StatusBadRequest, "graph: %v", err)
+		}
+	case spec.Text != "":
+		var err error
+		g, err = andor.ParseText(spec.Text)
+		if err != nil {
+			return nil, key, errf(http.StatusBadRequest, "text: %v", err)
+		}
+	default:
+		var err error
+		var digest [sha256.Size]byte
+		g, digest, err = memoBuiltinWorkload(spec.Workload)
+		if err != nil {
+			return nil, key, errf(http.StatusBadRequest, "%v", err)
+		}
+		key.graph = digest
+	}
+	if g.Len() > maxGraphNodes {
+		return nil, key, errf(http.StatusBadRequest, "graph has %d nodes, limit %d", g.Len(), maxGraphNodes)
+	}
+
+	procs := spec.Procs
+	if procs == 0 {
+		procs = 2
+	}
+	if procs < 1 || procs > s.cfg.MaxProcs {
+		return nil, key, errf(http.StatusBadRequest, "procs %d outside [1, %d]", procs, s.cfg.MaxProcs)
+	}
+
+	platform := spec.Platform
+	if platform == "" {
+		platform = "transmeta"
+	}
+	if _, err := cli.ParsePlatform(platform); err != nil {
+		return nil, key, errf(http.StatusBadRequest, "%v", err)
+	}
+
+	ov := power.DefaultOverheads()
+	if o := spec.Overheads; o != nil {
+		if o.SpeedCompCycles < 0 || o.SpeedChangeUs < 0 || o.VoltSlewUsPerV < 0 {
+			return nil, key, errf(http.StatusBadRequest, "overheads must be non-negative")
+		}
+		ov = power.Overheads{
+			SpeedCompCycles: o.SpeedCompCycles,
+			SpeedChangeTime: o.SpeedChangeUs * 1e-6,
+			VoltSlewTime:    o.VoltSlewUsPerV * 1e-6,
+		}
+	}
+
+	if key.graph == ([sha256.Size]byte{}) {
+		key.graph = graphDigest(g)
+	}
+	key.platform = platform
+	key.procs = procs
+	key.ov = ov
+	return g, key, nil
+}
+
+// builtinMemo caches the graph and content digest of the fixed builtin
+// workloads. Building the ATR graph and hashing its canonical rendering
+// costs ~1000 allocations; doing that per request would dominate the
+// steady-state /v1/run path, whose simulation is allocation-free. Graphs
+// here are shared across requests, which is sound for the same reason
+// cached Plans are: nothing mutates a graph after construction.
+var builtinMemo struct {
+	mu sync.Mutex
+	m  map[string]memoEntry
+}
+
+type memoEntry struct {
+	g      *andor.Graph
+	digest [sha256.Size]byte
+}
+
+// memoBuiltinWorkload resolves a builtin workload name, memoizing the
+// fixed (parameterless) ones. Seeded random workloads are rebuilt per
+// request: their name space is unbounded, and memoizing them would let a
+// client grow the map without limit.
+func memoBuiltinWorkload(name string) (*andor.Graph, [sha256.Size]byte, error) {
+	memoizable := name == "atr" || name == "synthetic"
+	if memoizable {
+		builtinMemo.mu.Lock()
+		e, ok := builtinMemo.m[name]
+		builtinMemo.mu.Unlock()
+		if ok {
+			return e.g, e.digest, nil
+		}
+	}
+	g, err := builtinWorkload(name)
+	if err != nil {
+		return nil, [sha256.Size]byte{}, err
+	}
+	digest := graphDigest(g)
+	if memoizable {
+		builtinMemo.mu.Lock()
+		if builtinMemo.m == nil {
+			builtinMemo.m = make(map[string]memoEntry)
+		}
+		builtinMemo.m[name] = memoEntry{g: g, digest: digest}
+		builtinMemo.mu.Unlock()
+	}
+	return g, digest, nil
+}
+
+// builtinWorkload resolves the network-safe subset of workload names: the
+// named applications only, never file paths.
+func builtinWorkload(name string) (*andor.Graph, error) {
+	switch {
+	case name == "atr":
+		return workload.ATR(workload.DefaultATRConfig()), nil
+	case name == "synthetic":
+		return workload.Synthetic(), nil
+	case name == "random" || strings.HasPrefix(name, "random:"):
+		seed := uint64(1)
+		if rest, ok := strings.CutPrefix(name, "random:"); ok && rest != "" {
+			v, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("serve: bad random seed %q", rest)
+			}
+			seed = v
+		}
+		return workload.Random(seed, andor.DefaultRandomOpts()), nil
+	}
+	return nil, fmt.Errorf("serve: unknown workload %q (want atr, synthetic or random[:seed])", name)
+}
+
+// resolveDeadline applies the deadline/load convention shared by run and
+// compare requests: an explicit deadline wins; otherwise load (default
+// 0.5) stretches the plan's canonical worst case.
+func resolveDeadline(ctWorst, deadline, load float64) (float64, *apiError) {
+	if deadline != 0 {
+		if deadline < 0 {
+			return 0, errf(http.StatusBadRequest, "negative deadline %g", deadline)
+		}
+		if ctWorst > deadline {
+			return 0, errf(http.StatusBadRequest,
+				"infeasible deadline %gs < canonical worst case %gs", deadline, ctWorst)
+		}
+		return deadline, nil
+	}
+	if load == 0 {
+		load = 0.5
+	}
+	if load < 0 || load > 1 {
+		return 0, errf(http.StatusBadRequest, "load %g outside (0, 1]", load)
+	}
+	return ctWorst / load, nil
+}

@@ -1,0 +1,257 @@
+// Package serve exposes the scheduler as a long-running HTTP/JSON service:
+// the off-line phase (core.NewPlan) runs once per distinct application and
+// is memoized in an LRU plan cache with duplicate-compile suppression,
+// while on-line executions run on a bounded worker pool whose workers each
+// own a core.Arena and a reseedable exectime source — the steady-state
+// request path is the same zero-allocation machinery the experiment
+// harness uses.
+//
+// Endpoints:
+//
+//	POST /v1/plan     compile (or fetch) a plan, return its summary
+//	POST /v1/run      execute an application once, or runs=N times with
+//	                  NDJSON row streaming and a trailing summary
+//	POST /v1/compare  compare schemes under common random numbers
+//	GET  /healthz     liveness + basic capacity numbers
+//	GET  /metrics     Prometheus text exposition of the obs registry
+//
+// Robustness: per-request timeouts, request body size limits, input
+// validation mapped to 400s, a bounded admission queue answering 429 with
+// Retry-After when full, panic recovery, and graceful drain on Shutdown
+// (in-flight requests complete, the listener closes first). See
+// docs/SERVER.md.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"andorsched/internal/obs"
+)
+
+// Config parameterizes a Server. The zero value gets sensible defaults
+// from New.
+type Config struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueSize bounds the admission queue (default 64). When the queue is
+	// full, requests are rejected with 429.
+	QueueSize int
+	// CacheSize bounds the plan cache (default 128 plans).
+	CacheSize int
+	// RequestTimeout bounds each request end to end (default 15s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxRuns bounds the runs of a single /v1/run or /v1/compare request
+	// (default 100000).
+	MaxRuns int
+	// MaxProcs bounds the procs a request may ask for (default 64).
+	MaxProcs int
+	// Metrics receives the server's instruments; a fresh registry is
+	// created when nil.
+	Metrics *obs.Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxRuns <= 0 {
+		c.MaxRuns = 100000
+	}
+	if c.MaxProcs <= 0 {
+		c.MaxProcs = 64
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewMetrics()
+	}
+	return c
+}
+
+// Server is the scheduling service. Create with New, expose via Handler
+// (for tests or custom listeners) or Serve/ListenAndServe, stop with
+// Shutdown (graceful) or Close (immediate).
+type Server struct {
+	cfg     Config
+	metrics *obs.Metrics
+	cache   *PlanCache
+	pool    *Pool
+	mux     *http.ServeMux
+	httpSrv *http.Server
+	start   time.Time
+
+	requests   *obs.Counter
+	errors     *obs.Counter
+	panics     *obs.Counter
+	rejections *obs.Counter
+	runs       *obs.Counter
+	latency    *obs.Histogram
+}
+
+// New builds a Server from cfg (zero value fine) without binding a port.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := cfg.Metrics
+	s := &Server{
+		cfg:        cfg,
+		metrics:    m,
+		cache:      NewPlanCache(cfg.CacheSize, m),
+		pool:       NewPool(cfg.Workers, cfg.QueueSize, m),
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		requests:   m.Counter(MetricRequests),
+		errors:     m.Counter(MetricErrors),
+		panics:     m.Counter(MetricPanics),
+		rejections: m.Counter(MetricRejections),
+		runs:       m.Counter(MetricRuns),
+		latency:    m.Histogram(MetricLatency, latencyBuckets),
+	}
+	s.mux.HandleFunc("/v1/plan", s.wrap(s.handlePlan))
+	s.mux.HandleFunc("/v1/run", s.wrap(s.handleRun))
+	s.mux.HandleFunc("/v1/compare", s.wrap(s.handleCompare))
+	s.mux.HandleFunc("/healthz", s.wrap(s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.wrap(s.handleMetrics))
+	return s
+}
+
+// Handler returns the server's root handler (middleware included).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's registry.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// Cache returns the plan cache (exposed for tests and health output).
+func (s *Server) Cache() *PlanCache { return s.cache }
+
+// wrap is the per-request middleware: counting, latency, panic recovery,
+// body size limit and the request timeout.
+func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Inc()
+		startReq := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Inc()
+				s.errors.Inc()
+				// Best effort: if the handler already wrote, this is a no-op
+				// on the status line but still terminates the response.
+				http.Error(w, `{"error":"internal server error"}`, http.StatusInternalServerError)
+			}
+			s.latency.Observe(time.Since(startReq).Seconds())
+		}()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		h(w, r)
+	}
+}
+
+// Serve accepts connections on l until Shutdown or Close. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error {
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s.httpSrv.Serve(l)
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains gracefully: the listener closes (new connections are
+// refused), in-flight requests run to completion within ctx, then the
+// worker pool stops. Safe to call without a listener (Handler-only use);
+// it then just stops the pool.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	s.pool.Close()
+	return err
+}
+
+// Close stops the pool without waiting for in-flight HTTP requests. For
+// tests that use Handler directly.
+func (s *Server) Close() {
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+	s.pool.Close()
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError writes a JSON error body and counts it.
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.errors.Inc()
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+		s.rejections.Inc()
+	}
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// decodeJSON decodes the request body into v, mapping the failure modes
+// onto statuses: malformed input → 400, oversized body → 413.
+func (s *Server) decodeJSON(r *http.Request, v any) *apiError {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		if strings.Contains(err.Error(), "request body too large") {
+			return errf(http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		}
+		return errf(http.StatusBadRequest, "invalid JSON body: %v", err)
+	}
+	// Reject trailing garbage: a truncated or concatenated body is a
+	// client bug better surfaced than ignored.
+	if dec.More() {
+		return errf(http.StatusBadRequest, "trailing data after JSON body")
+	}
+	return nil
+}
+
+// requirePost gates an endpoint to POST.
+func (s *Server) requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed", r.Method))
+		return false
+	}
+	return true
+}

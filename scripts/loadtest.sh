@@ -1,0 +1,51 @@
+#!/bin/sh
+# loadtest.sh — build andord + andorload, run a closed-loop load test
+# against a real daemon, then drain it with SIGTERM and verify the drain
+# completes cleanly. Exit status is non-zero if any request failed, any
+# accepted stream was dropped, or the drain was unclean.
+#
+#   scripts/loadtest.sh [duration] [concurrency]
+#
+# Environment:
+#   LOADTEST_ADDR     listen address        (default 127.0.0.1:18080)
+#   LOADTEST_RUNS     runs per request      (default 4; >1 streams NDJSON)
+#   LOADTEST_SCHEMES  scheme mix            (default: all eight)
+set -eu
+cd "$(dirname "$0")/.."
+
+duration="${1:-10s}"
+conc="${2:-8}"
+addr="${LOADTEST_ADDR:-127.0.0.1:18080}"
+runs="${LOADTEST_RUNS:-4}"
+schemes="${LOADTEST_SCHEMES:-NPM,SPM,GSS,SS1,SS2,AS,CLV,ASP}"
+
+bin="$(mktemp -d /tmp/andorsched-loadtest.XXXXXX)"
+trap 'kill "$daemon" 2>/dev/null || true; rm -rf "$bin"' EXIT
+
+go build -o "$bin/andord" ./cmd/andord
+go build -o "$bin/andorload" ./cmd/andorload
+
+"$bin/andord" -addr "$addr" &
+daemon=$!
+
+# Wait for the daemon to accept requests.
+i=0
+until "$bin/andorload" -base "http://$addr" -n 1 -c 1 >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "loadtest: andord did not come up on $addr" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$bin/andorload" -base "http://$addr" -duration "$duration" -c "$conc" \
+    -runs "$runs" -schemes "$schemes"
+
+# Graceful drain: SIGTERM must complete in-flight work and exit 0.
+kill -TERM "$daemon"
+if ! wait "$daemon"; then
+    echo "loadtest: andord drain was unclean" >&2
+    exit 1
+fi
+echo "loadtest: ok (clean drain)"
