@@ -22,6 +22,7 @@ import (
 
 	"andorsched/internal/andor"
 	"andorsched/internal/core"
+	"andorsched/internal/core/schedcache"
 	"andorsched/internal/exectime"
 	"andorsched/internal/experiments"
 	"andorsched/internal/obs"
@@ -160,6 +161,68 @@ func BenchmarkOfflinePlanATR(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.NewPlan(g, 2, plat, ov); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewPlanCold measures a first-ever compile: every memo layer
+// misses. The graph is cloned per iteration because validation and section
+// decomposition are memoized on the Graph itself — reusing one graph
+// object would leak warm-path work into the cold baseline. This is the
+// pre-memoization cost and the denominator of the cold/warm speedup the
+// compile cache claims.
+func BenchmarkNewPlanCold(b *testing.B) {
+	g := workload.ATR(workload.DefaultATRConfig())
+	plat := power.Transmeta5400()
+	ov := power.DefaultOverheads()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewPlanWithCache(g.Clone(), 2, plat, ov, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewPlanWarm measures the off-line phase with every memo layer
+// warm — the steady state of experiment grids, sizing probes and serve
+// plan-cache misses on recurring structures. Validation and decomposition
+// are answered by the graph memo, every canonical simulation by the
+// section-schedule cache; what remains is plan assembly.
+func BenchmarkNewPlanWarm(b *testing.B) {
+	g := workload.ATR(workload.DefaultATRConfig())
+	plat := power.Transmeta5400()
+	ov := power.DefaultOverheads()
+	cache := schedcache.New(core.DefaultScheduleCacheCapacity)
+	if _, err := core.NewPlanWithCache(g, 2, plat, ov, cache); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewPlanWithCache(g, 2, plat, ov, cache); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSizeProcessors measures the processor-sizing search (compile at
+// m = 1, 2, … until feasible), which recompiles the full plan per
+// candidate m. The per-(section, m) schedules are distinct cache keys, so
+// the first search populates the cache and repeated searches — the pattern
+// of capacity planning sweeps — run entirely warm.
+func BenchmarkSizeProcessors(b *testing.B) {
+	g := workload.ATR(workload.DefaultATRConfig())
+	plat := power.Transmeta5400()
+	ov := power.DefaultOverheads()
+	probe, err := core.NewPlanWithCache(g, 1, plat, ov, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deadline := probe.CTWorst * 0.6 // forces the search past m=1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.MinFeasibleProcs(g, plat, ov, deadline, 8); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -415,6 +478,57 @@ func BenchmarkServeRun(b *testing.B) {
 		w := httptest.NewRecorder()
 		s.Handler().ServeHTTP(w, req)
 		return w.Code
+	}
+	if code := do(); code != http.StatusOK { // compile the plan, warm the worker
+		b.Fatalf("status %d", code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := do(); code != http.StatusOK {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+// benchRecorder is a minimal reusable ResponseWriter: unlike
+// httptest.NewRecorder-per-iteration (see BenchmarkServeRun), its header
+// map and body buffer survive across requests, so allocs/op counts the
+// server's own per-request cost only.
+type benchRecorder struct {
+	hdr    http.Header
+	body   strings.Builder
+	status int
+}
+
+func (r *benchRecorder) Header() http.Header { return r.hdr }
+func (r *benchRecorder) WriteHeader(c int)   { r.status = c }
+func (r *benchRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.body.Write(p)
+}
+
+// BenchmarkServeRunWarm is BenchmarkServeRun with the test harness hoisted
+// out of the measured path: one request object with a rewound body and a
+// reusable recorder. With the pooled response encoder the warmed request is
+// bounded by request plumbing (timeout context, body limiter, JSON decode)
+// rather than response encoding; serve.TestRunRequestWarmAllocs asserts the
+// bound.
+func BenchmarkServeRunWarm(b *testing.B) {
+	s := serve.New(serve.Config{Workers: 1, QueueSize: 8})
+	defer s.Close()
+	const body = `{"workload":"atr","scheme":"GSS","seed":1,"load":0.5}`
+	rd := strings.NewReader(body)
+	req := httptest.NewRequest(http.MethodPost, "/v1/run", rd)
+	w := &benchRecorder{hdr: make(http.Header, 4)}
+	do := func() int {
+		rd.Reset(body)
+		w.body.Reset()
+		w.status = 0
+		s.Handler().ServeHTTP(w, req)
+		return w.status
 	}
 	if code := do(); code != http.StatusOK { // compile the plan, warm the worker
 		b.Fatalf("status %d", code)

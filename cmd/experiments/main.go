@@ -36,11 +36,16 @@ func main() {
 		htmlF     = flag.String("html", "", "write a self-contained HTML report (charts + tables) to this file")
 		winnersF  = flag.Bool("winners", false, "print the scheme-selection map (best scheme per load × α cell) and exit")
 		parallelF = flag.Int("parallel", 0, "worker goroutines per data point (0 = all CPUs); results are identical for any value")
+		cacheF    = flag.Bool("compile-cache", true, "memoize canonical section schedules across plan compiles (results are identical either way; disable for A/B profiling)")
+		cStatsF   = flag.Bool("cache-stats", false, "print section-schedule cache statistics to stderr when done")
 		profile   obs.Profile
 	)
 	profile.RegisterFlags(flag.CommandLine, "trace")
 	flag.Parse()
 	experiments.SetDefaultWorkers(*parallelF)
+	if !*cacheF {
+		core.SetScheduleCacheCapacity(0)
+	}
 
 	var sess *obs.Session
 	if profile.Enabled() {
@@ -56,6 +61,11 @@ func main() {
 	}
 
 	runErr := run(*listF, *tablesF, *idF, *runsF, *seedF, *outF, *htmlF, *changesF, *winnersF)
+	if *cStatsF {
+		st := core.ScheduleCacheStats()
+		fmt.Fprintf(os.Stderr, "schedcache: %d hits, %d misses, %d evictions, %d/%d entries\n",
+			st.Hits, st.Misses, st.Evictions, st.Size, st.Capacity)
+	}
 	if sess != nil {
 		// Flush profiles even when the run failed (os.Exit skips defers).
 		if err := sess.Stop(); err != nil {

@@ -1,15 +1,35 @@
 package andor
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Graph is a mutable AND/OR application graph. Build it with AddTask,
 // AddAnd, AddOr, AddEdge and SetBranchProbs, then call Validate before
 // handing it to a scheduler. A Graph is not safe for concurrent mutation;
 // once built and validated it may be shared read-only between goroutines.
+//
+// Validation and section decomposition are memoized on the graph: the
+// first successful Validate / Decompose records its result, every mutating
+// method discards it, and repeated compiles of an unchanged graph (sizing
+// searches, experiment grids) skip both passes. The memo fields are
+// atomics so concurrent read-only users — several NewPlan calls on one
+// shared graph — stay race-free.
 type Graph struct {
 	// Name labels the application in traces and reports.
 	Name  string
 	nodes []*Node
+
+	validated atomic.Bool
+	secs      atomic.Pointer[Sections]
+}
+
+// invalidate discards the memoized validation and decomposition after a
+// mutation.
+func (g *Graph) invalidate() {
+	g.validated.Store(false)
+	g.secs.Store(nil)
 }
 
 // NewGraph returns an empty graph with the given application name.
@@ -40,6 +60,7 @@ func (g *Graph) NodeByName(name string) *Node {
 }
 
 func (g *Graph) add(n *Node) *Node {
+	g.invalidate()
 	n.ID = len(g.nodes)
 	g.nodes = append(g.nodes, n)
 	return n
@@ -72,6 +93,7 @@ func (g *Graph) AddOr(name string) *Node {
 // `from`. Duplicate edges and self-loops panic (they are always bugs in the
 // builder, never data-dependent).
 func (g *Graph) AddEdge(from, to *Node) {
+	g.invalidate()
 	if from == to {
 		panic(fmt.Sprintf("andor: self-loop on %q", from.Name))
 	}
@@ -104,6 +126,7 @@ func (g *Graph) SetBranchProbs(or *Node, probs ...float64) {
 		panic(fmt.Sprintf("andor: SetBranchProbs on %q: %d probs for %d successors",
 			or.Name, len(probs), len(or.succ)))
 	}
+	g.invalidate()
 	or.prob = append([]float64(nil), probs...)
 }
 
@@ -167,6 +190,7 @@ func (g *Graph) ScaleACET(alpha float64) {
 	if alpha <= 0 || alpha > 1 {
 		panic(fmt.Sprintf("andor: ScaleACET alpha %g outside (0,1]", alpha))
 	}
+	g.invalidate()
 	for _, n := range g.nodes {
 		if n.Kind == Compute {
 			n.ACET = alpha * n.WCET

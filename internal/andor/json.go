@@ -73,6 +73,10 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 		}
 		fresh.AddEdge(fresh.nodes[e[0]], fresh.nodes[e[1]])
 	}
-	*g = *fresh
+	// Field-wise, not *g = *fresh: Graph carries atomic memo fields that
+	// must not be copied. Replacing the nodes resets the memo.
+	g.Name = fresh.Name
+	g.nodes = fresh.nodes
+	g.invalidate()
 	return nil
 }

@@ -3,6 +3,7 @@ package andor
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Section is a maximal AND-only program section: the computation and And
@@ -24,6 +25,11 @@ type Section struct {
 	// Exit is the Or node that terminates the section, or nil if the
 	// section ends the application.
 	Exit *Node
+
+	// digest memoizes Digest(). Sections are immutable once Decompose
+	// returns, so the first computed value is final; the atomic makes the
+	// benign compute-twice race safe under concurrent compiles.
+	digest atomic.Pointer[SectionDigest]
 }
 
 // WCETSum returns the total worst-case work (seconds at maximum speed) of
@@ -78,6 +84,12 @@ type Sections struct {
 //   - the successor of an Or branch must have that Or node as its only
 //     predecessor (it is the entry of a fresh section).
 func Decompose(g *Graph) (*Sections, error) {
+	// A successful decomposition is memoized on the graph (discarded by any
+	// mutating Graph method): Sections are immutable, so every compile of
+	// an unchanged graph can share one instance.
+	if s := g.secs.Load(); s != nil {
+		return s, nil
+	}
 	if g.Len() == 0 {
 		return nil, fmt.Errorf("andor: graph %q is empty", g.Name)
 	}
@@ -209,6 +221,7 @@ func Decompose(g *Graph) (*Sections, error) {
 			return nil, fmt.Errorf("andor: node %q is unreachable from the roots", n.Name)
 		}
 	}
+	g.secs.Store(s)
 	return s, nil
 }
 

@@ -18,7 +18,14 @@ import (
 //     at an OR node" restriction).
 //
 // It returns the first violation found, or nil.
+//
+// A successful validation is memoized: re-validating an unmodified graph
+// (every NewPlan call validates) is free. Any mutating Graph method
+// discards the memo.
 func (g *Graph) Validate() error {
+	if g.validated.Load() {
+		return nil
+	}
 	if g.Len() == 0 {
 		return fmt.Errorf("andor: graph %q is empty", g.Name)
 	}
@@ -66,5 +73,6 @@ func (g *Graph) Validate() error {
 	if _, err := Decompose(g); err != nil {
 		return err
 	}
+	g.validated.Store(true)
 	return nil
 }

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"andorsched/internal/andor"
+	"andorsched/internal/core/schedcache"
+	"andorsched/internal/exectime"
+	"andorsched/internal/power"
+	"andorsched/internal/workload"
+)
+
+// eqPlans compares two plans field by field with exact (bit-level) equality,
+// including the per-section internals the cache hit path fills in. Returns
+// "" when identical.
+func eqPlans(a, b *Plan) string {
+	if a.CTWorst != b.CTWorst || a.CTAvg != b.CTAvg {
+		return fmt.Sprintf("CT: (%v,%v) vs (%v,%v)", a.CTWorst, a.CTAvg, b.CTWorst, b.CTAvg)
+	}
+	if a.Procs != b.Procs || a.fmax != b.fmax {
+		return fmt.Sprintf("Procs/fmax: (%d,%v) vs (%d,%v)", a.Procs, a.fmax, b.Procs, b.fmax)
+	}
+	if len(a.secs) != len(b.secs) {
+		return fmt.Sprintf("section count: %d vs %d", len(a.secs), len(b.secs))
+	}
+	for s := range a.secs {
+		as, bs := a.secs[s], b.secs[s]
+		if as.lenW != bs.lenW || as.lenA != bs.lenA {
+			return fmt.Sprintf("section %d len: (%v,%v) vs (%v,%v)", s, as.lenW, as.lenA, bs.lenW, bs.lenA)
+		}
+		if as.remWorst != bs.remWorst || as.remAvg != bs.remAvg {
+			return fmt.Sprintf("section %d rem: (%v,%v) vs (%v,%v)", s, as.remWorst, as.remAvg, bs.remWorst, bs.remAvg)
+		}
+		if len(as.tasks) != len(bs.tasks) {
+			return fmt.Sprintf("section %d task count: %d vs %d", s, len(as.tasks), len(bs.tasks))
+		}
+		for i := range as.tasks {
+			at, bt := &as.tasks[i], &bs.tasks[i]
+			if at.relLFT != bt.relLFT {
+				return fmt.Sprintf("section %d task %d relLFT: %v vs %v", s, i, at.relLFT, bt.relLFT)
+			}
+			if at.tmpl.Node != bt.tmpl.Node || at.tmpl.Dummy != bt.tmpl.Dummy ||
+				at.tmpl.WorkW != bt.tmpl.WorkW || at.tmpl.Order != bt.tmpl.Order ||
+				at.tmpl.SpecRemain != bt.tmpl.SpecRemain {
+				return fmt.Sprintf("section %d task %d template: %+v vs %+v", s, i, at.tmpl, bt.tmpl)
+			}
+		}
+		if len(as.computeIdx) != len(bs.computeIdx) {
+			return fmt.Sprintf("section %d computeIdx: %d vs %d", s, len(as.computeIdx), len(bs.computeIdx))
+		}
+		for i := range as.computeIdx {
+			if as.computeIdx[i] != bs.computeIdx[i] ||
+				as.wcets[i] != bs.wcets[i] || as.acets[i] != bs.acets[i] {
+				return fmt.Sprintf("section %d compute %d: (%d,%v,%v) vs (%d,%v,%v)", s, i,
+					as.computeIdx[i], as.wcets[i], as.acets[i],
+					bs.computeIdx[i], bs.wcets[i], bs.acets[i])
+			}
+		}
+	}
+	return ""
+}
+
+// cacheDifferentialOpts varies the generator so the sweep covers deep Or
+// nesting, wide sections and degenerate chains, not just the default shape.
+func cacheDifferentialOpts(wl int) andor.RandomOpts {
+	opts := andor.DefaultRandomOpts()
+	switch wl % 4 {
+	case 1:
+		opts.MaxDepth, opts.MaxBranches = 3, 4
+	case 2:
+		opts.MaxWidth, opts.MaxLayers = 8, 4
+	case 3:
+		opts.ForkProb, opts.MaxStages = 0.9, 5
+	}
+	return opts
+}
+
+// TestScheduleCacheDifferential is the ISSUE's correctness bar for the
+// compile cache: across ≥50 random AND/OR workloads, compiling uncached,
+// compiling against a cold cache (all misses) and recompiling against the
+// now-warm cache (all hits) must produce bit-identical plans — and those
+// plans must produce bit-identical run results for every scheme under
+// common random numbers.
+func TestScheduleCacheDifferential(t *testing.T) {
+	plats := []*power.Platform{power.Transmeta5400(), power.IntelXScale()}
+	cache := schedcache.New(DefaultScheduleCacheCapacity)
+	for wl := 0; wl < 50; wl++ {
+		g := workload.Random(uint64(wl)+1, cacheDifferentialOpts(wl))
+		m := 1 + wl%4
+		plat := plats[wl%2]
+		ov := power.DefaultOverheads()
+
+		uncached, err := NewPlanWithCache(g, m, plat, ov, nil)
+		if err != nil {
+			t.Fatalf("workload %d: uncached NewPlan: %v", wl, err)
+		}
+		missesBefore := cache.Stats().Misses
+		cold, err := NewPlanWithCache(g, m, plat, ov, cache)
+		if err != nil {
+			t.Fatalf("workload %d: cold cached NewPlan: %v", wl, err)
+		}
+		if cache.Stats().Misses == missesBefore {
+			t.Fatalf("workload %d: cold compile recorded no cache misses", wl)
+		}
+		hitsBefore := cache.Stats().Hits
+		warm, err := NewPlanWithCache(g, m, plat, ov, cache)
+		if err != nil {
+			t.Fatalf("workload %d: warm cached NewPlan: %v", wl, err)
+		}
+		if cache.Stats().Hits == hitsBefore {
+			t.Fatalf("workload %d: warm compile recorded no cache hits", wl)
+		}
+		if diff := eqPlans(uncached, cold); diff != "" {
+			t.Fatalf("workload %d (m=%d): cold cached plan diverged: %s", wl, m, diff)
+		}
+		if diff := eqPlans(uncached, warm); diff != "" {
+			t.Fatalf("workload %d (m=%d): warm cached plan diverged: %s", wl, m, diff)
+		}
+
+		load := 0.4 + 0.1*float64(wl%4)
+		cfg := RunConfig{Deadline: uncached.CTWorst / load, CollectTrace: true}
+		for _, s := range allSchemes() {
+			cfg.Scheme = s
+			seed := uint64(wl)*37 + uint64(s)
+			cfg.Sampler = exectime.NewSampler(exectime.NewSource(seed))
+			ref, err := uncached.Run(cfg)
+			if err != nil {
+				t.Fatalf("workload %d %s: uncached run: %v", wl, s, err)
+			}
+			cfg.Sampler = exectime.NewSampler(exectime.NewSource(seed))
+			got, err := warm.Run(cfg)
+			if err != nil {
+				t.Fatalf("workload %d %s: cached run: %v", wl, s, err)
+			}
+			if diff := eqRunResults(ref, got); diff != "" {
+				t.Fatalf("workload %d (m=%d) %s: cached plan's run diverged: %s", wl, m, s, diff)
+			}
+		}
+	}
+}
+
+// TestScheduleCacheSharedAcrossSizing checks the sizing search path: probing
+// ascending processor counts against one cache must match uncached probes
+// bit-for-bit, and repeating the whole search must be answered from cache.
+func TestScheduleCacheSharedAcrossSizing(t *testing.T) {
+	g := workload.ATR(workload.DefaultATRConfig())
+	plat := power.Transmeta5400()
+	ov := power.DefaultOverheads()
+	cache := schedcache.New(256)
+	for pass := 0; pass < 2; pass++ {
+		for m := 1; m <= 6; m++ {
+			ref, err := NewPlanWithCache(g, m, plat, ov, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := NewPlanWithCache(g, m, plat, ov, cache)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := eqPlans(ref, got); diff != "" {
+				t.Fatalf("pass %d m=%d: %s", pass, m, diff)
+			}
+		}
+	}
+	st := cache.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("second sizing pass produced no cache hits: %+v", st)
+	}
+}
+
+// TestSetScheduleCacheCapacity exercises the process-wide switch: disabling
+// and re-enabling the default cache must leave NewPlan results unchanged.
+func TestSetScheduleCacheCapacity(t *testing.T) {
+	defer SetScheduleCacheCapacity(DefaultScheduleCacheCapacity)
+	g := workload.Random(7, andor.DefaultRandomOpts())
+	plat := power.IntelXScale()
+	ov := power.DefaultOverheads()
+
+	SetScheduleCacheCapacity(0)
+	if st := ScheduleCacheStats(); st != (schedcache.Stats{}) {
+		t.Fatalf("disabled cache reported non-zero stats: %+v", st)
+	}
+	off, err := NewPlan(g, 3, plat, ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := ScheduleCacheStats(); st != (schedcache.Stats{}) {
+		t.Fatalf("disabled cache accumulated stats: %+v", st)
+	}
+
+	SetScheduleCacheCapacity(64)
+	on1, err := NewPlan(g, 3, plat, ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on2, err := NewPlan(g, 3, plat, ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := eqPlans(off, on1); diff != "" {
+		t.Fatalf("cache-on (cold) vs cache-off: %s", diff)
+	}
+	if diff := eqPlans(off, on2); diff != "" {
+		t.Fatalf("cache-on (warm) vs cache-off: %s", diff)
+	}
+	if st := ScheduleCacheStats(); st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("expected both hits and misses after warm recompile: %+v", st)
+	}
+}
+
+// FuzzNewPlanCacheDifferential fuzzes the cache correctness contract: for
+// any generator seed and configuration, a warm cached compile must be
+// bit-identical to an uncached one, and a representative run under common
+// random numbers must agree exactly.
+func FuzzNewPlanCacheDifferential(f *testing.F) {
+	f.Add(uint64(1), 1, false)
+	f.Add(uint64(2), 2, true)
+	f.Add(uint64(17), 4, false)
+	f.Add(uint64(99), 3, true)
+	f.Fuzz(func(t *testing.T, seed uint64, m int, xscale bool) {
+		if m < 1 || m > 8 {
+			t.Skip()
+		}
+		plat := power.Transmeta5400()
+		if xscale {
+			plat = power.IntelXScale()
+		}
+		opts := cacheDifferentialOpts(int(seed % 4))
+		g := workload.Random(seed, opts)
+		ov := power.DefaultOverheads()
+		ref, err := NewPlanWithCache(g, m, plat, ov, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := schedcache.New(64)
+		if _, err := NewPlanWithCache(g, m, plat, ov, cache); err != nil {
+			t.Fatal(err)
+		}
+		warm, err := NewPlanWithCache(g, m, plat, ov, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := eqPlans(ref, warm); diff != "" {
+			t.Fatalf("seed %d m=%d: warm cached plan diverged: %s", seed, m, diff)
+		}
+		cfg := RunConfig{Deadline: ref.CTWorst * 1.7, CollectTrace: true}
+		for _, s := range allSchemes() {
+			cfg.Scheme = s
+			cfg.Sampler = exectime.NewSampler(exectime.NewSource(seed))
+			a, err := ref.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Sampler = exectime.NewSampler(exectime.NewSource(seed))
+			b, err := warm.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := eqRunResults(a, b); diff != "" {
+				t.Fatalf("seed %d m=%d %s: %s", seed, m, s, diff)
+			}
+		}
+	})
+}

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"andorsched/internal/andor"
+	"andorsched/internal/core/schedcache"
 	"andorsched/internal/power"
 	"andorsched/internal/sim"
 )
@@ -88,16 +90,71 @@ type taskPlan struct {
 	relLFT float64
 }
 
+// DefaultScheduleCacheCapacity bounds the process-wide section-schedule
+// cache NewPlan consults by default. Entries are small (a few slices per
+// section), so the default is generous enough that realistic workload mixes
+// never evict.
+const DefaultScheduleCacheCapacity = 4096
+
+// scheduleCache is the process-wide section-schedule memoization used by
+// NewPlan; see docs/COMPILE_CACHE.md. The pointer is swapped atomically so
+// SetScheduleCacheCapacity is safe to call concurrently with compiles (a
+// compile in flight keeps using the cache it loaded — results are identical
+// either way, only amortization changes).
+var scheduleCache atomic.Pointer[schedcache.Cache]
+
+func init() {
+	scheduleCache.Store(schedcache.New(DefaultScheduleCacheCapacity))
+}
+
+// SetScheduleCacheCapacity replaces the process-wide section-schedule cache
+// with a fresh one bounded to n entries; n <= 0 disables caching entirely
+// (every NewPlan recomputes every canonical schedule — the behavior before
+// the cache existed, useful for A/B profiling). Plans are bit-identical
+// with the cache on, off, or resized.
+func SetScheduleCacheCapacity(n int) {
+	if n <= 0 {
+		scheduleCache.Store(nil)
+		return
+	}
+	scheduleCache.Store(schedcache.New(n))
+}
+
+// ScheduleCacheStats snapshots the process-wide section-schedule cache
+// counters. All-zero when the cache is disabled.
+func ScheduleCacheStats() schedcache.Stats {
+	c := scheduleCache.Load()
+	if c == nil {
+		return schedcache.Stats{}
+	}
+	return c.Stats()
+}
+
 // NewPlan runs the off-line phase: it validates the application, decomposes
 // it into program sections, builds each section's canonical longest-task-
 // first schedule on m processors at maximum speed, aggregates worst- and
 // average-case completion times over the section graph, and derives each
 // task's canonical dispatch order and relative latest finish time.
 //
+// Canonical section schedules are memoized in a process-wide cache keyed by
+// the section's structural digest and the scheduling parameters, so
+// recompiling the same (section, m, f_max, pad) problem skips the
+// simulation runs; results are bit-identical to an uncached compile (see
+// NewPlanWithCache and docs/COMPILE_CACHE.md).
+//
 // It returns an error if the graph is invalid or m is not positive.
 // Deadline feasibility (CTWorst ≤ D) is checked by Run, which knows the
 // deadline.
 func NewPlan(g *andor.Graph, m int, platform *power.Platform, ov power.Overheads) (*Plan, error) {
+	return NewPlanWithCache(g, m, platform, ov, scheduleCache.Load())
+}
+
+// NewPlanWithCache is NewPlan against an explicit section-schedule cache
+// instead of the process-wide one. A nil cache disables memoization. The
+// compiled Plan does not retain the cache; it only reads (and populates)
+// it during compilation.
+func NewPlanWithCache(g *andor.Graph, m int, platform *power.Platform, ov power.Overheads,
+	cache *schedcache.Cache) (*Plan, error) {
 	if m <= 0 {
 		return nil, fmt.Errorf("core: processor count %d must be positive", m)
 	}
@@ -122,7 +179,7 @@ func NewPlan(g *andor.Graph, m int, platform *power.Platform, ov power.Overheads
 	}
 	pad := ov.PadTime(platform)
 	for _, sec := range secs.All {
-		sp, err := p.planSection(sec, pad)
+		sp, err := p.planSection(sec, pad, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -142,7 +199,11 @@ func NewPlan(g *andor.Graph, m int, platform *power.Platform, ov power.Overheads
 
 // planSection builds one section's canonical schedules and task templates.
 // pad is the per-task worst-case allowance for power-management overheads.
-func (p *Plan) planSection(sec *andor.Section, pad float64) (*secPlan, error) {
+// When cache is non-nil the canonical engine runs are memoized under the
+// section's structural digest: a hit reuses the cached dispatch orders,
+// finish times and lengths (bit-identical to recomputing them) and skips
+// both simulations.
+func (p *Plan) planSection(sec *andor.Section, pad float64, cache *schedcache.Cache) (*secPlan, error) {
 	sp := &secPlan{sec: sec}
 	if len(sec.Nodes) == 0 {
 		return sp, nil // zero-length section (Or chained to Or)
@@ -174,6 +235,27 @@ func (p *Plan) planSection(sec *andor.Section, pad float64) (*secPlan, error) {
 			sp.computeIdx = append(sp.computeIdx, i)
 			sp.wcets = append(sp.wcets, n.WCET)
 			sp.acets = append(sp.acets, n.ACET)
+		}
+	}
+
+	var key schedcache.Key
+	if cache != nil {
+		key = schedcache.Key{
+			Section:  sec.Digest(),
+			Procs:    p.Procs,
+			FMaxBits: math.Float64bits(p.fmax),
+			PadBits:  math.Float64bits(pad),
+		}
+		// The length guard downgrades a (cryptographically improbable)
+		// digest collision to a recompute rather than a corrupt plan.
+		if cs, ok := cache.Get(key); ok && len(cs.Order) == len(sp.tasks) {
+			sp.lenW, sp.lenA = cs.LenW, cs.LenA
+			for i := range sp.tasks {
+				sp.tasks[i].tmpl.Order = cs.Order[i]
+				sp.tasks[i].relLFT = cs.FinishW[i] // made deadline-relative by NewPlan
+				sp.tasks[i].tmpl.SpecRemain = cs.SpecRemain[i]
+			}
+			return sp, nil
 		}
 	}
 
@@ -214,6 +296,22 @@ func (p *Plan) planSection(sec *andor.Section, pad float64) (*secPlan, error) {
 	// canonical length minus the task's average canonical dispatch time.
 	for _, rec := range resA.Records {
 		sp.tasks[rec.Task].tmpl.SpecRemain = sp.lenA - rec.Dispatch
+	}
+
+	if cache != nil {
+		cs := &schedcache.Schedule{
+			LenW:       sp.lenW,
+			LenA:       sp.lenA,
+			Order:      make([]int, len(sp.tasks)),
+			FinishW:    make([]float64, len(sp.tasks)),
+			SpecRemain: make([]float64, len(sp.tasks)),
+		}
+		for i := range sp.tasks {
+			cs.Order[i] = sp.tasks[i].tmpl.Order
+			cs.FinishW[i] = sp.tasks[i].relLFT
+			cs.SpecRemain[i] = sp.tasks[i].tmpl.SpecRemain
+		}
+		cache.Put(key, cs)
 	}
 	return sp, nil
 }

@@ -38,6 +38,7 @@ func ablationSlew() Experiment {
 		ID:    "slew",
 		Title: "Ablation: normalized energy vs voltage-slew cost (ATR, 2 CPUs, Transmeta, load 0.5)",
 		Run: func(runs int, seed uint64) (*Series, error) {
+			g := atrGraph() // built once per table, not per grid cell
 			return pointSweep(
 				"ATR on 2×Transmeta: normalized energy vs slew cost (µs per volt)",
 				"slew_us_per_v", []float64{0, 50, 100, 200, 400},
@@ -47,7 +48,7 @@ func ablationSlew() Experiment {
 						SpeedChangeTime: 5e-6,
 						VoltSlewTime:    usPerV * 1e-6,
 					}
-					plan, err := core.NewPlan(atrGraph(), 2, power.Transmeta5400(), ov)
+					plan, err := core.NewPlan(g, 2, power.Transmeta5400(), ov)
 					if err != nil {
 						return nil, 0, err
 					}
@@ -177,12 +178,13 @@ func ablationFmin() Experiment {
 		Title: "Ablation: normalized energy vs f_min/f_max (16 levels, ATR, 2 CPUs, load 0.5)",
 		Run: func(runs int, seed uint64) (*Series, error) {
 			ratios := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+			g := atrGraph() // built once per table, not per grid cell
 			return pointSweep(
 				"ATR on 2×synthetic platforms: normalized energy vs f_min/f_max",
 				"fmin/fmax", ratios,
 				func(ratio float64) (*core.Plan, float64, error) {
 					plat := power.Synthetic(16, ratio*700, 700, 0.8+ratio*0.5, 1.65)
-					plan, err := core.NewPlan(atrGraph(), 2, plat, power.DefaultOverheads())
+					plan, err := core.NewPlan(g, 2, plat, power.DefaultOverheads())
 					if err != nil {
 						return nil, 0, err
 					}
@@ -201,12 +203,13 @@ func ablationLevels() Experiment {
 		Title: "Ablation: normalized energy vs number of speed levels (200–700MHz, ATR, 2 CPUs, load 0.5)",
 		Run: func(runs int, seed uint64) (*Series, error) {
 			counts := []float64{2, 3, 4, 6, 8, 16, 32}
+			g := atrGraph() // built once per table, not per grid cell
 			return pointSweep(
 				"ATR on 2×synthetic platforms: normalized energy vs level count",
 				"levels", counts,
 				func(n float64) (*core.Plan, float64, error) {
 					plat := power.Synthetic(int(n), 200, 700, 1.10, 1.65)
-					plan, err := core.NewPlan(atrGraph(), 2, plat, power.DefaultOverheads())
+					plan, err := core.NewPlan(g, 2, plat, power.DefaultOverheads())
 					if err != nil {
 						return nil, 0, err
 					}
@@ -225,12 +228,13 @@ func ablationOverhead() Experiment {
 		Title: "Ablation: normalized energy vs speed-change overhead (ATR, 2 CPUs, Transmeta, load 0.5)",
 		Run: func(runs int, seed uint64) (*Series, error) {
 			micros := []float64{0, 5, 25, 50, 100, 250, 500}
+			g := atrGraph() // built once per table, not per grid cell
 			return pointSweep(
 				"ATR on 2×Transmeta: normalized energy vs change overhead (µs)",
 				"overhead_us", micros,
 				func(us float64) (*core.Plan, float64, error) {
 					ov := power.Overheads{SpeedCompCycles: 600, SpeedChangeTime: us * 1e-6}
-					plan, err := core.NewPlan(atrGraph(), 2, power.Transmeta5400(), ov)
+					plan, err := core.NewPlan(g, 2, power.Transmeta5400(), ov)
 					if err != nil {
 						return nil, 0, err
 					}
@@ -250,11 +254,12 @@ func ablationProcs() Experiment {
 		Title: "Ablation: normalized energy vs processor count (ATR, Transmeta, load 0.5)",
 		Run: func(runs int, seed uint64) (*Series, error) {
 			ms := []float64{1, 2, 4, 6, 8}
+			g := atrGraph() // built once per table, not per grid cell
 			return pointSweep(
 				"ATR on Transmeta: normalized energy vs processors",
 				"procs", ms,
 				func(m float64) (*core.Plan, float64, error) {
-					plan, err := core.NewPlan(atrGraph(), int(m), power.Transmeta5400(), power.DefaultOverheads())
+					plan, err := core.NewPlan(g, int(m), power.Transmeta5400(), power.DefaultOverheads())
 					if err != nil {
 						return nil, 0, err
 					}

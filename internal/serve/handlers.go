@@ -8,7 +8,6 @@ import (
 	"net/http"
 	"time"
 
-	"andorsched/internal/cli"
 	"andorsched/internal/core"
 	"andorsched/internal/exectime"
 	"andorsched/internal/obs"
@@ -23,10 +22,14 @@ func (s *Server) planFor(ctx context.Context, spec *AppSpec) (*core.Plan, bool, 
 		return nil, false, apiErr
 	}
 	plan, hit, err := s.cache.GetOrCompile(ctx, key, func() (*core.Plan, error) {
-		plat, err := cli.ParsePlatform(key.platform)
+		plat, err := parsePlatformMemo(key.platform)
 		if err != nil {
 			return nil, err
 		}
+		// NewPlan consults the process-wide section-schedule cache: a
+		// plan-cache miss on a graph whose sections were seen before (same
+		// structure at a different procs/platform, or an evicted plan)
+		// skips the canonical simulations.
 		return core.NewPlan(g, key.procs, plat, key.ov)
 	})
 	if err != nil {
@@ -363,8 +366,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics exposes the registry in Prometheus text format.
+// handleMetrics exposes the registry in Prometheus text format. The
+// section-schedule cache counters are pulled from core at scrape time —
+// the cache is process-wide, not per-server, so gauges refreshed here are
+// simpler than double-counting through per-call instrumentation.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := core.ScheduleCacheStats()
+	s.metrics.Gauge(MetricSchedCacheHits).Set(float64(st.Hits))
+	s.metrics.Gauge(MetricSchedCacheMisses).Set(float64(st.Misses))
+	s.metrics.Gauge(MetricSchedCacheEvictions).Set(float64(st.Evictions))
+	s.metrics.Gauge(MetricSchedCacheSize).Set(float64(st.Size))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = obs.WritePrometheus(w, s.metrics.Snapshot())
 }

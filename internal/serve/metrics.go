@@ -32,6 +32,18 @@ const (
 	MetricCacheEvictions = "serve.cache.evictions"
 	// MetricCacheSize is the number of cached plans (gauge).
 	MetricCacheSize = "serve.cache.size"
+
+	// MetricSchedCacheHits, MetricSchedCacheMisses and
+	// MetricSchedCacheEvictions mirror the process-wide section-schedule
+	// cache's monotonic counters (core.ScheduleCacheStats); they are
+	// refreshed on each /metrics scrape, and exported as gauges because the
+	// underlying counters reset when the cache is resized.
+	MetricSchedCacheHits      = "core.schedcache.hits"
+	MetricSchedCacheMisses    = "core.schedcache.misses"
+	MetricSchedCacheEvictions = "core.schedcache.evictions"
+	// MetricSchedCacheSize is the section-schedule cache's current entry
+	// count (gauge).
+	MetricSchedCacheSize = "core.schedcache.size"
 )
 
 // latencyBuckets are the request-latency histogram bounds in seconds.

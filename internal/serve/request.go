@@ -219,7 +219,7 @@ func (s *Server) resolveApp(spec *AppSpec) (*andor.Graph, cacheKey, *apiError) {
 	if platform == "" {
 		platform = "transmeta"
 	}
-	if _, err := cli.ParsePlatform(platform); err != nil {
+	if _, err := parsePlatformMemo(platform); err != nil {
 		return nil, key, errf(http.StatusBadRequest, "%v", err)
 	}
 
@@ -288,6 +288,42 @@ func memoBuiltinWorkload(name string) (*andor.Graph, [sha256.Size]byte, error) {
 		builtinMemo.mu.Unlock()
 	}
 	return g, digest, nil
+}
+
+// platformMemo caches the parsed named platforms. The named space is fixed
+// ("transmeta", "xscale"), so the map cannot grow without bound; synthetic
+// specs are parameterized by client strings and are parsed per request.
+// Platforms are immutable after construction (cached Plans already share
+// them), so sharing one instance across requests is sound.
+var platformMemo struct {
+	mu sync.Mutex
+	m  map[string]*power.Platform
+}
+
+// parsePlatformMemo resolves a platform spec, memoizing the named ones.
+func parsePlatformMemo(spec string) (*power.Platform, error) {
+	memoizable := spec == "transmeta" || spec == "xscale"
+	if memoizable {
+		platformMemo.mu.Lock()
+		p, ok := platformMemo.m[spec]
+		platformMemo.mu.Unlock()
+		if ok {
+			return p, nil
+		}
+	}
+	p, err := cli.ParsePlatform(spec)
+	if err != nil {
+		return nil, err
+	}
+	if memoizable {
+		platformMemo.mu.Lock()
+		if platformMemo.m == nil {
+			platformMemo.m = make(map[string]*power.Platform)
+		}
+		platformMemo.m[spec] = p
+		platformMemo.mu.Unlock()
+	}
+	return p, nil
 }
 
 // builtinWorkload resolves the network-safe subset of workload names: the

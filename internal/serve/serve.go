@@ -23,6 +23,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"andorsched/internal/obs"
@@ -209,12 +211,44 @@ func (s *Server) Close() {
 	s.pool.Close()
 }
 
+// jsonBuf pairs a reusable buffer with an encoder bound to it, pooled so
+// the steady-state response path allocates neither. Encoding into the
+// buffer (rather than straight to the ResponseWriter) also means an encode
+// failure can still become a clean 500 — nothing has been written yet —
+// and lets net/http set Content-Length instead of chunking.
+type jsonBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonBufPool = sync.Pool{
+	New: func() any {
+		b := &jsonBuf{}
+		b.enc = json.NewEncoder(&b.buf)
+		return b
+	},
+}
+
+// jsonBufMaxRetained bounds the buffers returned to the pool: a rare huge
+// response (a long path trace, a wide compare) should not pin its backing
+// array for the life of the process.
+const jsonBufMaxRetained = 64 << 10
+
 // writeJSON writes v with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	b := jsonBufPool.Get().(*jsonBuf)
+	b.buf.Reset()
+	if err := b.enc.Encode(v); err != nil {
+		jsonBufPool.Put(b)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	_, _ = w.Write(b.buf.Bytes())
+	if b.buf.Cap() <= jsonBufMaxRetained {
+		jsonBufPool.Put(b)
+	}
 }
 
 // writeError writes a JSON error body and counts it.

@@ -221,8 +221,13 @@ func decodeWorkload(data []byte) (cfg Config, tasks []*Task, ok bool) {
 }
 
 // graphSectionWorkloads converts every program section of an AND/OR graph
-// into an encoded engine workload, assigning dispatch orders with the same
-// canonical longest-task-first schedule the off-line phase uses.
+// into encoded engine workloads, assigning dispatch orders with the same
+// canonical longest-task-first schedule the off-line phase uses. Each
+// section is emitted twice: with raw WCET work, and with the overhead pad
+// the off-line phase adds (power.Overheads.PadTime) — the padded variant
+// reproduces bit-for-bit the work values that flow through the compile
+// cache's canonical runs, so the fuzzer's corpus covers the memoized
+// schedules as well as the raw ones.
 func graphSectionWorkloads(tb testing.TB, g *andor.Graph, m int) [][]byte {
 	tb.Helper()
 	secs, err := andor.Decompose(g)
@@ -231,58 +236,69 @@ func graphSectionWorkloads(tb testing.TB, g *andor.Graph, m int) [][]byte {
 	}
 	plat := power.Transmeta5400()
 	fmax := plat.Max().Freq
+	pads := []float64{0, power.DefaultOverheads().PadTime(plat)}
 	var out [][]byte
 	for _, sec := range secs.All {
 		if len(sec.Nodes) == 0 {
 			continue
 		}
-		local := make(map[*andor.Node]int, len(sec.Nodes))
-		for i, n := range sec.Nodes {
-			local[n] = i
+		for _, pad := range pads {
+			out = append(out, encodeSectionWorkload(tb, g, sec, m, plat, fmax, pad))
 		}
-		tasks := make([]*Task, len(sec.Nodes))
-		for i, n := range sec.Nodes {
-			t := &Task{Node: n.ID, Name: n.Name, Dummy: n.Kind == andor.And}
-			if n.Kind == andor.Compute {
-				t.WorkW = n.WCET * fmax
-				t.WorkA = t.WorkW * 2 / 3
-				t.LFT = 1e9
-			}
-			for _, pr := range n.Preds() {
-				if j, found := local[pr]; found {
-					t.Preds = append(t.Preds, j)
-				}
-			}
-			for _, su := range n.Succs() {
-				if j, found := local[su]; found {
-					t.Succs = append(t.Succs, j)
-				}
-			}
-			tasks[i] = t
-		}
-		res, err := Run(Config{Platform: plat, Mode: ByPriority, Procs: m}, tasks)
-		if err != nil {
-			tb.Fatalf("canonical schedule of %s section %d: %v", g.Name, sec.ID, err)
-		}
-		// Renumber tasks in dispatch order so Order is the identity and
-		// predecessors reference earlier indices, as the encoding needs.
-		perm := make([]int, len(tasks)) // perm[old] = new
-		sorted := make([]*Task, len(tasks))
-		for k, rec := range res.Records {
-			perm[rec.Task] = k
-			sorted[k] = tasks[rec.Task]
-		}
-		for k, t := range sorted {
-			t.Order = k
-			for i := range t.Preds {
-				t.Preds[i] = perm[t.Preds[i]]
-			}
-			t.Succs = nil
-			_ = k
-		}
-		out = append(out, encodeWorkload(m, 1, 2, sorted))
 	}
 	return out
+}
+
+// encodeSectionWorkload builds one section's canonical workload with the
+// given per-task worst-case pad.
+func encodeSectionWorkload(tb testing.TB, g *andor.Graph, sec *andor.Section,
+	m int, plat *power.Platform, fmax, pad float64) []byte {
+	tb.Helper()
+	local := make(map[*andor.Node]int, len(sec.Nodes))
+	for i, n := range sec.Nodes {
+		local[n] = i
+	}
+	tasks := make([]*Task, len(sec.Nodes))
+	for i, n := range sec.Nodes {
+		t := &Task{Node: n.ID, Name: n.Name, Dummy: n.Kind == andor.And}
+		if n.Kind == andor.Compute {
+			t.WorkW = (n.WCET + pad) * fmax
+			t.WorkA = t.WorkW * 2 / 3
+			t.LFT = 1e9
+		}
+		for _, pr := range n.Preds() {
+			if j, found := local[pr]; found {
+				t.Preds = append(t.Preds, j)
+			}
+		}
+		for _, su := range n.Succs() {
+			if j, found := local[su]; found {
+				t.Succs = append(t.Succs, j)
+			}
+		}
+		tasks[i] = t
+	}
+	res, err := Run(Config{Platform: plat, Mode: ByPriority, Procs: m}, tasks)
+	if err != nil {
+		tb.Fatalf("canonical schedule of %s section %d: %v", g.Name, sec.ID, err)
+	}
+	// Renumber tasks in dispatch order so Order is the identity and
+	// predecessors reference earlier indices, as the encoding needs.
+	perm := make([]int, len(tasks)) // perm[old] = new
+	sorted := make([]*Task, len(tasks))
+	for k, rec := range res.Records {
+		perm[rec.Task] = k
+		sorted[k] = tasks[rec.Task]
+	}
+	for k, t := range sorted {
+		t.Order = k
+		for i := range t.Preds {
+			t.Preds[i] = perm[t.Preds[i]]
+		}
+		t.Succs = nil
+		_ = k
+	}
+	return encodeWorkload(m, 1, 2, sorted)
 }
 
 // FuzzEngineArenaDifferential cross-checks three implementations of the
@@ -290,7 +306,9 @@ func graphSectionWorkloads(tb testing.TB, g *andor.Graph, m int) [][]byte {
 // with fresh state, the same engine on a reused arena (run three times to
 // exercise buffer recycling), and the naive sequential reference scheduler.
 // The corpus is seeded with the paper's Figure-3 synthetic application and
-// the radar.andor workload, section by section, plus the ATR application.
+// the radar.andor workload, section by section, plus the ATR application —
+// each section in both its raw and its overhead-padded form, the latter
+// being exactly the workload the compile cache's canonical runs see.
 func FuzzEngineArenaDifferential(f *testing.F) {
 	for _, g := range []*andor.Graph{workload.Synthetic(), workload.ATR(workload.DefaultATRConfig())} {
 		for _, m := range []int{2, 4} {

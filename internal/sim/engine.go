@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"andorsched/internal/obs"
 )
@@ -489,16 +490,15 @@ func (rq *readyQueue) push(ti int) {
 	// Ordered insertion: place ti before the first queued task it must
 	// precede (strictly longer WCET, ties by lower node ID), after any
 	// equal tasks — exactly where a stable sort of the appended element
-	// would land it.
+	// would land it. The queue is sorted under this strict weak ordering,
+	// so "t precedes pq[i]" is monotone in i and sort.Search finds the
+	// same position the linear scan did, in O(log n) comparisons.
 	t := rq.tasks[ti]
-	pos := len(rq.pq)
-	for i := rq.pqHead; i < len(rq.pq); i++ {
-		o := rq.tasks[rq.pq[i]]
-		if t.WorkW > o.WorkW || (t.WorkW == o.WorkW && t.Node < o.Node) {
-			pos = i
-			break
-		}
-	}
+	n := len(rq.pq) - rq.pqHead
+	pos := rq.pqHead + sort.Search(n, func(i int) bool {
+		o := rq.tasks[rq.pq[rq.pqHead+i]]
+		return t.WorkW > o.WorkW || (t.WorkW == o.WorkW && t.Node < o.Node)
+	})
 	rq.pq = append(rq.pq, 0)
 	copy(rq.pq[pos+1:], rq.pq[pos:])
 	rq.pq[pos] = ti
