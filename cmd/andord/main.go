@@ -9,6 +9,13 @@
 //
 //	andord [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	       [-timeout 15s] [-max-body 1048576] [-max-runs 100000]
+//	       [-tenant-rate 0] [-tenant-burst N] [-tenant-inflight N]
+//	       [-tenant-run-rate N] [-tenant-run-burst N]
+//	       [-tenant-header X-API-Key] [-tenant-by-ip] [-max-batch 256]
+//
+// Per-tenant admission control is off by default; -tenant-rate > 0
+// enables it. Tenants are identified by the -tenant-header request
+// header, falling back to the remote IP (-tenant-by-ip forces IP keying).
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes first, in-flight
 // requests complete, then the worker pool stops.
@@ -27,6 +34,7 @@ import (
 	"time"
 
 	"andorsched/internal/serve"
+	"andorsched/internal/serve/tenant"
 )
 
 func main() {
@@ -38,7 +46,15 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 	maxRuns := flag.Int("max-runs", 100000, "largest runs count a single request may ask for")
 	maxProcs := flag.Int("max-procs", 64, "largest processor count a single request may ask for")
+	maxBatch := flag.Int("max-batch", 256, "largest item count a /v1/batch request may carry")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown grace period")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant requests/sec (0 = admission control off)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant request burst (0 = rate, min 1)")
+	tenantInflight := flag.Int("tenant-inflight", 0, "per-tenant concurrent request cap (0 = unlimited)")
+	tenantRunRate := flag.Float64("tenant-run-rate", 0, "per-tenant Monte-Carlo runs/sec budget (0 = unlimited)")
+	tenantRunBurst := flag.Float64("tenant-run-burst", 0, "per-tenant run burst (0 = 10x run rate)")
+	tenantHeader := flag.String("tenant-header", "X-API-Key", "request header identifying the tenant")
+	tenantByIP := flag.Bool("tenant-by-ip", false, "key tenants by remote IP, ignoring the header")
 	flag.Parse()
 
 	s := serve.New(serve.Config{
@@ -49,6 +65,17 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		MaxRuns:        *maxRuns,
 		MaxProcs:       *maxProcs,
+		MaxBatchItems:  *maxBatch,
+		Tenant: tenant.Config{
+			Enabled:        *tenantRate > 0,
+			KeyHeader:      *tenantHeader,
+			ByIPOnly:       *tenantByIP,
+			RequestsPerSec: *tenantRate,
+			Burst:          *tenantBurst,
+			MaxInflight:    *tenantInflight,
+			RunsPerSec:     *tenantRunRate,
+			RunBurst:       *tenantRunBurst,
+		},
 	})
 
 	l, err := net.Listen("tcp", *addr)

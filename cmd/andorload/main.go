@@ -7,6 +7,11 @@
 //
 //	andorload -base http://localhost:8080 [-workload atr] [-schemes GSS,AS]
 //	          [-runs 1] [-load 0.5] [-n 1000 | -duration 30s] [-c 8] [-rps 0]
+//	          [-batch 0] [-api-key KEY]
+//
+// With -batch N each request targets /v1/batch and carries N items (the
+// scheme mix cycles within the batch); -api-key sets the X-API-Key header
+// identifying this generator as one tenant to a rate-limited server.
 //
 // The exit status is non-zero when any request failed outright or was
 // accepted and then dropped (incomplete stream) — 429 rejections are
@@ -17,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -36,18 +42,38 @@ func main() {
 	conc := flag.Int("c", 8, "concurrent closed-loop workers")
 	rps := flag.Float64("rps", 0, "target aggregate request rate (0 = unthrottled)")
 	procs := flag.Int("procs", 2, "processors m in each request")
+	batch := flag.Int("batch", 0, "items per request; >0 targets /v1/batch instead of /v1/run")
+	apiKey := flag.String("api-key", "", "X-API-Key header value (tenant identity)")
 	flag.Parse()
 
 	schemes := strings.Split(*schemesFlag, ",")
-	body := func(i int) []byte {
-		return []byte(fmt.Sprintf(
+	item := func(seed int, scheme string) string {
+		return fmt.Sprintf(
 			`{"workload":%q,"scheme":%q,"runs":%d,"load":%g,"procs":%d,"seed":%d}`,
-			*workloadName, strings.TrimSpace(schemes[i%len(schemes)]), *runs,
-			*loadFactor, *procs, i))
+			*workloadName, strings.TrimSpace(scheme), *runs, *loadFactor, *procs, seed)
+	}
+	body := func(i int) []byte {
+		return []byte(item(i, schemes[i%len(schemes)]))
+	}
+	path := "/v1/run"
+	if *batch > 0 {
+		path = "/v1/batch"
+		body = func(i int) []byte {
+			var b strings.Builder
+			b.WriteString(`{"items":[`)
+			for j := 0; j < *batch; j++ {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(item(i**batch+j, schemes[j%len(schemes)]))
+			}
+			b.WriteString(`]}`)
+			return []byte(b.String())
+		}
 	}
 
 	cfg := loadgen.Config{
-		URL:         strings.TrimRight(*base, "/") + "/v1/run",
+		URL:         strings.TrimRight(*base, "/") + path,
 		Body:        body,
 		Concurrency: *conc,
 		Requests:    *n,
@@ -56,9 +82,16 @@ func main() {
 	if *n == 0 {
 		cfg.Duration = *duration
 	}
+	if *apiKey != "" {
+		cfg.Header = http.Header{}
+		cfg.Header.Set("X-API-Key", *apiKey)
+	}
 
 	fmt.Printf("andorload: %s workload=%s schemes=%s runs=%d c=%d",
 		cfg.URL, *workloadName, *schemesFlag, *runs, *conc)
+	if *batch > 0 {
+		fmt.Printf(" batch=%d", *batch)
+	}
 	if *rps > 0 {
 		fmt.Printf(" rps=%g", *rps)
 	}

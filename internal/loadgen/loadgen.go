@@ -35,10 +35,16 @@ type Config struct {
 	Requests int
 	// Duration bounds the run in time when Requests is 0.
 	Duration time.Duration
-	// RPS paces the aggregate request rate; 0 means unthrottled.
+	// RPS paces the aggregate request rate; 0 means unthrottled. Pacing
+	// relies on a timer tick per request, so rates above roughly 1e6
+	// (sub-microsecond intervals) degrade toward unthrottled: the interval
+	// is clamped to 1ns and the ticker simply cannot fire that fast.
 	RPS float64
 	// Client overrides the HTTP client (default: 30s timeout).
 	Client *http.Client
+	// Header holds extra headers set on every request (e.g. an X-API-Key
+	// identifying the tenant). Content-Type is always application/json.
+	Header http.Header
 }
 
 // Result aggregates a run's outcomes. Every issued request lands in
@@ -172,6 +178,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.RPS > 0 {
 		tokens = make(chan struct{}, workers)
 		interval := time.Duration(float64(time.Second) / cfg.RPS)
+		if interval < time.Nanosecond {
+			// Very high RPS rounds the interval to zero, which would panic
+			// time.NewTicker. Clamp to the minimum representable tick; such
+			// rates are effectively unthrottled anyway.
+			interval = time.Nanosecond
+		}
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		go func() {
@@ -221,6 +233,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				if err != nil {
 					sh.failed++
 					continue
+				}
+				for k, vs := range cfg.Header {
+					for _, v := range vs {
+						req.Header.Add(k, v)
+					}
 				}
 				req.Header.Set("Content-Type", "application/json")
 				t0 := time.Now()

@@ -102,6 +102,55 @@ func TestRunDurationBounded(t *testing.T) {
 	}
 }
 
+func TestRunExtremeRPS(t *testing.T) {
+	// Regression: RPS high enough that time.Second/RPS rounds to a zero
+	// interval used to panic time.NewTicker. The clamp makes such rates
+	// effectively unthrottled; the run must still complete normally.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{}`)
+	}))
+	defer srv.Close()
+	res, err := Run(context.Background(), Config{
+		URL:         srv.URL,
+		Body:        func(i int) []byte { return []byte(`{}`) },
+		Concurrency: 2,
+		Requests:    20,
+		RPS:         2e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 20 || res.OK != 20 {
+		t.Errorf("sent=%d ok=%d, want 20/20", res.Sent, res.OK)
+	}
+}
+
+func TestRunSetsHeaders(t *testing.T) {
+	var gotKey atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotKey.Store(r.Header.Get("X-API-Key"))
+		fmt.Fprintln(w, `{}`)
+	}))
+	defer srv.Close()
+	hdr := http.Header{}
+	hdr.Set("X-API-Key", "tenant-a")
+	res, err := Run(context.Background(), Config{
+		URL:      srv.URL,
+		Body:     func(i int) []byte { return []byte(`{}`) },
+		Requests: 4,
+		Header:   hdr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != 4 {
+		t.Errorf("ok=%d, want 4", res.OK)
+	}
+	if k, _ := gotKey.Load().(string); k != "tenant-a" {
+		t.Errorf("X-API-Key = %q, want tenant-a", k)
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	if _, err := Run(context.Background(), Config{}); err == nil {
 		t.Error("no error for empty config")

@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"andorsched/internal/core"
+)
+
+// BatchRequest carries many small run requests in one HTTP round trip, so
+// N Monte-Carlo experiments cost one connection, one admission decision
+// and one response instead of N of each.
+type BatchRequest struct {
+	// Items are independent run requests (same shape as /v1/run bodies);
+	// each item's runs (default 1) aggregate into its summary line rather
+	// than streaming rows.
+	Items []RunRequest `json:"items"`
+}
+
+// BatchItemResult is one item's line in the NDJSON response: either an
+// execution summary (Error empty) or a per-item failure. Item indexes
+// refer to the request's items array; lines are emitted in item order.
+type BatchItemResult struct {
+	Item  int    `json:"item"`
+	Error string `json:"error,omitempty"`
+	// The remaining fields mirror RunSummary for a successful item.
+	Runs           int     `json:"runs,omitempty"`
+	Scheme         string  `json:"scheme,omitempty"`
+	DeadlineS      float64 `json:"deadline_s,omitempty"`
+	MeanEnergyJ    float64 `json:"mean_energy_j,omitempty"`
+	MeanFinishS    float64 `json:"mean_finish_s,omitempty"`
+	MaxFinishS     float64 `json:"max_finish_s,omitempty"`
+	DeadlineMisses int     `json:"deadline_misses,omitempty"`
+	LSTViolations  int     `json:"lst_violations,omitempty"`
+	SpeedChanges   int     `json:"speed_changes,omitempty"`
+}
+
+// BatchSummary is the trailing line of a batch response; its presence is
+// the completeness marker clients (and loadgen) already rely on for
+// /v1/run streams.
+type BatchSummary struct {
+	Summary bool `json:"summary"`
+	Items   int  `json:"items"`
+	OK      int  `json:"ok"`
+	Errors  int  `json:"errors"`
+	Runs    int  `json:"runs"`
+}
+
+// batchItem is one item after validation: ready to execute, or already
+// failed with its error line.
+type batchItem struct {
+	plan *core.Plan
+	cfg  core.RunConfig
+	runs int
+	seed uint64
+	res  BatchItemResult
+}
+
+// handleBatch executes every item of the request across the worker pool
+// and answers one NDJSON stream of per-item summaries plus a trailing
+// batch summary. The whole batch passes tenant admission once (charging
+// the sum of its items' runs), then items are executed in parallel with
+// blocking pool submission — an admitted batch rides out queue contention
+// instead of failing partway. Item-level application errors (bad scheme,
+// infeasible deadline, unknown workload) become per-item error lines, not
+// request failures; request-level errors (malformed JSON, size/count/run
+// caps, admission) keep their usual statuses.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r) {
+		return
+	}
+	var req BatchRequest
+	if apiErr := s.decodeJSON(r, &req); apiErr != nil {
+		s.writeError(w, apiErr.status, apiErr.msg)
+		return
+	}
+	if len(req.Items) == 0 {
+		s.writeError(w, http.StatusBadRequest, "batch has no items")
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch has %d items, limit %d", len(req.Items), s.cfg.MaxBatchItems))
+		return
+	}
+	s.batchItems.Add(int64(len(req.Items)))
+	totalRuns := 0
+	for i := range req.Items {
+		runs := req.Items[i].Runs
+		if runs == 0 {
+			runs = 1
+		}
+		if runs < 1 || runs > s.cfg.MaxRuns {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("item %d: runs %d outside [1, %d]", i, runs, s.cfg.MaxRuns))
+			return
+		}
+		totalRuns += runs
+		if totalRuns > s.cfg.MaxRuns {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("batch totals more than %d runs", s.cfg.MaxRuns))
+			return
+		}
+	}
+	release, ok := s.admit(w, r, totalRuns)
+	if !ok {
+		return
+	}
+	defer release()
+
+	// Resolve every item up front: scheme, plan (through the cache, so a
+	// batch of one workload compiles once) and deadline. Failures become
+	// the item's line; the rest of the batch proceeds.
+	items := make([]batchItem, len(req.Items))
+	for i := range req.Items {
+		it := &items[i]
+		it.res.Item = i
+		spec := &req.Items[i]
+		schemeName := spec.Scheme
+		if schemeName == "" {
+			schemeName = "GSS"
+		}
+		scheme, err := core.ParseScheme(schemeName)
+		if err != nil {
+			it.res.Error = err.Error()
+			continue
+		}
+		plan, _, apiErr := s.planFor(r.Context(), &spec.AppSpec)
+		if apiErr != nil {
+			if apiErr.status == http.StatusServiceUnavailable {
+				// A compile timeout is a request-level condition (the batch's
+				// context is gone), not an item defect.
+				s.writeError(w, apiErr.status, apiErr.msg)
+				return
+			}
+			it.res.Error = apiErr.msg
+			continue
+		}
+		deadline, apiErr := resolveDeadline(plan.CTWorst, spec.Deadline, spec.Load)
+		if apiErr != nil {
+			it.res.Error = apiErr.msg
+			continue
+		}
+		it.plan = plan
+		// The sampler is bound per worker at execution time; here only the
+		// scheme, deadline and worst-case mode are fixed.
+		it.cfg = core.RunConfig{Scheme: scheme, Deadline: deadline, WorstCase: spec.Worst}
+		it.runs = spec.Runs
+		if it.runs == 0 {
+			it.runs = 1
+		}
+		it.seed = spec.Seed
+	}
+
+	// Execute in parallel across the pool. Items are striped into one
+	// chunk per worker — one pool job per chunk, not per item — so the
+	// dispatch cost (goroutine, queue round-trip, completion channel) is
+	// paid ~workers times per batch instead of ~items times. Blocking
+	// submission (DoWait) keeps an admitted batch from failing on
+	// transient queue pressure.
+	valid := make([]*batchItem, 0, len(items))
+	for i := range items {
+		if items[i].plan != nil {
+			valid = append(valid, &items[i])
+		}
+	}
+	chunks := s.pool.workers
+	if chunks > len(valid) {
+		chunks = len(valid)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		executed int64
+	)
+	for c := 0; c < chunks; c++ {
+		lo, hi := c*len(valid)/chunks, (c+1)*len(valid)/chunks
+		chunk := valid[lo:hi]
+		wg.Add(1)
+		go func(chunk []*batchItem) {
+			defer wg.Done()
+			err := s.pool.DoWait(r.Context(), func(ctx context.Context, wk *Worker) {
+				done := int64(0)
+				defer func() {
+					mu.Lock()
+					executed += done
+					mu.Unlock()
+				}()
+				for _, it := range chunk {
+					if ctx.Err() != nil {
+						return // request-level failure, handled below
+					}
+					cfg := it.cfg
+					if !cfg.WorstCase {
+						cfg.Sampler = wk.Sampler
+					}
+					sum, err := monteCarlo(ctx, wk, it.plan, cfg, it.runs, it.seed, nil)
+					done += int64(sum.Runs)
+					if err != nil {
+						if ctx.Err() != nil {
+							return
+						}
+						it.res.Error = err.Error()
+						continue
+					}
+					it.res = BatchItemResult{
+						Item: it.res.Item, Runs: sum.Runs, Scheme: sum.Scheme,
+						DeadlineS: sum.DeadlineS, MeanEnergyJ: sum.MeanEnergyJ,
+						MeanFinishS: sum.MeanFinishS, MaxFinishS: sum.MaxFinishS,
+						DeadlineMisses: sum.DeadlineMisses, LSTViolations: sum.LSTViolations,
+						SpeedChanges: sum.SpeedChanges,
+					}
+				}
+			})
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(chunk)
+	}
+	wg.Wait()
+	s.runs.Add(executed)
+	if err := r.Context().Err(); err != nil {
+		// The batch's own deadline expired (or the client left) mid-flight;
+		// nothing has been written, so report it properly.
+		s.writeError(w, http.StatusServiceUnavailable, "batch timed out before completing")
+		return
+	}
+	if firstErr != nil {
+		s.checkPoolErr(w, firstErr)
+		return
+	}
+
+	// All items settled: commit the 200 and stream the lines in item
+	// order, then the completeness marker.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	sum := BatchSummary{Summary: true, Items: len(items)}
+	for i := range items {
+		if items[i].res.Error != "" {
+			sum.Errors++
+		} else {
+			sum.OK++
+			sum.Runs += items[i].res.Runs
+		}
+		if enc.Encode(&items[i].res) != nil {
+			return // client went away; the missing summary marks it incomplete
+		}
+	}
+	_ = enc.Encode(sum)
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"andorsched/internal/loadgen"
+	"andorsched/internal/serve/tenant"
 )
 
 // startE2E binds a real listener and serves on it, returning the base URL
@@ -166,6 +167,8 @@ func TestE2EBackpressure(t *testing.T) {
 			sawReject = true
 			if ra := resp.Header.Get("Retry-After"); ra == "" {
 				t.Error("429 without Retry-After header")
+			} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+				t.Errorf("Retry-After %q is not a positive integer", ra)
 			}
 			if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "json") {
 				t.Errorf("429 content type %q", ct)
@@ -182,6 +185,99 @@ func TestE2EBackpressure(t *testing.T) {
 		t.Errorf("rejection counter %d", n)
 	}
 	shutdownE2E(t, s, errc)
+}
+
+// TestE2EMultiTenantFairness pins the point of per-tenant admission: one
+// tenant driving far past its quota must not degrade a compliant tenant.
+// The compliant tenant runs the same fixed workload twice — alone, then
+// alongside a noisy tenant pushing roughly 10× its quota — and its
+// completed-request count must stay within 10% of the solo baseline. The
+// noisy tenant must see only clean 429s: rejections, never failures or
+// accepted-but-dropped streams.
+func TestE2EMultiTenantFairness(t *testing.T) {
+	s, base, errc := startE2E(t, Config{
+		Workers:   4,
+		QueueSize: 64,
+		Tenant: tenant.Config{
+			Enabled:        true,
+			RequestsPerSec: 200,
+		},
+	})
+	defer shutdownE2E(t, s, errc)
+
+	body := func(i int) []byte {
+		return []byte(fmt.Sprintf(
+			`{"workload":"atr","scheme":"GSS","runs":1,"seed":%d,"load":0.5}`, i))
+	}
+	header := func(key string) http.Header {
+		h := http.Header{}
+		h.Set("X-API-Key", key)
+		return h
+	}
+	// The compliant tenant: a fixed request count paced at half its
+	// 200/s quota, so in isolation nothing is ever rejected.
+	compliant := loadgen.Config{
+		URL:         base + "/v1/run",
+		Body:        body,
+		Concurrency: 4,
+		Requests:    80,
+		RPS:         100,
+		Header:      header("tenant-good"),
+	}
+
+	solo, err := loadgen.Run(context.Background(), compliant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("solo baseline:\n%s", solo)
+	if solo.OK != solo.Sent || solo.Rejected != 0 {
+		t.Fatalf("compliant tenant throttled in isolation: %+v", solo)
+	}
+
+	// Second pass with a noisy neighbour hammering unthrottled at high
+	// concurrency — roughly an order of magnitude over its quota.
+	noisyCtx, stopNoisy := context.WithCancel(context.Background())
+	defer stopNoisy()
+	noisyDone := make(chan *loadgen.Result, 1)
+	go func() {
+		res, err := loadgen.Run(noisyCtx, loadgen.Config{
+			URL:         base + "/v1/run",
+			Body:        body,
+			Concurrency: 8,
+			Duration:    30 * time.Second, // bounded by stopNoisy in practice
+			Header:      header("tenant-noisy"),
+		})
+		if err != nil {
+			t.Errorf("noisy tenant: %v", err)
+		}
+		noisyDone <- res
+	}()
+
+	contended, err := loadgen.Run(context.Background(), compliant)
+	stopNoisy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := <-noisyDone
+	t.Logf("contended:\n%s", contended)
+	if noisy != nil {
+		t.Logf("noisy neighbour:\n%s", noisy)
+	}
+
+	if contended.Failed != 0 || contended.Incomplete != 0 {
+		t.Errorf("compliant tenant saw hard failures under contention: %+v", contended)
+	}
+	if float64(contended.OK) < 0.9*float64(solo.OK) {
+		t.Errorf("compliant tenant degraded: %d ok contended vs %d solo", contended.OK, solo.OK)
+	}
+	if noisy != nil {
+		if noisy.Rejected == 0 {
+			t.Error("noisy tenant was never rate-limited")
+		}
+		if noisy.Failed != 0 || noisy.Incomplete != 0 {
+			t.Errorf("noisy tenant rejections were not clean 429s: %+v", noisy)
+		}
+	}
 }
 
 // TestE2EGracefulDrain starts a long streaming request and shuts down

@@ -53,6 +53,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, apiErr.status, apiErr.msg)
 		return
 	}
+	// Compiles are the most expensive thing a client can ask for; they sit
+	// behind tenant admission like runs do (charging zero run tokens).
+	release, ok := s.admit(w, r, 0)
+	if !ok {
+		return
+	}
+	defer release()
 	plan, hit, apiErr := s.planFor(r.Context(), &req.AppSpec)
 	if apiErr != nil {
 		s.writeError(w, apiErr.status, apiErr.msg)
@@ -91,6 +98,49 @@ func fillRow(row *RunRow, run int, res *core.RunResult) {
 	}
 }
 
+// monteCarlo executes runs Monte-Carlo executions of plan on wk's state.
+// Per-run seeds come from one master stream, so runs are independent but
+// the whole request is reproducible from seed. each (optional) observes
+// every result and may stop the loop early by returning false — e.g. a
+// streaming encoder whose client went away. The returned summary covers
+// the observed prefix (Runs < runs when stopped early); a context expiry
+// or simulation failure aborts with the error and a partial summary.
+func monteCarlo(ctx context.Context, wk *Worker, plan *core.Plan, cfg core.RunConfig,
+	runs int, seed uint64, each func(i int, res *core.RunResult) bool) (RunSummary, error) {
+	var finish, energy stats.Acc
+	var misses, lst, changes, done int
+	var master exectime.Source
+	master.Reseed(seed)
+	sum := func() RunSummary {
+		return RunSummary{
+			Summary: true, Runs: done, Scheme: cfg.Scheme.String(), DeadlineS: cfg.Deadline,
+			MeanEnergyJ: energy.Mean(), MeanFinishS: finish.Mean(), MaxFinishS: finish.Max(),
+			DeadlineMisses: misses, LSTViolations: lst, SpeedChanges: changes,
+		}
+	}
+	for i := 0; i < runs; i++ {
+		if err := ctx.Err(); err != nil {
+			return sum(), err
+		}
+		wk.Src.Reseed(master.Uint64())
+		if err := plan.RunInto(cfg, wk.Arena, &wk.Res); err != nil {
+			return sum(), err
+		}
+		if each != nil && !each(i, &wk.Res) {
+			return sum(), nil
+		}
+		finish.Add(wk.Res.Finish)
+		energy.Add(wk.Res.Energy())
+		changes += wk.Res.SpeedChanges
+		lst += wk.Res.LSTViolations
+		if !wk.Res.MetDeadline {
+			misses++
+		}
+		done++
+	}
+	return sum(), nil
+}
+
 // handleRun executes an application once (JSON response) or runs=N times
 // (NDJSON stream: one row per run, then a summary row). The simulation
 // itself runs on a pool worker's arena; this handler only decodes,
@@ -122,6 +172,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("runs %d outside [1, %d]", runs, s.cfg.MaxRuns))
 		return
 	}
+	release, ok := s.admit(w, r, runs)
+	if !ok {
+		return
+	}
+	defer release()
 	plan, _, apiErr := s.planFor(r.Context(), &req.AppSpec)
 	if apiErr != nil {
 		s.writeError(w, apiErr.status, apiErr.msg)
@@ -173,49 +228,33 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	poolErr := s.pool.Do(r.Context(), func(ctx context.Context, wk *Worker) {
 		w.WriteHeader(http.StatusOK)
 		var row RunRow
-		var finish, energy stats.Acc
-		var misses, lst, changes, done int
-		// Per-run seeds come from one master stream, so runs are
-		// independent but the whole request is reproducible from req.Seed.
-		var master exectime.Source
-		master.Reseed(req.Seed)
 		cfg := core.RunConfig{Scheme: scheme, Deadline: deadline}
 		if req.Worst {
 			cfg.WorstCase = true
 		} else {
 			cfg.Sampler = wk.Sampler
 		}
-		for i := 0; i < runs; i++ {
-			if ctx.Err() != nil {
-				return // request gone: stream ends without a summary
-			}
-			wk.Src.Reseed(master.Uint64())
-			if err := plan.RunInto(cfg, wk.Arena, &wk.Res); err != nil {
+		sum, err := monteCarlo(ctx, wk, plan, cfg, runs, req.Seed,
+			func(i int, res *core.RunResult) bool {
+				fillRow(&row, i, res)
+				if enc.Encode(&row) != nil {
+					return false // client went away; stop simulating
+				}
+				if flusher != nil && (i+1)%256 == 0 {
+					flusher.Flush()
+				}
+				return true
+			})
+		s.runs.Add(int64(sum.Runs))
+		if err != nil {
+			if ctx.Err() == nil {
 				_ = enc.Encode(map[string]string{"error": err.Error()})
-				return
 			}
-			fillRow(&row, i, &wk.Res)
-			if err := enc.Encode(&row); err != nil {
-				return // client went away; stop simulating
-			}
-			finish.Add(wk.Res.Finish)
-			energy.Add(wk.Res.Energy())
-			changes += wk.Res.SpeedChanges
-			lst += wk.Res.LSTViolations
-			if !wk.Res.MetDeadline {
-				misses++
-			}
-			done++
-			if flusher != nil && done%256 == 0 {
-				flusher.Flush()
-			}
+			return // stream ends without a summary: client must treat as incomplete
 		}
-		_ = enc.Encode(RunSummary{
-			Summary: true, Runs: done, Scheme: scheme.String(), DeadlineS: deadline,
-			MeanEnergyJ: energy.Mean(), MeanFinishS: finish.Mean(), MaxFinishS: finish.Max(),
-			DeadlineMisses: misses, LSTViolations: lst, SpeedChanges: changes,
-		})
-		s.runs.Add(int64(done))
+		if sum.Runs == runs { // not cut short by a gone client
+			_ = enc.Encode(sum)
+		}
 	})
 	if poolErr != nil {
 		// The job never ran, so no status line was written: report the
@@ -264,6 +303,12 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 				runs, len(schemes), s.cfg.MaxRuns))
 		return
 	}
+	// A compare costs one NPM baseline plus one run per scheme per frame.
+	release, ok := s.admit(w, r, runs*(len(schemes)+1))
+	if !ok {
+		return
+	}
+	defer release()
 	plan, _, apiErr := s.planFor(r.Context(), &req.AppSpec)
 	if apiErr != nil {
 		s.writeError(w, apiErr.status, apiErr.msg)
@@ -345,7 +390,7 @@ func (s *Server) checkPoolErr(w http.ResponseWriter, err error) bool {
 	case err == nil:
 		return true
 	case errors.Is(err, ErrQueueFull):
-		s.writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+		s.writeRateLimited(w, s.pool.RetryAfter(), "server at capacity, retry later")
 	case errors.Is(err, context.DeadlineExceeded):
 		s.writeError(w, http.StatusServiceUnavailable, "request timed out before a worker was available")
 	default:
@@ -363,6 +408,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queue_capacity": s.cfg.QueueSize,
 		"in_flight":      s.pool.InFlight(),
 		"cached_plans":   s.cache.Len(),
+		"tenants":        s.limiter.Len(),
 	})
 }
 
@@ -376,6 +422,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Gauge(MetricSchedCacheMisses).Set(float64(st.Misses))
 	s.metrics.Gauge(MetricSchedCacheEvictions).Set(float64(st.Evictions))
 	s.metrics.Gauge(MetricSchedCacheSize).Set(float64(st.Size))
+	// Per-tenant admission counters, refreshed the same scrape-time way
+	// (the limiter, like the schedule cache, keeps its own counters).
+	for _, ts := range s.limiter.Snapshot() {
+		s.metrics.Gauge(tenantMetricName(ts.Tenant, "admitted")).Set(float64(ts.Admitted))
+		s.metrics.Gauge(tenantMetricName(ts.Tenant, "rejected")).Set(float64(ts.Rejected))
+		s.metrics.Gauge(tenantMetricName(ts.Tenant, "inflight")).Set(float64(ts.Inflight))
+		s.metrics.Gauge(tenantMetricName(ts.Tenant, "runs")).Set(float64(ts.Runs))
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = obs.WritePrometheus(w, s.metrics.Snapshot())
 }

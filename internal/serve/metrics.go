@@ -11,9 +11,17 @@ const (
 	MetricErrors = "serve.http.errors"
 	// MetricPanics counts handler panics recovered (counter).
 	MetricPanics = "serve.http.panics"
-	// MetricRejections counts requests rejected with 429 because the
-	// admission queue was full (counter).
+	// MetricRejections counts requests rejected with 429 — by a full
+	// admission queue or by per-tenant admission control (counter).
 	MetricRejections = "serve.http.rejections"
+	// MetricTenantRejections counts the subset of rejections made by
+	// per-tenant admission control: rate limits, concurrency quotas and
+	// run budgets, including never-satisfiable asks answered 400 (counter).
+	MetricTenantRejections = "serve.tenant.rejections"
+	// MetricBatchItems counts items carried by /v1/batch requests
+	// (counter), admitted or not per item; compare with MetricRuns for the
+	// executed work.
+	MetricBatchItems = "serve.batch.items"
 	// MetricLatency is the request latency histogram in seconds.
 	MetricLatency = "serve.http.latency_seconds"
 	// MetricQueueDepth is the admission queue's current depth (gauge).
@@ -45,6 +53,34 @@ const (
 	// count (gauge).
 	MetricSchedCacheSize = "core.schedcache.size"
 )
+
+// Per-tenant counters are exported as gauges named
+// "serve.tenant.<id>.admitted|rejected|inflight|runs", refreshed from the
+// limiter on each /metrics scrape. The <id> segment is the tenant key
+// squeezed to the metric charset by sanitizeTenant; the set of exported
+// tenants is bounded by the limiter's MaxTenants LRU (gauges of evicted
+// tenants stop updating but remain in the registry until restart).
+func tenantMetricName(id, counter string) string {
+	return "serve.tenant." + sanitizeTenant(id) + "." + counter
+}
+
+// sanitizeTenant maps a tenant key ("key:...", "ip:...") onto metric-name
+// safe characters, truncated to keep pathological keys from bloating the
+// exposition.
+func sanitizeTenant(id string) string {
+	const maxLen = 48
+	b := make([]byte, 0, len(id))
+	for i := 0; i < len(id) && len(b) < maxLen; i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
 
 // latencyBuckets are the request-latency histogram bounds in seconds.
 var latencyBuckets = []float64{

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"andorsched/internal/core"
 	"andorsched/internal/exectime"
@@ -42,12 +43,23 @@ type job struct {
 // Pool is a fixed-size worker pool with a bounded admission queue. Do
 // submits a job and blocks until it completes; when the queue is full it
 // fails fast with ErrQueueFull (backpressure) instead of queueing
-// unboundedly. Each worker holds one Worker state for its lifetime.
+// unboundedly. DoWait is the blocking variant batch execution uses after
+// its own admission decision. Each worker holds one Worker state for its
+// lifetime.
 type Pool struct {
-	jobs     chan *job
-	wg       sync.WaitGroup
-	closed   atomic.Bool
+	jobs    chan *job
+	workers int
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	// sendMu serializes job submission against Close: senders hold it
+	// shared for the enqueue, Close holds it exclusively around closing the
+	// channel, so a Do racing a Close gets a clean ErrPoolClosed instead of
+	// a send on a closed channel.
+	sendMu   sync.RWMutex
 	inFlight atomic.Int64
+	// svcNanos is an EWMA of observed per-job service time, fed by the
+	// workers; RetryAfter turns it into a drain-rate estimate.
+	svcNanos atomic.Int64
 
 	depth *obs.Gauge
 }
@@ -62,8 +74,9 @@ func NewPool(workers, queue int, m *obs.Metrics) *Pool {
 		queue = 1
 	}
 	p := &Pool{
-		jobs:  make(chan *job, queue),
-		depth: m.Gauge(MetricQueueDepth),
+		jobs:    make(chan *job, queue),
+		workers: workers,
+		depth:   m.Gauge(MetricQueueDepth),
 	}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
@@ -86,12 +99,58 @@ func (p *Pool) worker(id uint64) {
 		// queued) is skipped: its handler is gone, running it would only
 		// burn the worker.
 		if j.ctx.Err() == nil {
+			t0 := time.Now()
 			j.fn(j.ctx, w)
 			j.ran = true
+			p.observeService(time.Since(t0))
 		}
 		close(j.done)
 		p.inFlight.Add(-1)
 	}
+}
+
+// observeService folds one job's duration into the drain-rate EWMA
+// (α = 1/8: stable under bursty mixes, adapts within a few dozen jobs).
+func (p *Pool) observeService(d time.Duration) {
+	n := d.Nanoseconds()
+	if n < 1 {
+		n = 1
+	}
+	for {
+		old := p.svcNanos.Load()
+		next := n
+		if old != 0 {
+			next = old + (n-old)/8
+		}
+		if p.svcNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// RetryAfter estimates how long a rejected client should wait for queue
+// space to appear: the queued work divided by the pool's observed drain
+// rate (workers / EWMA service time), clamped to [1s, 60s]. Before any
+// job has completed — or with an empty queue, where the rejection came
+// from a race — there is no schedule to derive, and the estimate falls
+// back to 1s.
+func (p *Pool) RetryAfter() time.Duration {
+	svc := p.svcNanos.Load()
+	depth := len(p.jobs)
+	if svc == 0 || depth == 0 {
+		return time.Second
+	}
+	// depth+1 jobs (the queue plus the caller's own) drain at
+	// workers-per-svc; round up to whole work, clamp to the header-friendly
+	// band.
+	wait := time.Duration((int64(depth+1)*svc + int64(p.workers) - 1) / int64(p.workers))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	if wait > 60*time.Second {
+		wait = 60 * time.Second
+	}
+	return wait
 }
 
 // Do submits fn and waits for it to finish. fn runs on a pool worker with
@@ -101,17 +160,52 @@ func (p *Pool) worker(id uint64) {
 // because the context expired before a worker picked it up. A nil return
 // means fn ran to completion.
 func (p *Pool) Do(ctx context.Context, fn func(ctx context.Context, w *Worker)) error {
-	if p.closed.Load() {
-		return ErrPoolClosed
+	return p.submit(ctx, fn, false)
+}
+
+// DoWait is Do without the fail-fast queue check: when the queue is full
+// it blocks until space frees or ctx expires. It exists for work that has
+// already passed an admission decision of its own — the items of an
+// admitted /v1/batch — where a fail-fast ErrQueueFull would turn one
+// accepted request into a partial failure. Like Do, callers must not
+// start a DoWait after Close begins.
+func (p *Pool) DoWait(ctx context.Context, fn func(ctx context.Context, w *Worker)) error {
+	return p.submit(ctx, fn, true)
+}
+
+func (p *Pool) submit(ctx context.Context, fn func(ctx context.Context, w *Worker), wait bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	j := &job{ctx: ctx, fn: fn, done: make(chan struct{})}
-	select {
-	case p.jobs <- j:
-		p.inFlight.Add(1)
-		p.depth.Set(float64(len(p.jobs)))
-	default:
-		return ErrQueueFull
+	p.sendMu.RLock()
+	if p.closed.Load() {
+		p.sendMu.RUnlock()
+		return ErrPoolClosed
 	}
+	// Count the job before the enqueue becomes visible: a worker may pick
+	// it up (and decrement) the instant the send completes, and the
+	// increment-after-send ordering used to let InFlight read negative.
+	p.inFlight.Add(1)
+	if wait {
+		select {
+		case p.jobs <- j:
+		case <-ctx.Done():
+			p.inFlight.Add(-1)
+			p.sendMu.RUnlock()
+			return ctx.Err()
+		}
+	} else {
+		select {
+		case p.jobs <- j:
+		default:
+			p.inFlight.Add(-1)
+			p.sendMu.RUnlock()
+			return ErrQueueFull
+		}
+	}
+	p.depth.Set(float64(len(p.jobs)))
+	p.sendMu.RUnlock()
 	<-j.done
 	if !j.ran {
 		if err := ctx.Err(); err != nil {
@@ -126,12 +220,14 @@ func (p *Pool) Do(ctx context.Context, fn func(ctx context.Context, w *Worker)) 
 func (p *Pool) InFlight() int { return int(p.inFlight.Load()) }
 
 // Close stops accepting jobs, lets queued and running jobs finish, and
-// waits for the workers to exit. Callers must ensure no Do call starts
-// after Close begins (the server guarantees this by draining HTTP
-// handlers first).
+// waits for the workers to exit. A Do or DoWait racing Close observes a
+// clean ErrPoolClosed: the jobs channel only closes once no submission
+// holds the send lock, and later submissions see the closed flag first.
 func (p *Pool) Close() {
 	if p.closed.CompareAndSwap(false, true) {
+		p.sendMu.Lock()
 		close(p.jobs)
+		p.sendMu.Unlock()
 	}
 	p.wg.Wait()
 }

@@ -11,15 +11,19 @@
 //	POST /v1/plan     compile (or fetch) a plan, return its summary
 //	POST /v1/run      execute an application once, or runs=N times with
 //	                  NDJSON row streaming and a trailing summary
+//	POST /v1/batch    execute many small run requests in one round trip,
+//	                  answered as NDJSON per-item summaries
 //	POST /v1/compare  compare schemes under common random numbers
 //	GET  /healthz     liveness + basic capacity numbers
 //	GET  /metrics     Prometheus text exposition of the obs registry
 //
 // Robustness: per-request timeouts, request body size limits, input
 // validation mapped to 400s, a bounded admission queue answering 429 with
-// Retry-After when full, panic recovery, and graceful drain on Shutdown
-// (in-flight requests complete, the listener closes first). See
-// docs/SERVER.md.
+// a Retry-After derived from queue depth and the observed drain rate,
+// optional per-tenant admission control (token-bucket rate limits,
+// concurrency quotas and run budgets — see the tenant package), panic
+// recovery, and graceful drain on Shutdown (in-flight requests complete,
+// the listener closes first). See docs/SERVER.md.
 package serve
 
 import (
@@ -27,14 +31,17 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"andorsched/internal/obs"
+	"andorsched/internal/serve/tenant"
 )
 
 // Config parameterizes a Server. The zero value gets sensible defaults
@@ -56,6 +63,13 @@ type Config struct {
 	MaxRuns int
 	// MaxProcs bounds the procs a request may ask for (default 64).
 	MaxProcs int
+	// MaxBatchItems bounds the items of a single /v1/batch request
+	// (default 256). The total runs of a batch are separately bounded by
+	// MaxRuns.
+	MaxBatchItems int
+	// Tenant configures per-client admission control (rate limits,
+	// concurrency quotas, run budgets). The zero value disables it.
+	Tenant tenant.Config
 	// Metrics receives the server's instruments; a fresh registry is
 	// created when nil.
 	Metrics *obs.Metrics
@@ -83,6 +97,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxProcs <= 0 {
 		c.MaxProcs = 64
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewMetrics()
 	}
@@ -97,16 +114,19 @@ type Server struct {
 	metrics *obs.Metrics
 	cache   *PlanCache
 	pool    *Pool
+	limiter *tenant.Limiter // nil when admission control is disabled
 	mux     *http.ServeMux
 	httpSrv *http.Server
 	start   time.Time
 
-	requests   *obs.Counter
-	errors     *obs.Counter
-	panics     *obs.Counter
-	rejections *obs.Counter
-	runs       *obs.Counter
-	latency    *obs.Histogram
+	requests    *obs.Counter
+	errors      *obs.Counter
+	panics      *obs.Counter
+	rejections  *obs.Counter
+	tenantRejNo *obs.Counter
+	runs        *obs.Counter
+	batchItems  *obs.Counter
+	latency     *obs.Histogram
 }
 
 // New builds a Server from cfg (zero value fine) without binding a port.
@@ -114,21 +134,25 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := cfg.Metrics
 	s := &Server{
-		cfg:        cfg,
-		metrics:    m,
-		cache:      NewPlanCache(cfg.CacheSize, m),
-		pool:       NewPool(cfg.Workers, cfg.QueueSize, m),
-		mux:        http.NewServeMux(),
-		start:      time.Now(),
-		requests:   m.Counter(MetricRequests),
-		errors:     m.Counter(MetricErrors),
-		panics:     m.Counter(MetricPanics),
-		rejections: m.Counter(MetricRejections),
-		runs:       m.Counter(MetricRuns),
-		latency:    m.Histogram(MetricLatency, latencyBuckets),
+		cfg:         cfg,
+		metrics:     m,
+		cache:       NewPlanCache(cfg.CacheSize, m),
+		pool:        NewPool(cfg.Workers, cfg.QueueSize, m),
+		limiter:     tenant.New(cfg.Tenant),
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		requests:    m.Counter(MetricRequests),
+		errors:      m.Counter(MetricErrors),
+		panics:      m.Counter(MetricPanics),
+		rejections:  m.Counter(MetricRejections),
+		tenantRejNo: m.Counter(MetricTenantRejections),
+		runs:        m.Counter(MetricRuns),
+		batchItems:  m.Counter(MetricBatchItems),
+		latency:     m.Histogram(MetricLatency, latencyBuckets),
 	}
 	s.mux.HandleFunc("/v1/plan", s.wrap(s.handlePlan))
 	s.mux.HandleFunc("/v1/run", s.wrap(s.handleRun))
+	s.mux.HandleFunc("/v1/batch", s.wrap(s.handleBatch))
 	s.mux.HandleFunc("/v1/compare", s.wrap(s.handleCompare))
 	s.mux.HandleFunc("/healthz", s.wrap(s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.wrap(s.handleMetrics))
@@ -251,14 +275,49 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// writeError writes a JSON error body and counts it.
+// writeError writes a JSON error body and counts it. 429s go through
+// writeRateLimited instead, which owes the client a Retry-After.
 func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 	s.errors.Inc()
-	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
-		s.rejections.Inc()
-	}
 	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// writeRateLimited answers 429 with a Retry-After derived from the actual
+// schedule that rejected the request — a tenant bucket's refill time or
+// the pool's queue-drain estimate — rounded up to whole seconds (the
+// header's integer form) with a 1s floor.
+func (s *Server) writeRateLimited(w http.ResponseWriter, retryAfter time.Duration, msg string) {
+	s.errors.Inc()
+	s.rejections.Inc()
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": msg})
+}
+
+// admit runs the per-tenant admission decision for a request consuming
+// runs simulation runs. It returns a release to defer (always non-nil)
+// and whether the request may proceed; on rejection the response has been
+// written. With admission control disabled every request passes.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, runs int) (func(), bool) {
+	if s.limiter == nil {
+		return func() {}, true
+	}
+	dec, release := s.limiter.Admit(s.limiter.KeyFromRequest(r), runs)
+	if dec.OK {
+		return release, true
+	}
+	s.tenantRejNo.Inc()
+	if dec.Never {
+		// No amount of waiting satisfies this ask; a 429 would have the
+		// client retry forever.
+		s.writeError(w, http.StatusBadRequest, dec.Reason)
+		return func() {}, false
+	}
+	s.writeRateLimited(w, dec.RetryAfter, dec.Reason)
+	return func() {}, false
 }
 
 // decodeJSON decodes the request body into v, mapping the failure modes

@@ -1,0 +1,279 @@
+package tenant
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock makes bucket arithmetic exact in tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestLimiter(t *testing.T, cfg Config) (*Limiter, *fakeClock) {
+	t.Helper()
+	cfg.Enabled = true
+	l := New(cfg)
+	if l == nil {
+		t.Fatal("New returned nil for enabled config")
+	}
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l.now = clk.now
+	return l, clk
+}
+
+func TestDisabledConfigReturnsNil(t *testing.T) {
+	if l := New(Config{}); l != nil {
+		t.Fatal("New with Enabled=false should return nil")
+	}
+	// The nil limiter admits everything and never panics.
+	var l *Limiter
+	d, release := l.Admit("anyone", 1000)
+	if !d.OK {
+		t.Error("nil limiter rejected a request")
+	}
+	release()
+	if l.Snapshot() != nil || l.Len() != 0 {
+		t.Error("nil limiter reported state")
+	}
+}
+
+func TestRequestBucketRetryAfterExact(t *testing.T) {
+	l, clk := newTestLimiter(t, Config{RequestsPerSec: 10, Burst: 2})
+
+	for i := 0; i < 2; i++ {
+		d, release := l.Admit("key:a", 0)
+		if !d.OK {
+			t.Fatalf("admit %d within burst rejected: %+v", i, d)
+		}
+		release()
+	}
+	// Bucket empty: the deficit is exactly one token = 100ms at 10/s.
+	d, _ := l.Admit("key:a", 0)
+	if d.OK {
+		t.Fatal("admit beyond burst succeeded")
+	}
+	if d.RetryAfter != 100*time.Millisecond {
+		t.Errorf("RetryAfter %v, want exactly 100ms", d.RetryAfter)
+	}
+	// Waiting less than the advertised schedule still rejects…
+	clk.advance(50 * time.Millisecond)
+	if d, _ := l.Admit("key:a", 0); d.OK {
+		t.Error("admitted before the advertised RetryAfter elapsed")
+	}
+	// …waiting it out admits (49.99ms remain short of the original 100).
+	clk.advance(51 * time.Millisecond)
+	d, release := l.Admit("key:a", 0)
+	if !d.OK {
+		t.Fatalf("rejected after the advertised RetryAfter elapsed: %+v", d)
+	}
+	release()
+}
+
+func TestRunBudget(t *testing.T) {
+	l, clk := newTestLimiter(t, Config{RequestsPerSec: 1000, RunsPerSec: 100, RunBurst: 50})
+
+	d, release := l.Admit("key:a", 50)
+	if !d.OK {
+		t.Fatalf("full-burst run ask rejected: %+v", d)
+	}
+	release()
+	// Run bucket drained: one run costs 1/100s of refill.
+	d, _ = l.Admit("key:a", 1)
+	if d.OK {
+		t.Fatal("over-budget run ask admitted")
+	}
+	if d.RetryAfter != 10*time.Millisecond {
+		t.Errorf("RetryAfter %v, want exactly 10ms (1 run token at 100/s)", d.RetryAfter)
+	}
+	clk.advance(10 * time.Millisecond)
+	if d, release := l.Admit("key:a", 1); !d.OK {
+		t.Fatalf("rejected after refill: %+v", d)
+	} else {
+		release()
+	}
+	// An ask beyond the whole bucket is never satisfiable.
+	d, _ = l.Admit("key:a", 51)
+	if d.OK || !d.Never {
+		t.Fatalf("runs > RunBurst should be Never, got %+v", d)
+	}
+}
+
+func TestRejectionDeductsNothing(t *testing.T) {
+	l, clk := newTestLimiter(t, Config{RequestsPerSec: 10, Burst: 1})
+	if d, release := l.Admit("key:a", 0); !d.OK {
+		t.Fatal("first admit rejected")
+	} else {
+		release()
+	}
+	// Hammering while empty must not push the horizon out: after 100ms the
+	// tenant gets its token back regardless of how many rejections landed.
+	for i := 0; i < 50; i++ {
+		if d, _ := l.Admit("key:a", 0); d.OK {
+			t.Fatal("admitted while bucket empty")
+		}
+	}
+	clk.advance(100 * time.Millisecond)
+	if d, release := l.Admit("key:a", 0); !d.OK {
+		t.Fatalf("rejections consumed tokens: %+v", d)
+	} else {
+		release()
+	}
+}
+
+func TestMaxInflight(t *testing.T) {
+	l, _ := newTestLimiter(t, Config{RequestsPerSec: 1000, MaxInflight: 2})
+
+	_, rel1 := l.Admit("key:a", 0)
+	d2, _ := l.Admit("key:a", 0)
+	if !d2.OK {
+		t.Fatal("second admit under quota rejected")
+	}
+	d3, _ := l.Admit("key:a", 0)
+	if d3.OK {
+		t.Fatal("admit beyond concurrency quota succeeded")
+	}
+	if d3.RetryAfter <= 0 {
+		t.Error("concurrency rejection must still advise a positive RetryAfter")
+	}
+	// Another tenant is unaffected.
+	if d, release := l.Admit("key:b", 0); !d.OK {
+		t.Fatal("other tenant rejected")
+	} else {
+		release()
+	}
+	rel1()
+	rel1() // release is idempotent
+	if d, release := l.Admit("key:a", 0); !d.OK {
+		t.Fatalf("slot not freed by release: %+v", d)
+	} else {
+		release()
+	}
+}
+
+func TestTenantsIsolated(t *testing.T) {
+	l, _ := newTestLimiter(t, Config{RequestsPerSec: 10, Burst: 1})
+	if d, release := l.Admit("key:a", 0); !d.OK {
+		t.Fatal("a rejected")
+	} else {
+		release()
+	}
+	if d, _ := l.Admit("key:a", 0); d.OK {
+		t.Fatal("a's burst not consumed")
+	}
+	// b has its own bucket.
+	if d, release := l.Admit("key:b", 0); !d.OK {
+		t.Fatal("b rejected because of a's consumption")
+	} else {
+		release()
+	}
+}
+
+func TestKeyFromRequest(t *testing.T) {
+	l, _ := newTestLimiter(t, Config{})
+	r := httptest.NewRequest("POST", "/v1/run", nil)
+	r.RemoteAddr = "192.0.2.7:5123"
+	if got := l.KeyFromRequest(r); got != "ip:192.0.2.7" {
+		t.Errorf("no header: key %q, want ip:192.0.2.7", got)
+	}
+	r.Header.Set("X-API-Key", "alpha")
+	if got := l.KeyFromRequest(r); got != "key:alpha" {
+		t.Errorf("with header: key %q, want key:alpha", got)
+	}
+
+	byIP, _ := newTestLimiter(t, Config{ByIPOnly: true})
+	if got := byIP.KeyFromRequest(r); got != "ip:192.0.2.7" {
+		t.Errorf("ByIPOnly ignores headers: key %q, want ip:192.0.2.7", got)
+	}
+
+	custom, _ := newTestLimiter(t, Config{KeyHeader: "X-Tenant"})
+	r.Header.Set("X-Tenant", "beta")
+	if got := custom.KeyFromRequest(r); got != "key:beta" {
+		t.Errorf("custom header: key %q, want key:beta", got)
+	}
+}
+
+func TestMaxTenantsLRUEviction(t *testing.T) {
+	l, _ := newTestLimiter(t, Config{MaxTenants: 4})
+	for i := 0; i < 10; i++ {
+		_, release := l.Admit(fmt.Sprintf("key:t%d", i), 0)
+		release()
+	}
+	if n := l.Len(); n != 4 {
+		t.Fatalf("tracking %d tenants, want 4", n)
+	}
+	// The survivors are the four most recently seen.
+	snap := l.Snapshot()
+	if len(snap) != 4 || snap[0].Tenant != "key:t9" || snap[3].Tenant != "key:t6" {
+		t.Errorf("unexpected survivors: %+v", snap)
+	}
+}
+
+func TestSnapshotCounters(t *testing.T) {
+	l, _ := newTestLimiter(t, Config{RequestsPerSec: 1000, RunsPerSec: 1000, RunBurst: 100, MaxInflight: 1})
+	_, rel := l.Admit("key:a", 30) // admitted, holds the inflight slot
+	if d, _ := l.Admit("key:a", 1); d.OK {
+		t.Fatal("second concurrent admit succeeded")
+	}
+	snap := l.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d tenants, want 1", len(snap))
+	}
+	got := snap[0]
+	want := Stats{Tenant: "key:a", Admitted: 1, Rejected: 1, Runs: 30, Inflight: 1}
+	if got != want {
+		t.Errorf("stats %+v, want %+v", got, want)
+	}
+	rel()
+	if s := l.Snapshot()[0]; s.Inflight != 0 {
+		t.Errorf("inflight %d after release, want 0", s.Inflight)
+	}
+}
+
+// TestConcurrentAdmission exercises the limiter under -race: many
+// goroutines over a handful of tenants, checking the inflight accounting
+// converges to zero and admitted+rejected covers every attempt.
+func TestConcurrentAdmission(t *testing.T) {
+	l, _ := newTestLimiter(t, Config{RequestsPerSec: 1e9, Burst: 1e9, MaxInflight: 4})
+	const goroutines, perG = 16, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("key:t%d", g%3)
+			for i := 0; i < perG; i++ {
+				if d, release := l.Admit(key, 1); d.OK {
+					release()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var attempts int64
+	for _, s := range l.Snapshot() {
+		if s.Inflight != 0 {
+			t.Errorf("tenant %s inflight %d after quiesce, want 0", s.Tenant, s.Inflight)
+		}
+		attempts += s.Admitted + s.Rejected
+	}
+	if attempts != goroutines*perG {
+		t.Errorf("admitted+rejected = %d, want %d", attempts, goroutines*perG)
+	}
+}

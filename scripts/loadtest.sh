@@ -42,6 +42,11 @@ done
 "$bin/andorload" -base "http://$addr" -duration "$duration" -c "$conc" \
     -runs "$runs" -schemes "$schemes"
 
+# Batch smoke: the same mix through /v1/batch must also finish with zero
+# failed/incomplete responses.
+echo "loadtest: batch smoke"
+"$bin/andorload" -base "http://$addr" -n 50 -c 4 -batch 16 -schemes "$schemes"
+
 # Graceful drain: SIGTERM must complete in-flight work and exit 0.
 kill -TERM "$daemon"
 if ! wait "$daemon"; then
@@ -49,3 +54,51 @@ if ! wait "$daemon"; then
     exit 1
 fi
 echo "loadtest: ok (clean drain)"
+
+# Rate-limited two-tenant smoke: restart the daemon with per-tenant
+# admission on, drive a compliant tenant inside its quota and a noisy one
+# far beyond it, concurrently. The compliant tenant must see zero
+# rejections; the noisy one may be rejected (clean 429s) but must never
+# see a failed or half-delivered response — andorload's exit status
+# enforces that.
+echo "loadtest: two-tenant rate-limit smoke"
+"$bin/andord" -addr "$addr" -tenant-rate 100 -tenant-run-rate 2000 &
+daemon=$!
+i=0
+until "$bin/andorload" -base "http://$addr" -n 1 -c 1 -api-key probe >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "loadtest: rate-limited andord did not come up on $addr" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$bin/andorload" -base "http://$addr" -duration 5s -c 8 -api-key noisy \
+    -schemes "$schemes" >"$bin/noisy.out" 2>&1 &
+noisy=$!
+"$bin/andorload" -base "http://$addr" -n 100 -c 2 -rps 50 -api-key polite \
+    -schemes "$schemes" | tee "$bin/polite.out"
+if ! wait "$noisy"; then
+    echo "loadtest: noisy tenant saw non-429 failures" >&2
+    cat "$bin/noisy.out" >&2
+    exit 1
+fi
+polite_rej="$(awk '/^rejected/{print $2}' "$bin/polite.out")"
+noisy_rej="$(awk '/^rejected/{print $2}' "$bin/noisy.out")"
+if [ "${polite_rej:-1}" -ne 0 ]; then
+    echo "loadtest: compliant tenant was rejected under contention ($polite_rej)" >&2
+    exit 1
+fi
+if [ "${noisy_rej:-0}" -eq 0 ]; then
+    echo "loadtest: noisy tenant was never rate-limited" >&2
+    cat "$bin/noisy.out" >&2
+    exit 1
+fi
+
+kill -TERM "$daemon"
+if ! wait "$daemon"; then
+    echo "loadtest: rate-limited andord drain was unclean" >&2
+    exit 1
+fi
+echo "loadtest: ok (tenant smoke + clean drain)"
