@@ -575,8 +575,22 @@ func BenchmarkServeBatch(b *testing.B) {
 // bounded by request plumbing (timeout context, body limiter, JSON decode)
 // rather than response encoding; serve.TestRunRequestWarmAllocs asserts the
 // bound.
+//
+// The NoTrace variant measures the same request with request tracing
+// disabled; the pair bounds the tracing overhead (budget: tracing on stays
+// within +5% latency and +8 allocs of off — the alloc half is asserted
+// deterministically by serve.TestRunRequestWarmAllocs).
 func BenchmarkServeRunWarm(b *testing.B) {
-	s := serve.New(serve.Config{Workers: 1, QueueSize: 8})
+	benchServeRunWarm(b, serve.Config{Workers: 1, QueueSize: 8})
+}
+
+func BenchmarkServeRunWarmNoTrace(b *testing.B) {
+	benchServeRunWarm(b, serve.Config{
+		Workers: 1, QueueSize: 8, Trace: serve.TraceConfig{Disabled: true}})
+}
+
+func benchServeRunWarm(b *testing.B, cfg serve.Config) {
+	s := serve.New(cfg)
 	defer s.Close()
 	const body = `{"workload":"atr","scheme":"GSS","seed":1,"load":0.5}`
 	rd := strings.NewReader(body)

@@ -12,10 +12,16 @@
 //	       [-tenant-rate 0] [-tenant-burst N] [-tenant-inflight N]
 //	       [-tenant-run-rate N] [-tenant-run-burst N]
 //	       [-tenant-header X-API-Key] [-tenant-by-ip] [-max-batch 256]
+//	       [-trace-off] [-trace-ring 256] [-trace-slowest 8]
 //
 // Per-tenant admission control is off by default; -tenant-rate > 0
 // enables it. Tenants are identified by the -tenant-header request
 // header, falling back to the remote IP (-tenant-by-ip forces IP keying).
+//
+// Request tracing is on by default: every request carries an X-Trace-Id
+// and recent/slowest traces are browsable at /debug/requests (see
+// docs/OBSERVABILITY.md). -trace-off disables it; -trace-ring and
+// -trace-slowest size the flight recorder's retention.
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes first, in-flight
 // requests complete, then the worker pool stops.
@@ -55,6 +61,9 @@ func main() {
 	tenantRunBurst := flag.Float64("tenant-run-burst", 0, "per-tenant run burst (0 = 10x run rate)")
 	tenantHeader := flag.String("tenant-header", "X-API-Key", "request header identifying the tenant")
 	tenantByIP := flag.Bool("tenant-by-ip", false, "key tenants by remote IP, ignoring the header")
+	traceOff := flag.Bool("trace-off", false, "disable request tracing and /debug/requests")
+	traceRing := flag.Int("trace-ring", 0, "flight-recorder ring size (0 = default 256)")
+	traceSlowest := flag.Int("trace-slowest", 0, "slowest traces retained per endpoint (0 = default 8)")
 	flag.Parse()
 
 	s := serve.New(serve.Config{
@@ -66,6 +75,11 @@ func main() {
 		MaxRuns:        *maxRuns,
 		MaxProcs:       *maxProcs,
 		MaxBatchItems:  *maxBatch,
+		Trace: serve.TraceConfig{
+			Disabled:           *traceOff,
+			RingSize:           *traceRing,
+			SlowestPerEndpoint: *traceSlowest,
+		},
 		Tenant: tenant.Config{
 			Enabled:        *tenantRate > 0,
 			KeyHeader:      *tenantHeader,

@@ -7,11 +7,17 @@
 //
 //	andorload -base http://localhost:8080 [-workload atr] [-schemes GSS,AS]
 //	          [-runs 1] [-load 0.5] [-n 1000 | -duration 30s] [-c 8] [-rps 0]
-//	          [-batch 0] [-api-key KEY]
+//	          [-batch 0] [-api-key KEY] [-trace]
 //
 // With -batch N each request targets /v1/batch and carries N items (the
 // scheme mix cycles within the batch); -api-key sets the X-API-Key header
 // identifying this generator as one tenant to a rate-limited server.
+//
+// With -trace every request carries a W3C traceparent so the server's
+// flight recorder retains it under a known ID; after the run andorload
+// fetches the slowest request's trace from /debug/requests/{id} and
+// prints its per-phase breakdown — where the tail latency actually went
+// (queued? compiling? simulating?) instead of a bare number.
 //
 // The exit status is non-zero when any request failed outright or was
 // accepted and then dropped (incomplete stream) — 429 rejections are
@@ -20,6 +26,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"andorsched/internal/loadgen"
+	"andorsched/internal/obs"
 )
 
 func main() {
@@ -44,6 +52,8 @@ func main() {
 	procs := flag.Int("procs", 2, "processors m in each request")
 	batch := flag.Int("batch", 0, "items per request; >0 targets /v1/batch instead of /v1/run")
 	apiKey := flag.String("api-key", "", "X-API-Key header value (tenant identity)")
+	trace := flag.Bool("trace", false,
+		"send traceparent headers and print the slowest request's phase breakdown")
 	flag.Parse()
 
 	schemes := strings.Split(*schemesFlag, ",")
@@ -78,6 +88,7 @@ func main() {
 		Concurrency: *conc,
 		Requests:    *n,
 		RPS:         *rps,
+		Trace:       *trace,
 	}
 	if *n == 0 {
 		cfg.Duration = *duration
@@ -103,7 +114,45 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Print(res)
+	if *trace && res.SlowestTraceID != "" {
+		printTrace(strings.TrimRight(*base, "/"), res.SlowestTraceID)
+	}
 	if res.Failed > 0 || res.Incomplete > 0 {
 		os.Exit(1)
 	}
+}
+
+// printTrace fetches one trace from the server's flight recorder and
+// prints its phase breakdown. Failures are reported but not fatal: the
+// ring may have evicted the trace on a busy server, and the load run's
+// own verdict already stands.
+func printTrace(base, id string) {
+	resp, err := http.Get(base + "/debug/requests/" + id)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "andorload: fetch trace %s: %v\n", id, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "andorload: trace %s not retained (status %d)\n", id, resp.StatusCode)
+		return
+	}
+	var rt obs.RequestTrace
+	if err := json.NewDecoder(resp.Body).Decode(&rt); err != nil {
+		fmt.Fprintf(os.Stderr, "andorload: decode trace %s: %v\n", id, err)
+		return
+	}
+	fmt.Printf("\nslowest request %s  %s  status %d  %.3fms total\n",
+		rt.Endpoint, rt.TraceID, rt.Status, rt.DurationUS/1e3)
+	for _, sp := range rt.Spans {
+		line := fmt.Sprintf("  %-10s %9.3fms  (at +%.3fms", sp.Phase, sp.DurUS/1e3, sp.StartUS/1e3)
+		if sp.Detail != "" {
+			line += fmt.Sprintf(", %s", sp.Detail)
+		}
+		if sp.N > 0 {
+			line += fmt.Sprintf(", n=%d", sp.N)
+		}
+		fmt.Println(line + ")")
+	}
+	fmt.Printf("  full trace: GET %s/debug/requests/%s?format=chrome\n", base, rt.TraceID)
 }

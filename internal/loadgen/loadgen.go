@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"andorsched/internal/obs"
 )
 
 // Config parameterizes one load run.
@@ -45,6 +47,12 @@ type Config struct {
 	// Header holds extra headers set on every request (e.g. an X-API-Key
 	// identifying the tenant). Content-Type is always application/json.
 	Header http.Header
+	// Trace sends a fresh W3C traceparent with every request and records
+	// the server's X-Trace-Id answers, so a load run can be correlated
+	// with the server's flight recorder: Result.SlowestTraceID names the
+	// trace of the slowest successful request, ready to be fetched from
+	// GET /debug/requests/{id}.
+	Trace bool
 }
 
 // Result aggregates a run's outcomes. Every issued request lands in
@@ -64,6 +72,13 @@ type Result struct {
 	Incomplete int
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
+	// SlowestTraceID is the X-Trace-Id of the slowest OK request, when
+	// Config.Trace was set and the server answered with trace IDs.
+	SlowestTraceID string
+	// SlowestLatency is that request's latency.
+	SlowestLatency time.Duration
+	// Traced counts OK responses that carried an X-Trace-Id.
+	Traced int
 
 	latencies []time.Duration // successful (OK) request latencies, sorted
 }
@@ -106,6 +121,10 @@ func (r *Result) String() string {
 			r.Percentile(95).Round(time.Microsecond),
 			r.Percentile(99).Round(time.Microsecond),
 			r.latencies[len(r.latencies)-1].Round(time.Microsecond))
+	}
+	if r.SlowestTraceID != "" {
+		fmt.Fprintf(&b, "slowest    trace %s (%s)\n",
+			r.SlowestTraceID, r.SlowestLatency.Round(time.Microsecond))
 	}
 	return b.String()
 }
@@ -205,6 +224,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	type shard struct {
 		ok, rejected, failed, incomplete int
 		lat                              []time.Duration
+		traced                           int
+		slowID                           string
+		slowLat                          time.Duration
 	}
 	shards := make([]shard, workers)
 	start := time.Now()
@@ -240,6 +262,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 					}
 				}
 				req.Header.Set("Content-Type", "application/json")
+				if cfg.Trace {
+					req.Header.Set("Traceparent", obs.Traceparent(obs.NewTraceID(), obs.NewSpanID()))
+				}
 				t0 := time.Now()
 				resp, err := client.Do(req)
 				if err != nil {
@@ -261,7 +286,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				switch classify(resp.StatusCode, resp.Header.Get("Content-Type"), body) {
 				case outOK:
 					sh.ok++
-					sh.lat = append(sh.lat, time.Since(t0))
+					lat := time.Since(t0)
+					sh.lat = append(sh.lat, lat)
+					if id := resp.Header.Get("X-Trace-Id"); id != "" {
+						sh.traced++
+						if lat > sh.slowLat {
+							sh.slowLat, sh.slowID = lat, id
+						}
+					}
 				case outRejected:
 					sh.rejected++
 				case outIncomplete:
@@ -281,6 +313,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		res.Rejected += sh.rejected
 		res.Failed += sh.failed
 		res.Incomplete += sh.incomplete
+		res.Traced += sh.traced
+		if sh.slowLat > res.SlowestLatency {
+			res.SlowestLatency, res.SlowestTraceID = sh.slowLat, sh.slowID
+		}
 		res.latencies = append(res.latencies, sh.lat...)
 	}
 	res.Sent = res.OK + res.Rejected + res.Failed + res.Incomplete

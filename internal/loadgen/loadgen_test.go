@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"andorsched/internal/obs"
 )
 
 func TestClassify(t *testing.T) {
@@ -148,6 +151,74 @@ func TestRunSetsHeaders(t *testing.T) {
 	}
 	if k, _ := gotKey.Load().(string); k != "tenant-a" {
 		t.Errorf("X-API-Key = %q, want tenant-a", k)
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	// A tracing run sends a valid traceparent on every request; the slowest
+	// OK response's X-Trace-Id is surfaced for the /debug/requests lookup.
+	var slow atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tid, _, ok := obs.ParseTraceparent(r.Header.Get("Traceparent"))
+		if !ok {
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprintln(w, `{"error":"missing traceparent"}`)
+			return
+		}
+		if slow.Add(1) == 7 {
+			time.Sleep(50 * time.Millisecond) // make one request the clear slowest
+			w.Header().Set("X-Trace-Id", "feed000000000000000000000000beef")
+		} else {
+			w.Header().Set("X-Trace-Id", tid.String())
+		}
+		fmt.Fprintln(w, `{}`)
+	}))
+	defer srv.Close()
+	res, err := Run(context.Background(), Config{
+		URL:      srv.URL,
+		Body:     func(i int) []byte { return []byte(`{}`) },
+		Requests: 12,
+		Trace:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != 12 || res.Traced != 12 {
+		t.Errorf("ok=%d traced=%d, want 12/12", res.OK, res.Traced)
+	}
+	if res.SlowestTraceID != "feed000000000000000000000000beef" {
+		t.Errorf("slowest trace %q, want the delayed request's ID", res.SlowestTraceID)
+	}
+	if res.SlowestLatency < 50*time.Millisecond {
+		t.Errorf("slowest latency %v, want >= 50ms", res.SlowestLatency)
+	}
+	if !strings.Contains(res.String(), res.SlowestTraceID) {
+		t.Error("report does not mention the slowest trace ID")
+	}
+}
+
+func TestRunNoTraceByDefault(t *testing.T) {
+	var sawTraceparent atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Traceparent") != "" {
+			sawTraceparent.Store(true)
+		}
+		fmt.Fprintln(w, `{}`)
+	}))
+	defer srv.Close()
+	res, err := Run(context.Background(), Config{
+		URL:      srv.URL,
+		Body:     func(i int) []byte { return []byte(`{}`) },
+		Requests: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawTraceparent.Load() {
+		t.Error("untraced run sent a traceparent header")
+	}
+	if res.SlowestTraceID != "" || res.Traced != 0 {
+		t.Errorf("untraced run reported traces: %+v", res)
 	}
 }
 

@@ -142,3 +142,74 @@ func ChromeTrace(events []Event) ([]byte, error) {
 	}
 	return json.MarshalIndent(traceFile{TraceEvents: out, DisplayTimeUnit: "ms"}, "", " ")
 }
+
+// ChromeTraceRequest renders one request trace from the flight recorder as
+// Chrome trace_event JSON: a root slice covering the whole request plus one
+// slice per phase span. Spans that overlap in time (concurrent batch chunks)
+// are spread across additional tracks so every track holds disjoint slices;
+// track assignment is first-fit in recording order, so the output is
+// deterministic for a given trace.
+func ChromeTraceRequest(rt RequestTrace) ([]byte, error) {
+	out := []traceEvent{
+		{
+			Name: "process_name", Ph: "M", Pid: tracePid, Tid: 0,
+			Args: map[string]any{"name": "andord request " + rt.TraceID},
+		},
+		{
+			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: 0,
+			Args: map[string]any{"name": "request"},
+		},
+	}
+	rootArgs := map[string]any{"trace_id": rt.TraceID, "status": rt.Status}
+	if rt.ParentSpan != "" {
+		rootArgs["parent_span"] = rt.ParentSpan
+	}
+	if rt.DroppedSpans > 0 {
+		rootArgs["dropped_spans"] = rt.DroppedSpans
+	}
+	out = append(out, traceEvent{
+		Name: rt.Endpoint, Ph: "X", Ts: 0, Dur: rt.DurationUS,
+		Pid: tracePid, Tid: 0, Args: rootArgs,
+	})
+
+	// trackEnd[i] is the end time of the last slice on phase track i
+	// (tid i+1); a span lands on the first track it does not overlap.
+	var trackEnd []float64
+	for _, sp := range rt.Spans {
+		tid := -1
+		for i, end := range trackEnd {
+			if sp.StartUS >= end {
+				tid = i
+				break
+			}
+		}
+		if tid < 0 {
+			tid = len(trackEnd)
+			trackEnd = append(trackEnd, 0)
+			name := "phases"
+			if tid > 0 {
+				name = fmt.Sprintf("phases-%d", tid+1)
+			}
+			out = append(out, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: tracePid, Tid: tid + 1,
+				Args: map[string]any{"name": name},
+			})
+		}
+		trackEnd[tid] = sp.StartUS + sp.DurUS
+		var args map[string]any
+		if sp.Detail != "" || sp.N != 0 {
+			args = make(map[string]any, 2)
+			if sp.Detail != "" {
+				args["detail"] = sp.Detail
+			}
+			if sp.N != 0 {
+				args["n"] = sp.N
+			}
+		}
+		out = append(out, traceEvent{
+			Name: sp.Phase, Ph: "X", Ts: sp.StartUS, Dur: sp.DurUS,
+			Pid: tracePid, Tid: tid + 1, Args: args,
+		})
+	}
+	return json.MarshalIndent(traceFile{TraceEvents: out, DisplayTimeUnit: "ms"}, "", " ")
+}

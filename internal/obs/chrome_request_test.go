@@ -1,0 +1,61 @@
+package obs_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"andorsched/internal/obs"
+)
+
+// fixedRequestTrace is a deterministic trace with a concurrent pair of
+// Monte-Carlo chunk spans, so the exporter must open a second track.
+func fixedRequestTrace() obs.RequestTrace {
+	return obs.RequestTrace{
+		TraceID:    "0af7651916cd43dd8448eb211c80319c",
+		ParentSpan: "b7ad6b7169203331",
+		Endpoint:   "/v1/run",
+		Status:     200,
+		Start:      time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC),
+		DurationUS: 1500,
+		Spans: []obs.PhaseSpan{
+			{Phase: "decode", StartUS: 0, DurUS: 40},
+			{Phase: "admit", StartUS: 40, DurUS: 5},
+			{Phase: "cache", StartUS: 45, DurUS: 10, Detail: "hit"},
+			{Phase: "queue", StartUS: 55, DurUS: 120},
+			{Phase: "exec.mc", StartUS: 175, DurUS: 900, N: 100},
+			{Phase: "exec.mc", StartUS: 200, DurUS: 850, N: 100},
+			{Phase: "encode", StartUS: 1100, DurUS: 380},
+		},
+	}
+}
+
+// TestChromeTraceRequestGolden pins the request-trace exporter's exact
+// output and validates it against the trace_event schema (non-overlapping
+// slices per track — the concurrent exec.mc spans must land on separate
+// tracks).
+func TestChromeTraceRequestGolden(t *testing.T) {
+	data, err := obs.ChromeTraceRequest(fixedRequestTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_request.json")
+	if *update {
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -update` to regenerate)", err)
+	}
+	if string(data) != string(want) {
+		t.Errorf("request trace differs from golden file %s (re-run with -update after intentional changes)\ngot:\n%s", golden, data)
+	}
+
+	validateChromeTrace(t, data, []string{
+		"/v1/run", "decode", "admit", "cache", "queue", "exec.mc", "encode",
+	})
+}

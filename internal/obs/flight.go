@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Flight is an in-process flight recorder for request traces: a
+// fixed-size ring of the most recently completed traces plus a
+// "slowest N per endpoint" retention list, so a slow request observed in
+// production can still be inspected minutes later even after thousands
+// of fast requests have rolled through the ring.
+//
+// Records are pooled: Start hands out a reset *TraceRec, Finish takes it
+// back and retains it (ring and/or slowest list, reference-counted);
+// once evicted from every retention slot the record returns to the pool.
+// The steady-state cost of a traced request is therefore one mutex
+// acquisition at completion and no garbage.
+//
+// A nil *Flight disables tracing: Start returns nil and every other
+// method no-ops, mirroring the package's nil-Tracer convention.
+type Flight struct {
+	mu      sync.Mutex
+	ring    []*TraceRec // circular, nil until warm
+	pos     int
+	byID    map[TraceID]*TraceRec
+	slow    map[string][]*TraceRec // per endpoint, ascending by duration
+	slowCap int
+	pool    sync.Pool
+}
+
+// DefaultFlightRing and DefaultFlightSlowest size NewFlight's retention
+// when the caller passes zero.
+const (
+	DefaultFlightRing    = 256
+	DefaultFlightSlowest = 8
+)
+
+// NewFlight returns a recorder retaining the last ringSize completed
+// traces plus the slowestPerEndpoint slowest traces of each endpoint
+// (zeros select the defaults).
+func NewFlight(ringSize, slowestPerEndpoint int) *Flight {
+	if ringSize <= 0 {
+		ringSize = DefaultFlightRing
+	}
+	if slowestPerEndpoint <= 0 {
+		slowestPerEndpoint = DefaultFlightSlowest
+	}
+	return &Flight{
+		ring:    make([]*TraceRec, ringSize),
+		byID:    make(map[TraceID]*TraceRec, ringSize),
+		slow:    make(map[string][]*TraceRec),
+		slowCap: slowestPerEndpoint,
+	}
+}
+
+// Start begins recording one request. endpoint labels the request's
+// route (a static pattern string, not the raw URL), traceparent is the
+// inbound W3C header value ("" for none; invalid values are ignored and
+// a fresh trace ID generated), and start is the request's arrival time.
+// The returned record is owned by the caller until Finish.
+func (f *Flight) Start(endpoint, traceparent string, start time.Time) *TraceRec {
+	if f == nil {
+		return nil
+	}
+	r, _ := f.pool.Get().(*TraceRec)
+	if r == nil {
+		r = &TraceRec{spans: make([]span, maxTraceSpans)}
+	} else {
+		r.reset()
+	}
+	r.endpoint = endpoint
+	r.start = start
+	if tid, sid, ok := ParseTraceparent(traceparent); ok {
+		r.id = tid
+		r.parent = sid
+		r.hasPar = true
+	} else {
+		r.id = NewTraceID()
+	}
+	r.idStr = r.id.String()
+	return r
+}
+
+// Finish completes rec with the response status and retains it. The
+// caller must not touch rec afterwards (it may be recycled at any time);
+// take snapshots through Get/Recent/Slowest instead.
+func (f *Flight) Finish(rec *TraceRec, status int) {
+	if f == nil || rec == nil {
+		return
+	}
+	rec.status = status
+	rec.dur = time.Since(rec.start)
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	// Ring slot (always retained there first).
+	if old := f.ring[f.pos]; old != nil {
+		f.releaseLocked(old)
+	}
+	f.ring[f.pos] = rec
+	rec.refs++
+	f.pos = (f.pos + 1) % len(f.ring)
+
+	// Slowest-per-endpoint list: ascending by duration, so index 0 is the
+	// cheapest to evict.
+	s := f.slow[rec.endpoint]
+	if len(s) < f.slowCap {
+		s = append(s, rec)
+		rec.refs++
+		// Bubble the newcomer down to its place; the rest is sorted.
+		for i := len(s) - 1; i > 0 && s[i].dur < s[i-1].dur; i-- {
+			s[i], s[i-1] = s[i-1], s[i]
+		}
+		f.slow[rec.endpoint] = s
+	} else if len(s) > 0 && rec.dur > s[0].dur {
+		f.releaseLocked(s[0])
+		s[0] = rec
+		rec.refs++
+		for i := 0; i+1 < len(s) && s[i].dur > s[i+1].dur; i++ {
+			s[i], s[i+1] = s[i+1], s[i]
+		}
+		f.slow[rec.endpoint] = s
+	}
+
+	// ID index last: an inbound traceparent may repeat a trace ID; the
+	// newest record wins the index (the older one stays in the ring).
+	f.byID[rec.id] = rec
+}
+
+// releaseLocked drops one retention reference; at zero the record leaves
+// the ID index and returns to the pool. Callers hold f.mu.
+func (f *Flight) releaseLocked(r *TraceRec) {
+	r.refs--
+	if r.refs > 0 {
+		return
+	}
+	if f.byID[r.id] == r {
+		delete(f.byID, r.id)
+	}
+	f.pool.Put(r)
+}
+
+// Get returns the retained trace with the given 32-hex-digit ID.
+func (f *Flight) Get(idHex string) (RequestTrace, bool) {
+	if f == nil || len(idHex) != 32 {
+		return RequestTrace{}, false
+	}
+	var id TraceID
+	if !hexDecode(id[:], idHex) {
+		return RequestTrace{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r, ok := f.byID[id]
+	if !ok {
+		return RequestTrace{}, false
+	}
+	return snapshotLocked(r), true
+}
+
+// Recent returns up to limit of the most recently completed traces,
+// newest first (limit <= 0 returns the whole ring).
+func (f *Flight) Recent(limit int) []RequestTrace {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.ring)
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]RequestTrace, 0, limit)
+	for i := 1; i <= n && len(out) < limit; i++ {
+		r := f.ring[(f.pos-i+n)%n]
+		if r == nil {
+			break
+		}
+		out = append(out, snapshotLocked(r))
+	}
+	return out
+}
+
+// Slowest returns the retained slowest traces per endpoint, slowest
+// first within each endpoint.
+func (f *Flight) Slowest() map[string][]RequestTrace {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string][]RequestTrace, len(f.slow))
+	for ep, s := range f.slow {
+		ts := make([]RequestTrace, 0, len(s))
+		for i := len(s) - 1; i >= 0; i-- { // ascending storage → slowest first
+			ts = append(ts, snapshotLocked(s[i]))
+		}
+		out[ep] = ts
+	}
+	return out
+}
+
+// Len returns the number of traces currently in the ring.
+func (f *Flight) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, r := range f.ring {
+		if r != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// snapshotLocked copies a retained record into its immutable exported
+// form. Callers hold f.mu, which orders the read against the completing
+// request's Finish.
+func snapshotLocked(r *TraceRec) RequestTrace {
+	n := int(r.n.Load())
+	if n > len(r.spans) {
+		n = len(r.spans)
+	}
+	out := RequestTrace{
+		TraceID:      r.idStr,
+		Endpoint:     r.endpoint,
+		Status:       r.status,
+		Start:        r.start,
+		DurationUS:   float64(r.dur) / float64(time.Microsecond),
+		Spans:        make([]PhaseSpan, n),
+		DroppedSpans: int(r.dropped.Load()),
+	}
+	if r.hasPar {
+		out.ParentSpan = r.parent.String()
+	}
+	for i := 0; i < n; i++ {
+		s := &r.spans[i]
+		out.Spans[i] = PhaseSpan{
+			Phase:   s.phase,
+			StartUS: float64(s.start) / float64(time.Microsecond),
+			DurUS:   float64(s.end-s.start) / float64(time.Microsecond),
+			Detail:  s.detail,
+			N:       s.n,
+		}
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Metrics is a registry of named instruments — counters, gauges and
@@ -68,6 +69,25 @@ func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// LabeledHistogram returns the histogram for one (name, label=value) series
+// of a labeled family — e.g. serve.phase.latency_seconds{phase="exec"} —
+// creating it on first use. Series of one family share the family name in
+// the Prometheus exposition (one TYPE line, a label on every sample) but are
+// otherwise independent instruments; resolve each series once and hold the
+// pointer, exactly as with Histogram.
+func (m *Metrics) LabeledHistogram(name, label, value string, bounds []float64) *Histogram {
+	key := name + "{" + label + "=\"" + value + "\"}"
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.histograms[key]
+	if !ok {
+		h = newHistogram(bounds)
+		h.family, h.labelKey, h.labelVal = name, label, value
+		m.histograms[key] = h
+	}
+	return h
+}
+
 // Counter is a monotonically increasing integer instrument.
 type Counter struct{ v atomic.Int64 }
 
@@ -107,6 +127,23 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1, last is overflow
 	sum    Gauge
 	n      atomic.Int64
+
+	// Labeled-family identity, set by LabeledHistogram ("" otherwise).
+	family   string
+	labelKey string
+	labelVal string
+
+	// One retained exemplar (OpenMetrics): the observation from the highest
+	// bucket seen recently, linking the histogram to a concrete trace.
+	// Stored by value so retention updates on the hot path do not allocate.
+	// exState mirrors the retained exemplar's bucket and capture second as
+	// (bucket+1)<<40 | unixSec (zero = none), so the steady-state path —
+	// an observation that would not displace the exemplar — decides with
+	// one atomic load instead of taking the mutex.
+	exMu    sync.Mutex
+	ex      Exemplar
+	exOK    bool
+	exState atomic.Uint64
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -121,6 +158,50 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.n.Add(1)
+}
+
+// exemplarTTL ages out a retained exemplar so a one-off historic outlier
+// does not pin the histogram's exemplar forever.
+const exemplarTTL = 60 * time.Second
+
+// Exemplar links one concrete observation (and its trace ID) to a
+// histogram, per the OpenMetrics exemplar model.
+type Exemplar struct {
+	// TraceID is the 32-hex-digit trace the observation came from.
+	TraceID string
+	// Value is the observed value; Time is when it was observed; Bucket is
+	// the index of the disjoint bucket it landed in.
+	Value  float64
+	Time   time.Time
+	Bucket int
+}
+
+// ObserveExemplar records one value and offers it as the histogram's
+// exemplar. The exemplar is retained when it lands in a bucket strictly
+// higher than the current one's (so the exemplar tracks the worst recent
+// observation) or when the current one is older than a minute — so in the
+// steady state, where observations land in or below the exemplar's
+// bucket, the offer is declined by the lock-free exState check.
+func (h *Histogram) ObserveExemplar(v float64, traceID string, now time.Time) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+	if traceID == "" {
+		return
+	}
+	if st := h.exState.Load(); st != 0 {
+		if i <= int(st>>40)-1 && now.Unix()-int64(st&(1<<40-1)) <= int64(exemplarTTL/time.Second) {
+			return
+		}
+	}
+	h.exMu.Lock()
+	if !h.exOK || i > h.ex.Bucket || now.Sub(h.ex.Time) > exemplarTTL {
+		h.ex = Exemplar{TraceID: traceID, Value: v, Time: now, Bucket: i}
+		h.exOK = true
+		h.exState.Store(uint64(i+1)<<40 | uint64(now.Unix())&(1<<40-1))
+	}
+	h.exMu.Unlock()
 }
 
 // Count returns the number of observations.
@@ -157,13 +238,28 @@ type GaugeSnap struct {
 
 // HistogramSnap is one histogram's snapshot. Counts[i] is the number of
 // observations ≤ Bounds[i]; the final extra entry of Counts is the
-// overflow bucket.
+// overflow bucket. A series of a labeled family carries the family name and
+// its label pair; Name is then the full "family{label=\"value\"}" key.
 type HistogramSnap struct {
 	Name   string
 	Bounds []float64
 	Counts []int64
 	Sum    float64
 	Count  int64
+
+	Family   string // "" for unlabeled histograms
+	LabelKey string
+	LabelVal string
+	Exemplar *Exemplar // nil when none retained
+}
+
+// FamilyName returns the metric-family name: Family for a labeled series,
+// Name otherwise.
+func (h HistogramSnap) FamilyName() string {
+	if h.Family != "" {
+		return h.Family
+	}
+	return h.Name
 }
 
 // Mean returns the mean observation, or 0 when empty.
@@ -187,15 +283,24 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	for name, h := range m.histograms {
 		hs := HistogramSnap{
-			Name:   name,
-			Bounds: append([]float64(nil), h.bounds...),
-			Counts: make([]int64, len(h.counts)),
-			Sum:    h.Sum(),
-			Count:  h.Count(),
+			Name:     name,
+			Bounds:   append([]float64(nil), h.bounds...),
+			Counts:   make([]int64, len(h.counts)),
+			Sum:      h.Sum(),
+			Count:    h.Count(),
+			Family:   h.family,
+			LabelKey: h.labelKey,
+			LabelVal: h.labelVal,
 		}
 		for i := range h.counts {
 			hs.Counts[i] = h.counts[i].Load()
 		}
+		h.exMu.Lock()
+		if h.exOK {
+			ex := h.ex
+			hs.Exemplar = &ex
+		}
+		h.exMu.Unlock()
 		s.Histograms = append(s.Histograms, hs)
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })

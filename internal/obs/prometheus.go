@@ -14,11 +14,36 @@ import (
 // ones, e.g. "serve.http.requests" → "serve_http_requests". Counters map
 // to counter, gauges to gauge, and histograms to the cumulative
 // Prometheus histogram convention (le-labelled buckets, _sum, _count,
-// +Inf bucket).
+// +Inf bucket). Series of one labeled family share a single TYPE line and
+// carry their label on every sample. Exemplars are NOT emitted — they are
+// invalid in format 0.0.4; scrape with an OpenMetrics Accept header (see
+// WriteOpenMetrics) to receive them.
 func WritePrometheus(w io.Writer, s Snapshot) error {
+	return writeExposition(w, s, false)
+}
+
+// WriteOpenMetrics renders a metrics snapshot in the OpenMetrics 1.0 text
+// format (content type "application/openmetrics-text; version=1.0.0").
+// It differs from the 0.0.4 exposition in three ways: counter samples take
+// the mandatory _total suffix, histogram +Inf buckets carry the retained
+// trace-ID exemplar ("# {trace_id=\"...\"} value timestamp"), and the body
+// ends with the mandatory "# EOF" terminator.
+func WriteOpenMetrics(w io.Writer, s Snapshot) error {
+	if err := writeExposition(w, s, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func writeExposition(w io.Writer, s Snapshot, openMetrics bool) error {
 	for _, c := range s.Counters {
 		name := promName(c.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+		suffix := ""
+		if openMetrics {
+			suffix = "_total"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", name, name, suffix, c.Value); err != nil {
 			return err
 		}
 	}
@@ -28,25 +53,46 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			return err
 		}
 	}
+	// Histograms are sorted by full key, so the series of one labeled
+	// family are contiguous: emit the TYPE line when the family changes.
+	lastFam := ""
 	for _, h := range s.Histograms {
-		name := promName(h.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
-			return err
+		fam := promName(h.FamilyName())
+		if fam != lastFam {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", fam); err != nil {
+				return err
+			}
+			lastFam = fam
+		}
+		// A label pair on a labeled series precedes the le label.
+		label := ""
+		if h.Family != "" {
+			label = promName(h.LabelKey) + "=" + fmt.Sprintf("%q", h.LabelVal) + ","
 		}
 		// The registry's buckets are disjoint; Prometheus buckets are
 		// cumulative.
 		var cum int64
 		for i, bound := range h.Bounds {
 			cum += h.Counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", fam, label, promFloat(bound), cum); err != nil {
 				return err
 			}
 		}
 		cum += h.Counts[len(h.Counts)-1]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		exemplar := ""
+		if openMetrics && h.Exemplar != nil {
+			exemplar = fmt.Sprintf(" # {trace_id=%q} %s %s",
+				h.Exemplar.TraceID, promFloat(h.Exemplar.Value),
+				promFloat(float64(h.Exemplar.Time.UnixNano())/1e9))
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d%s\n", fam, label, cum, exemplar); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(h.Sum), name, h.Count); err != nil {
+		sumLabel := ""
+		if label != "" {
+			sumLabel = "{" + strings.TrimSuffix(label, ",") + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", fam, sumLabel, promFloat(h.Sum), fam, sumLabel, h.Count); err != nil {
 			return err
 		}
 	}

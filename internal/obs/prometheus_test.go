@@ -3,6 +3,7 @@ package obs
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestWritePrometheus(t *testing.T) {
@@ -31,6 +32,89 @@ func TestWritePrometheus(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestWritePrometheusLabeledFamily(t *testing.T) {
+	m := NewMetrics()
+	now := time.Unix(1700000000, 0)
+	hq := m.LabeledHistogram("serve.phase.latency_seconds", "phase", "queue", []float64{0.001, 0.01})
+	hx := m.LabeledHistogram("serve.phase.latency_seconds", "phase", "exec", []float64{0.001, 0.01})
+	hq.ObserveExemplar(0.0005, "aaaabbbbccccddddaaaabbbbccccdddd", now)
+	hx.ObserveExemplar(5, "11112222333344441111222233334444", now)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if n := strings.Count(out, "# TYPE serve_phase_latency_seconds histogram"); n != 1 {
+		t.Errorf("want exactly one TYPE line for the labeled family, got %d:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`serve_phase_latency_seconds_bucket{phase="queue",le="0.001"} 1`,
+		`serve_phase_latency_seconds_bucket{phase="exec",le="+Inf"} 1`,
+		`serve_phase_latency_seconds_sum{phase="exec"} 5`,
+		`serve_phase_latency_seconds_count{phase="queue"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Exemplars are invalid in text format 0.0.4 and must not leak into it.
+	if strings.Contains(out, "# {") {
+		t.Errorf("0.0.4 exposition carries an exemplar:\n%s", out)
+	}
+}
+
+func TestWriteOpenMetrics(t *testing.T) {
+	m := NewMetrics()
+	now := time.Unix(1700000000, 0)
+	m.Counter("serve.http.requests").Add(7)
+	h := m.LabeledHistogram("serve.phase.latency_seconds", "phase", "exec", []float64{0.001, 0.01})
+	h.ObserveExemplar(5, "0af7651916cd43dd8448eb211c80319c", now)
+
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"serve_http_requests_total 7\n", // OpenMetrics counters take _total
+		`serve_phase_latency_seconds_bucket{phase="exec",le="+Inf"} 1 # {trace_id="0af7651916cd43dd8448eb211c80319c"} 5 1.7e+09`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics body does not end with # EOF:\n%s", out)
+	}
+}
+
+func TestExemplarRetention(t *testing.T) {
+	h := newHistogram([]float64{0.001, 0.01})
+	t0 := time.Unix(1700000000, 0)
+	h.ObserveExemplar(0.005, "mid", t0) // bucket 1
+	h.ObserveExemplar(0.0005, "low", t0.Add(time.Second))
+	if h.ex.TraceID != "mid" {
+		t.Fatalf("lower-bucket observation displaced the exemplar: %+v", h.ex)
+	}
+	// A fresh exemplar declines same-bucket offers (the lock-free
+	// steady-state path).
+	h.ObserveExemplar(0.006, "mid2", t0.Add(2*time.Second))
+	if h.ex.TraceID != "mid" {
+		t.Fatalf("same-bucket observation replaced a fresh exemplar: %+v", h.ex)
+	}
+	// A strictly higher bucket replaces.
+	h.ObserveExemplar(5, "high", t0.Add(3*time.Second))
+	if h.ex.TraceID != "high" {
+		t.Fatalf("higher-bucket observation did not replace: %+v", h.ex)
+	}
+	// A stale exemplar yields to any observation.
+	h.ObserveExemplar(0.0005, "fresh", t0.Add(3*time.Second).Add(exemplarTTL+time.Second))
+	if h.ex.TraceID != "fresh" {
+		t.Fatalf("stale exemplar survived the TTL: %+v", h.ex)
 	}
 }
 

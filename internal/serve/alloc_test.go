@@ -103,27 +103,40 @@ func (r *reusableRecorder) reset() {
 // request plumbing (context.WithTimeout, WithContext, MaxBytesReader,
 // json.NewDecoder) and the pool handoff, not response encoding: the
 // encoder pool removed that term (measured ~45 allocs/op before pooling).
+//
+// Measured twice — tracing off and on — to pin the tracing budget: the
+// traced path may add at most 8 allocations (it actually adds ~4: the
+// trace-ID hex string, its header value, the trace context value, and the
+// phase-observation closure; the record and status writer are pooled).
 func TestRunRequestWarmAllocs(t *testing.T) {
-	s := newTestServer(t, Config{Workers: 1, QueueSize: 8})
-	const body = `{"workload":"atr","scheme":"GSS","seed":11}`
-	rd := strings.NewReader(body)
-	req := httptest.NewRequest(http.MethodPost, "/v1/run", rd)
-	w := newReusableRecorder()
-	run := func() {
-		rd.Reset(body)
-		w.reset()
-		s.Handler().ServeHTTP(w, req)
-		if w.status != http.StatusOK {
-			t.Fatalf("status %d: %s", w.status, w.body.String())
+	measure := func(cfg Config) float64 {
+		s := newTestServer(t, cfg)
+		const body = `{"workload":"atr","scheme":"GSS","seed":11}`
+		rd := strings.NewReader(body)
+		req := httptest.NewRequest(http.MethodPost, "/v1/run", rd)
+		w := newReusableRecorder()
+		run := func() {
+			rd.Reset(body)
+			w.reset()
+			s.Handler().ServeHTTP(w, req)
+			if w.status != http.StatusOK {
+				t.Fatalf("status %d: %s", w.status, w.body.String())
+			}
 		}
+		for i := 0; i < 5; i++ {
+			run() // compile the plan, warm the worker arena and the pools
+		}
+		return testing.AllocsPerRun(100, run)
 	}
-	for i := 0; i < 5; i++ {
-		run() // compile the plan, warm the worker arena and the pools
+	off := measure(Config{Workers: 1, QueueSize: 8, Trace: TraceConfig{Disabled: true}})
+	on := measure(Config{Workers: 1, QueueSize: 8})
+	t.Logf("warmed /v1/run ServeHTTP: %.1f allocs/op untraced, %.1f traced", off, on)
+	if off > 32 {
+		t.Errorf("warmed untraced /v1/run allocates %.1f times per op, want <= 32", off)
 	}
-	allocs := testing.AllocsPerRun(100, run)
-	t.Logf("warmed /v1/run ServeHTTP: %.1f allocs/op", allocs)
-	if allocs > 32 {
-		t.Errorf("warmed /v1/run allocates %.1f times per op, want <= 32", allocs)
+	if on > off+8 {
+		t.Errorf("tracing adds %.1f allocs per request (%.1f -> %.1f), budget is +8",
+			on-off, off, on)
 	}
 }
 

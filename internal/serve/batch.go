@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"andorsched/internal/core"
+	"andorsched/internal/obs"
 )
 
 // BatchRequest carries many small run requests in one HTTP round trip, so
@@ -240,6 +241,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	// All items settled: commit the 200 and stream the lines in item
 	// order, then the completeness marker.
+	rec := obs.TraceFromContext(r.Context())
+	t0 := rec.SinceStart()
+	defer rec.RecordOffset(PhaseEncode, t0)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)

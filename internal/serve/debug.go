@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+
+	"andorsched/internal/core"
+	"andorsched/internal/obs"
+)
+
+// refreshStats re-derives every gauge whose source of truth lives outside
+// the registry — the process-wide section-schedule cache, the per-tenant
+// admission counters, and the pool's queue depth/age. It runs on every
+// read path that reports this state (/metrics, /healthz, /debug/requests),
+// so a server that is never scraped still answers them consistently.
+func (s *Server) refreshStats() {
+	st := core.ScheduleCacheStats()
+	s.metrics.Gauge(MetricSchedCacheHits).Set(float64(st.Hits))
+	s.metrics.Gauge(MetricSchedCacheMisses).Set(float64(st.Misses))
+	s.metrics.Gauge(MetricSchedCacheEvictions).Set(float64(st.Evictions))
+	s.metrics.Gauge(MetricSchedCacheSize).Set(float64(st.Size))
+	for _, ts := range s.limiter.Snapshot() {
+		s.metrics.Gauge(tenantMetricName(ts.Tenant, "admitted")).Set(float64(ts.Admitted))
+		s.metrics.Gauge(tenantMetricName(ts.Tenant, "rejected")).Set(float64(ts.Rejected))
+		s.metrics.Gauge(tenantMetricName(ts.Tenant, "inflight")).Set(float64(ts.Inflight))
+		s.metrics.Gauge(tenantMetricName(ts.Tenant, "runs")).Set(float64(ts.Runs))
+	}
+	s.metrics.Gauge(MetricQueueDepth).Set(float64(len(s.pool.jobs)))
+	s.metrics.Gauge(MetricQueueAge).Set(s.pool.OldestQueueAge().Seconds())
+}
+
+// DebugRequests is the GET /debug/requests response: the flight
+// recorder's recent ring (newest first) and the slowest retained traces
+// per endpoint, plus the pool state a slow trace usually implicates.
+type DebugRequests struct {
+	Recent     []obs.RequestTrace            `json:"recent"`
+	Slowest    map[string][]obs.RequestTrace `json:"slowest"`
+	InFlight   int                           `json:"in_flight"`
+	QueueDepth int                           `json:"queue_depth"`
+	QueueAgeS  float64                       `json:"queue_age_s"`
+}
+
+// handleDebugRequests serves the flight recorder's contents as JSON.
+// ?limit=N bounds the recent list (default 32).
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		s.writeError(w, http.StatusNotFound, "request tracing is disabled")
+		return
+	}
+	s.refreshStats()
+	limit := 32
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, DebugRequests{
+		Recent:     s.flight.Recent(limit),
+		Slowest:    s.flight.Slowest(),
+		InFlight:   s.pool.InFlight(),
+		QueueDepth: len(s.pool.jobs),
+		QueueAgeS:  s.pool.OldestQueueAge().Seconds(),
+	})
+}
+
+// handleDebugRequest serves one retained trace by ID — as JSON, or as
+// Chrome trace_event JSON (open in chrome://tracing or Perfetto) with
+// ?format=chrome.
+func (s *Server) handleDebugRequest(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		s.writeError(w, http.StatusNotFound, "request tracing is disabled")
+		return
+	}
+	id := r.PathValue("traceID")
+	rt, ok := s.flight.Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no retained trace with that ID (evicted or never seen)")
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, rt)
+	case "chrome":
+		data, err := obs.ChromeTraceRequest(rt)
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace-`+rt.TraceID+`.json"`)
+		_, _ = w.Write(data)
+	default:
+		s.writeError(w, http.StatusBadRequest, "format must be json or chrome")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"andorsched/internal/core"
@@ -21,7 +22,10 @@ func (s *Server) planFor(ctx context.Context, spec *AppSpec) (*core.Plan, bool, 
 	if apiErr != nil {
 		return nil, false, apiErr
 	}
+	rec := obs.TraceFromContext(ctx)
 	plan, hit, err := s.cache.GetOrCompile(ctx, key, func() (*core.Plan, error) {
+		tc := rec.SinceStart()
+		defer rec.RecordOffset(PhaseCompile, tc)
 		plat, err := parsePlatformMemo(key.platform)
 		if err != nil {
 			return nil, err
@@ -32,6 +36,15 @@ func (s *Server) planFor(ctx context.Context, spec *AppSpec) (*core.Plan, bool, 
 		// skips the canonical simulations.
 		return core.NewPlan(g, key.procs, plat, key.ov)
 	})
+	// The cache span wraps the whole lookup (starting from the previous
+	// phase's end, so it also covers the graph resolution above): on a
+	// miss, or a join of an in-flight compile, it contains the compile
+	// time too.
+	if hit {
+		rec.MarkDetail(PhaseCache, "hit")
+	} else {
+		rec.MarkDetail(PhaseCache, "miss")
+	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			return nil, false, errf(http.StatusServiceUnavailable, "timed out waiting for plan compile")
@@ -65,7 +78,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, apiErr.status, apiErr.msg)
 		return
 	}
-	writeJSON(w, http.StatusOK, PlanResponse{
+	s.writeJSONTraced(w, r, http.StatusOK, PlanResponse{
 		App:         plan.Graph.Name,
 		Nodes:       plan.Graph.Len(),
 		Sections:    plan.NumSections(),
@@ -109,6 +122,13 @@ func monteCarlo(ctx context.Context, wk *Worker, plan *core.Plan, cfg core.RunCo
 	runs int, seed uint64, each func(i int, res *core.RunResult) bool) (RunSummary, error) {
 	var finish, energy stats.Acc
 	var misses, lst, changes, done int
+	if rec := obs.TraceFromContext(ctx); rec != nil {
+		// One exec.mc span per Monte-Carlo loop, counting completed runs.
+		// Batch chunks call this concurrently on one request's record; span
+		// slots are reserved atomically, so that is safe.
+		t0 := rec.SinceStart()
+		defer func() { rec.RecordOffsetN(PhaseExecMC, t0, int64(done)) }()
+	}
 	var master exectime.Source
 	master.Reseed(seed)
 	sum := func() RunSummary {
@@ -212,7 +232,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.runs.Inc()
-		writeJSON(w, http.StatusOK, row)
+		s.writeJSONTraced(w, r, http.StatusOK, row)
 		return
 	}
 
@@ -380,7 +400,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, runErr.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSONTraced(w, r, http.StatusOK, resp)
 }
 
 // checkPoolErr maps pool submission failures onto responses; true means
@@ -399,37 +419,57 @@ func (s *Server) checkPoolErr(w http.ResponseWriter, err error) bool {
 	return false
 }
 
-// handleHealthz reports liveness plus basic capacity numbers.
+// handleHealthz reports liveness plus basic capacity numbers, refreshed
+// through the same snapshot path the other read endpoints use.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.refreshStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"workers":        s.cfg.Workers,
 		"queue_capacity": s.cfg.QueueSize,
 		"in_flight":      s.pool.InFlight(),
+		"queue_age_s":    s.pool.OldestQueueAge().Seconds(),
 		"cached_plans":   s.cache.Len(),
 		"tenants":        s.limiter.Len(),
 	})
 }
 
-// handleMetrics exposes the registry in Prometheus text format. The
-// section-schedule cache counters are pulled from core at scrape time —
-// the cache is process-wide, not per-server, so gauges refreshed here are
-// simpler than double-counting through per-call instrumentation.
+// handleMetrics exposes the registry in the Prometheus text exposition
+// (0.0.4) or, when the Accept header asks for it, OpenMetrics — the only
+// format in which exemplars (trace IDs on the phase histograms' +Inf
+// buckets) are valid. Gauges sourced outside the registry (schedule
+// cache, tenants, queue) are refreshed via the shared snapshot first. The
+// body is rendered through the pooled-encoder buffer so a scrape neither
+// allocates per line nor streams an error-prone partial response.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := core.ScheduleCacheStats()
-	s.metrics.Gauge(MetricSchedCacheHits).Set(float64(st.Hits))
-	s.metrics.Gauge(MetricSchedCacheMisses).Set(float64(st.Misses))
-	s.metrics.Gauge(MetricSchedCacheEvictions).Set(float64(st.Evictions))
-	s.metrics.Gauge(MetricSchedCacheSize).Set(float64(st.Size))
-	// Per-tenant admission counters, refreshed the same scrape-time way
-	// (the limiter, like the schedule cache, keeps its own counters).
-	for _, ts := range s.limiter.Snapshot() {
-		s.metrics.Gauge(tenantMetricName(ts.Tenant, "admitted")).Set(float64(ts.Admitted))
-		s.metrics.Gauge(tenantMetricName(ts.Tenant, "rejected")).Set(float64(ts.Rejected))
-		s.metrics.Gauge(tenantMetricName(ts.Tenant, "inflight")).Set(float64(ts.Inflight))
-		s.metrics.Gauge(tenantMetricName(ts.Tenant, "runs")).Set(float64(ts.Runs))
+	s.refreshStats()
+	snap := s.metrics.Snapshot()
+	b := jsonBufPool.Get().(*jsonBuf)
+	b.buf.Reset()
+	var err error
+	contentType := "text/plain; version=0.0.4; charset=utf-8"
+	if acceptsOpenMetrics(r.Header.Get("Accept")) {
+		contentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+		err = obs.WriteOpenMetrics(&b.buf, snap)
+	} else {
+		err = obs.WritePrometheus(&b.buf, snap)
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_ = obs.WritePrometheus(w, s.metrics.Snapshot())
+	if err != nil {
+		jsonBufPool.Put(b)
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	_, _ = w.Write(b.buf.Bytes())
+	if b.buf.Cap() <= jsonBufMaxRetained {
+		jsonBufPool.Put(b)
+	}
+}
+
+// acceptsOpenMetrics reports whether an Accept header asks for the
+// OpenMetrics text format (the way Prometheus does when exemplar scraping
+// is on).
+func acceptsOpenMetrics(accept string) bool {
+	return strings.Contains(accept, "application/openmetrics-text")
 }

@@ -24,8 +24,17 @@ const (
 	MetricBatchItems = "serve.batch.items"
 	// MetricLatency is the request latency histogram in seconds.
 	MetricLatency = "serve.http.latency_seconds"
+	// MetricPhaseLatency is the per-phase latency histogram family in
+	// seconds, labeled {phase="..."} with the phase constants below. Each
+	// series carries a trace-ID exemplar (OpenMetrics scrapes only) linking
+	// its worst recent observation to /debug/requests/{traceID}.
+	MetricPhaseLatency = "serve.phase.latency_seconds"
 	// MetricQueueDepth is the admission queue's current depth (gauge).
 	MetricQueueDepth = "serve.queue.depth"
+	// MetricQueueAge is the age of the oldest queued job in seconds
+	// (gauge), refreshed by the shared stats snapshot (scrapes, /healthz,
+	// /debug/requests). Zero when the queue is empty.
+	MetricQueueAge = "serve.queue.age_seconds"
 	// MetricRuns counts simulated application executions performed
 	// (counter): one per run of a /v1/run request, one per scheme per run
 	// of a /v1/compare request.
@@ -53,6 +62,45 @@ const (
 	// count (gauge).
 	MetricSchedCacheSize = "core.schedcache.size"
 )
+
+// Phase names used for request trace spans and the MetricPhaseLatency
+// label values. Spans with these names are recorded by the middleware,
+// the handlers, the plan cache path and the worker pool; see
+// docs/OBSERVABILITY.md for the span model.
+const (
+	// PhaseDecode is request-body JSON decoding.
+	PhaseDecode = "decode"
+	// PhaseAdmit is the per-tenant admission decision.
+	PhaseAdmit = "admit"
+	// PhaseCache is the plan-cache lookup; its detail is "hit" or "miss",
+	// and on a miss the span contains the compile (PhaseCompile) it ran.
+	PhaseCache = "cache"
+	// PhaseCompile is an off-line plan compilation (core.NewPlan) executed
+	// by this request (duplicate-suppressed joiners record a cache hit
+	// instead).
+	PhaseCompile = "compile"
+	// PhaseQueue is the wait from pool submission to worker pickup. A job
+	// cancelled while queued still records it (with no PhaseExec).
+	PhaseQueue = "queue"
+	// PhaseExec is a worker's execution of one pool job (for streaming
+	// responses it includes row encoding, which interleaves with the
+	// simulation).
+	PhaseExec = "exec"
+	// PhaseExecMC is one Monte-Carlo loop within a job; its n is the number
+	// of runs completed. Batch requests record one per chunk, concurrently.
+	PhaseExecMC = "exec.mc"
+	// PhaseEncode is response encoding outside the workers (buffered JSON
+	// responses, batch NDJSON emission).
+	PhaseEncode = "encode"
+)
+
+// phaseNames lists every phase the server records, in pipeline order; New
+// pre-resolves their histogram series so the completion path takes no
+// registry lock.
+var phaseNames = []string{
+	PhaseDecode, PhaseAdmit, PhaseCache, PhaseCompile,
+	PhaseQueue, PhaseExec, PhaseExecMC, PhaseEncode,
+}
 
 // Per-tenant counters are exported as gauges named
 // "serve.tenant.<id>.admitted|rejected|inflight|runs", refreshed from the

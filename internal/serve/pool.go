@@ -38,6 +38,19 @@ type job struct {
 	fn   func(ctx context.Context, w *Worker)
 	done chan struct{}
 	ran  bool // set by the worker before closing done
+
+	// enq is the submission time; it feeds the queue-age gauge and — when
+	// rec is non-nil (traced request) — the queue-wait span, recorded by
+	// the worker or by the submitter if it gives up while blocked. The
+	// submitter always waits on done before touching rec again, so
+	// worker-side recording needs no extra synchronization.
+	rec *obs.TraceRec
+	enq time.Time
+	// pickup is stamped by the worker just before running fn. The exec
+	// span is recorded by the submitter after done closes, so it covers
+	// the whole pool round trip the request experienced — execution plus
+	// the handoff back to the handler's goroutine.
+	pickup time.Time
 }
 
 // Pool is a fixed-size worker pool with a bounded admission queue. Do
@@ -61,6 +74,14 @@ type Pool struct {
 	// workers; RetryAfter turns it into a drain-rate estimate.
 	svcNanos atomic.Int64
 
+	// qtimes tracks when each currently queued job was enqueued, so
+	// OldestQueueAge can report queue staleness without touching the jobs
+	// themselves. Entries are added before the channel send and removed at
+	// worker pickup (or on a failed send); the map never exceeds the queue
+	// capacity.
+	qmu    sync.Mutex
+	qtimes map[*job]time.Time
+
 	depth *obs.Gauge
 }
 
@@ -76,6 +97,7 @@ func NewPool(workers, queue int, m *obs.Metrics) *Pool {
 	p := &Pool{
 		jobs:    make(chan *job, queue),
 		workers: workers,
+		qtimes:  make(map[*job]time.Time, queue),
 		depth:   m.Gauge(MetricQueueDepth),
 	}
 	for i := 0; i < workers; i++ {
@@ -95,18 +117,52 @@ func (p *Pool) worker(id uint64) {
 	}
 	for j := range p.jobs {
 		p.depth.Set(float64(len(p.jobs)))
+		p.dequeued(j)
+		j.pickup = time.Now()
+		// The queue-wait span is recorded even for jobs skipped below: a
+		// cancelled-while-queued request still spent that time waiting, and
+		// its handler is blocked on done, so the record is safe to touch.
+		// Reusing the pickup stamp for the span's end costs no extra clock
+		// read.
+		j.rec.RecordSpan(PhaseQueue, j.enq, j.pickup)
 		// A job whose request already gave up (context expired while
 		// queued) is skipped: its handler is gone, running it would only
 		// burn the worker.
 		if j.ctx.Err() == nil {
-			t0 := time.Now()
 			j.fn(j.ctx, w)
 			j.ran = true
-			p.observeService(time.Since(t0))
+			p.observeService(time.Since(j.pickup))
 		}
 		close(j.done)
 		p.inFlight.Add(-1)
 	}
+}
+
+// dequeued drops j from the queue-age map at worker pickup (or on a
+// failed send).
+func (p *Pool) dequeued(j *job) {
+	p.qmu.Lock()
+	delete(p.qtimes, j)
+	p.qmu.Unlock()
+}
+
+// OldestQueueAge reports how long the oldest currently queued job has been
+// waiting (zero for an empty queue) — the queue-staleness companion to the
+// depth gauge: a deep-but-moving queue is load, a shallow-but-old one is a
+// stall.
+func (p *Pool) OldestQueueAge() time.Duration {
+	p.qmu.Lock()
+	defer p.qmu.Unlock()
+	var oldest time.Time
+	for _, t := range p.qtimes {
+		if oldest.IsZero() || t.Before(oldest) {
+			oldest = t
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return time.Since(oldest)
 }
 
 // observeService folds one job's duration into the drain-rate EWMA
@@ -177,7 +233,8 @@ func (p *Pool) submit(ctx context.Context, fn func(ctx context.Context, w *Worke
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	j := &job{ctx: ctx, fn: fn, done: make(chan struct{})}
+	j := &job{ctx: ctx, fn: fn, done: make(chan struct{}), enq: time.Now()}
+	j.rec = obs.TraceFromContext(ctx)
 	p.sendMu.RLock()
 	if p.closed.Load() {
 		p.sendMu.RUnlock()
@@ -186,13 +243,22 @@ func (p *Pool) submit(ctx context.Context, fn func(ctx context.Context, w *Worke
 	// Count the job before the enqueue becomes visible: a worker may pick
 	// it up (and decrement) the instant the send completes, and the
 	// increment-after-send ordering used to let InFlight read negative.
+	// The queue-age entry follows the same rule: insert before the send,
+	// since the worker deletes it at pickup.
 	p.inFlight.Add(1)
+	p.qmu.Lock()
+	p.qtimes[j] = j.enq
+	p.qmu.Unlock()
 	if wait {
 		select {
 		case p.jobs <- j:
 		case <-ctx.Done():
 			p.inFlight.Add(-1)
+			p.dequeued(j)
 			p.sendMu.RUnlock()
+			// The request waited for queue space it never got; that wait is
+			// still queue time.
+			j.rec.Record(PhaseQueue, j.enq)
 			return ctx.Err()
 		}
 	} else {
@@ -200,6 +266,7 @@ func (p *Pool) submit(ctx context.Context, fn func(ctx context.Context, w *Worke
 		case p.jobs <- j:
 		default:
 			p.inFlight.Add(-1)
+			p.dequeued(j)
 			p.sendMu.RUnlock()
 			return ErrQueueFull
 		}
@@ -213,6 +280,11 @@ func (p *Pool) submit(ctx context.Context, fn func(ctx context.Context, w *Worke
 		}
 		return ErrPoolClosed
 	}
+	// The exec span closes here, on the submitter's side of the handoff:
+	// close(done) ordered j.pickup, and stamping the end after the wakeup
+	// charges the worker→handler scheduling latency to exec rather than
+	// leaving it an unattributed gap in the trace.
+	j.rec.Record(PhaseExec, j.pickup)
 	return nil
 }
 

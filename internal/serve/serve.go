@@ -70,9 +70,28 @@ type Config struct {
 	// Tenant configures per-client admission control (rate limits,
 	// concurrency quotas, run budgets). The zero value disables it.
 	Tenant tenant.Config
+	// Trace configures request-scoped tracing and the flight recorder. The
+	// zero value ENABLES tracing with default retention — every request
+	// gets an X-Trace-Id and phase spans; set Trace.Disabled to opt out.
+	Trace TraceConfig
 	// Metrics receives the server's instruments; a fresh registry is
 	// created when nil.
 	Metrics *obs.Metrics
+}
+
+// TraceConfig parameterizes request tracing (see docs/OBSERVABILITY.md).
+type TraceConfig struct {
+	// Disabled turns request tracing off entirely: no trace IDs, no
+	// X-Trace-Id header, no flight recorder (/debug/requests answers 404),
+	// no phase histograms. The request path then carries a nil trace
+	// record, whose methods collapse to pointer comparisons.
+	Disabled bool
+	// RingSize is the flight recorder's recent-trace ring capacity
+	// (default obs.DefaultFlightRing).
+	RingSize int
+	// SlowestPerEndpoint is how many slowest traces each endpoint retains
+	// beyond the ring (default obs.DefaultFlightSlowest).
+	SlowestPerEndpoint int
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +146,12 @@ type Server struct {
 	runs        *obs.Counter
 	batchItems  *obs.Counter
 	latency     *obs.Histogram
+
+	// flight retains completed request traces (nil when Trace.Disabled).
+	flight *obs.Flight
+	// phaseHist maps each known phase to its pre-resolved series of the
+	// MetricPhaseLatency family. Built once in New, read-only afterwards.
+	phaseHist map[string]*obs.Histogram
 }
 
 // New builds a Server from cfg (zero value fine) without binding a port.
@@ -150,12 +175,24 @@ func New(cfg Config) *Server {
 		batchItems:  m.Counter(MetricBatchItems),
 		latency:     m.Histogram(MetricLatency, latencyBuckets),
 	}
-	s.mux.HandleFunc("/v1/plan", s.wrap(s.handlePlan))
-	s.mux.HandleFunc("/v1/run", s.wrap(s.handleRun))
-	s.mux.HandleFunc("/v1/batch", s.wrap(s.handleBatch))
-	s.mux.HandleFunc("/v1/compare", s.wrap(s.handleCompare))
-	s.mux.HandleFunc("/healthz", s.wrap(s.handleHealthz))
-	s.mux.HandleFunc("/metrics", s.wrap(s.handleMetrics))
+	if !cfg.Trace.Disabled {
+		s.flight = obs.NewFlight(cfg.Trace.RingSize, cfg.Trace.SlowestPerEndpoint)
+		s.phaseHist = make(map[string]*obs.Histogram, len(phaseNames))
+		for _, phase := range phaseNames {
+			s.phaseHist[phase] = m.LabeledHistogram(MetricPhaseLatency, "phase", phase, latencyBuckets)
+		}
+	}
+	s.mux.HandleFunc("/v1/plan", s.wrap("/v1/plan", s.handlePlan))
+	s.mux.HandleFunc("/v1/run", s.wrap("/v1/run", s.handleRun))
+	s.mux.HandleFunc("/v1/batch", s.wrap("/v1/batch", s.handleBatch))
+	s.mux.HandleFunc("/v1/compare", s.wrap("/v1/compare", s.handleCompare))
+	// Introspection endpoints are wrapped (timeout, panic recovery, counts)
+	// but not traced: a metrics scraper or debug poll shouldn't churn the
+	// flight recorder's ring.
+	s.mux.HandleFunc("/healthz", s.wrap("", s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.wrap("", s.handleMetrics))
+	s.mux.HandleFunc("GET /debug/requests", s.wrap("", s.handleDebugRequests))
+	s.mux.HandleFunc("GET /debug/requests/{traceID}", s.wrap("", s.handleDebugRequest))
 	return s
 }
 
@@ -168,30 +205,110 @@ func (s *Server) Metrics() *obs.Metrics { return s.metrics }
 // Cache returns the plan cache (exposed for tests and health output).
 func (s *Server) Cache() *PlanCache { return s.cache }
 
+// statusWriter captures the response status for the request trace. It
+// passes Flush through so NDJSON streaming keeps working behind it. The
+// status field may be written by a pool worker (streaming handlers commit
+// the 200 from inside the job) and is read by the middleware only after
+// the job's done channel closed, which orders the accesses.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// statusWriterPool recycles statusWriters; the traced request path reuses
+// one instead of allocating.
+var statusWriterPool = sync.Pool{New: func() any { return &statusWriter{} }}
+
 // wrap is the per-request middleware: counting, latency, panic recovery,
-// body size limit and the request timeout.
-func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
+// body size limit, the request timeout, and — for endpoints with a
+// non-empty name — request tracing: the trace record starts before the
+// handler (adopting an inbound W3C traceparent or generating a fresh
+// trace ID, echoed in X-Trace-Id), rides the request context through the
+// pipeline collecting phase spans, and lands in the flight recorder and
+// the phase histograms afterwards. With tracing disabled (or endpoint "")
+// the path is the pre-tracing one: no extra allocations, no header.
+func (s *Server) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Inc()
 		startReq := time.Now()
+		var rec *obs.TraceRec
+		var sw *statusWriter
+		if endpoint != "" && s.flight != nil {
+			rec = s.flight.Start(endpoint, r.Header.Get("Traceparent"), startReq)
+			w.Header().Set("X-Trace-Id", rec.ID())
+			sw = statusWriterPool.Get().(*statusWriter)
+			sw.ResponseWriter, sw.status = w, 0
+			w = sw
+		}
 		defer func() {
+			status := 0
 			if p := recover(); p != nil {
 				s.panics.Inc()
 				s.errors.Inc()
 				// Best effort: if the handler already wrote, this is a no-op
 				// on the status line but still terminates the response.
 				http.Error(w, `{"error":"internal server error"}`, http.StatusInternalServerError)
+				status = http.StatusInternalServerError
 			}
 			s.latency.Observe(time.Since(startReq).Seconds())
+			if rec != nil {
+				if status == 0 {
+					if status = sw.status; status == 0 {
+						status = http.StatusOK // nothing written: implicit 200
+					}
+				}
+				sw.ResponseWriter = nil
+				statusWriterPool.Put(sw)
+				s.observePhases(rec)
+				s.flight.Finish(rec, status)
+			}
 		}()
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
-		r = r.WithContext(ctx)
+		r = r.WithContext(obs.ContextWithTrace(ctx, rec))
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
 		h(w, r)
 	}
+}
+
+// observePhases feeds a completed trace's spans into the per-phase
+// latency histograms, offering the trace ID as the exemplar.
+func (s *Server) observePhases(rec *obs.TraceRec) {
+	// The arrival time stands in for "now" on the exemplar: its only
+	// consumers are the 60s retention TTL and the scrape timestamp, both
+	// indifferent to a request-duration skew, and it saves a clock read.
+	now := rec.StartTime()
+	id := rec.ID()
+	rec.VisitSpans(func(phase string, _, dur time.Duration, _ string, _ int64) {
+		h := s.phaseHist[phase]
+		if h == nil {
+			// Unknown phase (future producer): resolve through the registry.
+			h = s.metrics.LabeledHistogram(MetricPhaseLatency, "phase", phase, latencyBuckets)
+		}
+		h.ObserveExemplar(dur.Seconds(), id, now)
+	})
 }
 
 // Serve accepts connections on l until Shutdown or Close. It returns
@@ -275,6 +392,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
+// writeJSONTraced is writeJSON with an encode span on the request's
+// trace record.
+func (s *Server) writeJSONTraced(w http.ResponseWriter, r *http.Request, status int, v any) {
+	rec := obs.TraceFromContext(r.Context())
+	t0 := rec.SinceStart()
+	writeJSON(w, status, v)
+	rec.RecordOffset(PhaseEncode, t0)
+}
+
 // writeError writes a JSON error body and counts it. 429s go through
 // writeRateLimited instead, which owes the client a Retry-After.
 func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
@@ -305,7 +431,9 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, runs int) (func()
 	if s.limiter == nil {
 		return func() {}, true
 	}
+	rec := obs.TraceFromContext(r.Context())
 	dec, release := s.limiter.Admit(s.limiter.KeyFromRequest(r), runs)
+	rec.MarkDetail(PhaseAdmit, dec.Tenant)
 	if dec.OK {
 		return release, true
 	}
@@ -323,6 +451,8 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, runs int) (func()
 // decodeJSON decodes the request body into v, mapping the failure modes
 // onto statuses: malformed input → 400, oversized body → 413.
 func (s *Server) decodeJSON(r *http.Request, v any) *apiError {
+	rec := obs.TraceFromContext(r.Context())
+	defer rec.Mark(PhaseDecode)
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(v); err != nil {
 		if strings.Contains(err.Error(), "request body too large") {

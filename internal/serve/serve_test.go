@@ -262,7 +262,7 @@ func TestOversizedBody(t *testing.T) {
 
 func TestPanicRecovery(t *testing.T) {
 	s := newTestServer(t, Config{})
-	s.mux.HandleFunc("/boom", s.wrap(func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc("/boom", s.wrap("/boom", func(w http.ResponseWriter, r *http.Request) {
 		panic("kaboom")
 	}))
 	req := httptest.NewRequest(http.MethodGet, "/boom", nil)

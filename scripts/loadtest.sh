@@ -42,6 +42,22 @@ done
 "$bin/andorload" -base "http://$addr" -duration "$duration" -c "$conc" \
     -runs "$runs" -schemes "$schemes"
 
+# Trace stage: a traced run must surface the slowest request's trace ID
+# and fetch its per-phase breakdown from the daemon's flight recorder —
+# end-to-end proof that traceparent propagation, X-Trace-Id answers and
+# /debug/requests/{id} retrieval all work against a real daemon.
+echo "loadtest: trace stage"
+"$bin/andorload" -base "http://$addr" -n 200 -c 4 -runs "$runs" \
+    -schemes "$schemes" -trace | tee "$bin/trace.out"
+if ! grep -q '^slowest    trace ' "$bin/trace.out"; then
+    echo "loadtest: traced run reported no slowest trace ID" >&2
+    exit 1
+fi
+if ! grep -q '^slowest request ' "$bin/trace.out"; then
+    echo "loadtest: slowest trace's phase breakdown was not retrieved" >&2
+    exit 1
+fi
+
 # Batch smoke: the same mix through /v1/batch must also finish with zero
 # failed/incomplete responses.
 echo "loadtest: batch smoke"
