@@ -275,6 +275,35 @@ func BenchmarkRunGSSSyntheticArena(b *testing.B) {
 	}
 }
 
+// BenchmarkRunORA is BenchmarkRunGSSSyntheticArena under the online
+// reclamation scheme: the estimator update after every section is the
+// only extra work over AS, so ORA must stay within a few percent of the
+// other dynamic schemes and keep allocs/op at 0 (the estimator lives in
+// the arena, not the heap).
+func BenchmarkRunORA(b *testing.B) {
+	plan, err := core.NewPlan(workload.Synthetic(), 2, power.Transmeta5400(), power.DefaultOverheads())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := plan.CTWorst / 0.5
+	src := exectime.NewSource(1)
+	sampler := exectime.NewSampler(src)
+	arena := core.NewArena()
+	var res core.RunResult
+	cfg := core.RunConfig{Scheme: core.ORA, Deadline: d, Sampler: sampler}
+	if err := plan.RunInto(cfg, arena, &res); err != nil { // warm-up
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reseed(uint64(i))
+		if err := plan.RunInto(cfg, arena, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEngineScaling measures the event-driven engine across section
 // sizes and processor counts (layered sections, 4-wide layers).
 func BenchmarkEngineScaling(b *testing.B) {

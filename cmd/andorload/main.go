@@ -41,7 +41,7 @@ import (
 func main() {
 	base := flag.String("base", "http://localhost:8080", "server base URL")
 	workloadName := flag.String("workload", "atr", "built-in workload: atr, synthetic or random[:seed]")
-	schemesFlag := flag.String("schemes", "NPM,SPM,GSS,SS1,SS2,AS,CLV,ASP",
+	schemesFlag := flag.String("schemes", "NPM,SPM,GSS,SS1,SS2,AS,CLV,ASP,ORA",
 		"comma-separated schemes, cycled across requests")
 	runs := flag.Int("runs", 1, "Monte-Carlo runs per request (>1 streams NDJSON)")
 	loadFactor := flag.Float64("load", 0.5, "system load CT_worst/D")

@@ -66,7 +66,7 @@ func main() {
 	flag.StringVar(&o.workload, "workload", "synthetic", "application: atr, synthetic, random[:seed], or a .json graph file")
 	flag.StringVar(&o.platform, "platform", "transmeta", "platform: transmeta, xscale, or synthetic:N:fminMHz:fmaxMHz")
 	flag.IntVar(&o.procs, "procs", 2, "number of processors")
-	flag.StringVar(&o.scheme, "scheme", "GSS", "power management scheme: NPM, SPM, GSS, SS1, SS2, AS, or the extensions CLV, ASP")
+	flag.StringVar(&o.scheme, "scheme", "GSS", "power management scheme: NPM, SPM, GSS, SS1, SS2, AS, or the extensions CLV, ASP, ORA")
 	flag.Float64Var(&o.load, "load", 0.5, "system load (canonical worst case / deadline); ignored if -deadline is set")
 	flag.Float64Var(&o.deadline, "deadline", 0, "absolute deadline in seconds (overrides -load)")
 	flag.Uint64Var(&o.seed, "seed", 42, "random seed for actual execution times and OR branches")

@@ -21,6 +21,9 @@ func eqPlans(a, b *Plan) string {
 	if a.Procs != b.Procs || a.fmax != b.fmax {
 		return fmt.Sprintf("Procs/fmax: (%d,%v) vs (%d,%v)", a.Procs, a.fmax, b.Procs, b.fmax)
 	}
+	if a.alphaTask != b.alphaTask {
+		return fmt.Sprintf("alphaTask: %v vs %v", a.alphaTask, b.alphaTask)
+	}
 	if len(a.secs) != len(b.secs) {
 		return fmt.Sprintf("section count: %d vs %d", len(a.secs), len(b.secs))
 	}
@@ -245,6 +248,7 @@ func FuzzNewPlanCacheDifferential(f *testing.F) {
 			t.Fatalf("seed %d m=%d: warm cached plan diverged: %s", seed, m, diff)
 		}
 		cfg := RunConfig{Deadline: ref.CTWorst * 1.7, CollectTrace: true}
+		var asRes *RunResult
 		for _, s := range allSchemes() {
 			cfg.Scheme = s
 			cfg.Sampler = exectime.NewSampler(exectime.NewSource(seed))
@@ -260,6 +264,21 @@ func FuzzNewPlanCacheDifferential(f *testing.F) {
 			if diff := eqRunResults(a, b); diff != "" {
 				t.Fatalf("seed %d m=%d %s: %s", seed, m, s, diff)
 			}
+			if s == AS {
+				asRes = a
+			}
+		}
+		// Reclamation differential arm: ORA with a frozen α-history must
+		// reproduce the AS baseline exactly on the same script.
+		cfg.Scheme, cfg.ORAWeight = ORA, -1
+		cfg.Sampler = exectime.NewSampler(exectime.NewSource(seed))
+		frozen, err := ref.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frozen.Scheme = AS // normalize the config echo
+		if diff := eqRunResults(asRes, frozen); diff != "" {
+			t.Fatalf("seed %d m=%d: frozen ORA diverged from AS: %s", seed, m, diff)
 		}
 	})
 }

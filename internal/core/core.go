@@ -63,6 +63,19 @@ const (
 	// granularity buys. Compare with the intra-task granularity discussion
 	// of Shin et al. the paper cites.
 	ASP
+	// ORA is online reclamation, adaptive (not one of the paper's
+	// schemes): adaptive speculation whose workload assumption is not the
+	// plan's static α but an online EWMA estimate of the observed
+	// actual/worst-case execution ratios, refreshed after every completed
+	// section. Measured dynamic slack is thereby redistributed across the
+	// *future* sections: when the run is lighter than the static average
+	// predicts, the speculative floor drops toward the greedy level; when
+	// it is heavier, the floor rises back toward AS's. The estimator state
+	// is run-scoped (it lives in the policy inside the run's Arena), never
+	// on the immutable Plan. With a frozen or empty observation history
+	// ORA degenerates bit-exactly to AS. See MORA (Nelis & Goossens) and
+	// Leung/Tsui in PAPERS.md for the reclamation literature this follows.
+	ORA
 )
 
 // Schemes lists all schemes in presentation order.
@@ -90,28 +103,31 @@ func (s Scheme) String() string {
 		return "CLV"
 	case ASP:
 		return "ASP"
+	case ORA:
+		return "ORA"
 	}
 	return fmt.Sprintf("Scheme(%d)", uint8(s))
 }
 
 // ExtendedSchemes lists this repository's additions beyond the paper: the
-// clairvoyant bound and per-PMP adaptive speculation.
-var ExtendedSchemes = []Scheme{CLV, ASP}
+// clairvoyant bound, per-PMP adaptive speculation, and online slack
+// reclamation.
+var ExtendedSchemes = []Scheme{CLV, ASP, ORA}
 
 // ParseScheme converts a scheme name (case-sensitive, as printed by
-// String) to a Scheme. The extended schemes CLV and ASP are accepted in
-// addition to the paper's six.
+// String) to a Scheme. The extended schemes CLV, ASP and ORA are accepted
+// in addition to the paper's six.
 func ParseScheme(name string) (Scheme, error) {
 	for _, s := range append(append([]Scheme(nil), Schemes...), ExtendedSchemes...) {
 		if s.String() == name {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("core: unknown scheme %q (want one of NPM SPM GSS SS1 SS2 AS CLV ASP)", name)
+	return 0, fmt.Errorf("core: unknown scheme %q (want one of NPM SPM GSS SS1 SS2 AS CLV ASP ORA)", name)
 }
 
 // Dynamic reports whether the scheme performs run-time speed computation
 // (and therefore pays the power-management overheads).
 func (s Scheme) Dynamic() bool {
-	return s == GSS || s == SS1 || s == SS2 || s == AS || s == ASP
+	return s == GSS || s == SS1 || s == SS2 || s == AS || s == ASP || s == ORA
 }

@@ -1,0 +1,111 @@
+package core
+
+// This file implements the run-time state of the ORA scheme (online
+// reclamation, adaptive): an online estimator of α, the ratio of actual to
+// worst-case execution time, that adapts the speculative floor to the
+// *observed* behavior of the current run instead of the plan's static
+// average. The scheme itself is the AS rule with the static remaining-time
+// assumption rescaled by the estimate; see policies.go (resetSection) for
+// the rule and docs/MODEL.md §4 for the precise statement.
+
+// DefaultORAWeight is the default EWMA weight η of ORA's online
+// α-estimator. Small enough that one outlier task cannot swing the floor
+// by a whole level, large enough that the estimate converges within a few
+// sections — the horizon over which reclaimed slack can still be
+// redistributed.
+const DefaultORAWeight = 0.125
+
+// oraScaleMin bounds how far below the static assumption the estimator
+// may pull the speculative floor. Timing safety never depends on this
+// bound (any floor is safe — see the Theorem-1 argument in policies.go);
+// it only keeps a freak stretch of near-zero actual times from disabling
+// speculation entirely, which would cost energy through greedy
+// overspending on whatever heavy work remains.
+const oraScaleMin = 0.1
+
+// oraDeadband is the relative band below 1 inside which the estimator's
+// correction is ignored. The EWMA dithers by a few percent from sampling
+// noise even when the static assumption is exactly right; chasing that
+// noise moves the quantized floor up and down a level, paying speed-change
+// overheads for nothing. Genuinely light runs push the estimate far below
+// the band, so only noise is suppressed.
+const oraDeadband = 0.1
+
+// oraEstimator is ORA's online α-estimator: an EWMA over observed
+// actual/worst-case execution ratios, seeded from the plan's static
+// task-level α (Σ ACET / Σ WCET over compute tasks). The zero value is
+// unusable; init configures it per
+// run. It lives inside the policy — and therefore inside the run's Arena —
+// so its state is strictly run-scoped: the immutable Plan never sees it,
+// and concurrent runs on one Plan cannot couple through it
+// (TestORASharedPlanBitIdentical pins this under the race detector).
+type oraEstimator struct {
+	// seed is the static α the EWMA starts from; alpha is the current
+	// estimate α̂.
+	seed, alpha float64
+	// eta is the EWMA weight; η ≤ 0 freezes the estimator, which makes
+	// ORA reproduce AS bit-exactly (the differential tests rely on it).
+	eta float64
+	// n counts observations folded in; 0 means the history is empty and
+	// the scale is exactly 1.
+	n int
+}
+
+// init seeds the estimator for one run on plan p. eta = 0 selects
+// DefaultORAWeight; eta < 0 freezes the estimator. The seed is the plan's
+// task-level α (Σ ACET / Σ WCET), the same quantity the per-task
+// observations estimate — seeding with the schedule-length ratio
+// CTAvg/CTWorst would bias the correction even when the assumption is
+// exactly right, because barriers and overhead padding skew that ratio
+// away from the task-level one.
+func (e *oraEstimator) init(p *Plan, eta float64) {
+	e.seed = p.alphaTask
+	e.alpha = e.seed
+	if eta == 0 {
+		eta = DefaultORAWeight
+	}
+	e.eta = eta
+	e.n = 0
+}
+
+// observe folds one completed task's actual/worst-case work ratio into the
+// EWMA. Ratios are clamped to [0, 1]: actual work never exceeds the padded
+// worst case, so values outside only arise from degenerate inputs.
+func (e *oraEstimator) observe(r float64) {
+	if e.eta <= 0 {
+		return // frozen: ORA keeps AS's static assumption exactly
+	}
+	if r < 0 {
+		r = 0
+	} else if r > 1 {
+		r = 1
+	}
+	e.alpha += e.eta * (r - e.alpha)
+	e.n++
+}
+
+// scale returns the factor α̂/α applied to the plan's static average-case
+// remaining time, in [oraScaleMin, 1]. Exactly 1 while the history is
+// empty (or the seed is degenerate), so ORA's floor arithmetic is
+// bit-identical to AS's until the first observation. The correction only
+// runs downward — reclamation: a lighter-than-assumed run lowers the floor
+// toward the greedy level, redistributing the measured slack over the
+// remaining sections. A heavier-than-assumed run returns the floor to AS's
+// but never raises it above: speculating *more* work than the static
+// average would trade the certain cost of running faster now against a
+// bet the paper's schemes deliberately do not make, and measurements
+// across both platforms show it losing at exactly the small-α points
+// where reclamation matters.
+func (e *oraEstimator) scale() float64 {
+	if e.n == 0 || e.seed <= 0 {
+		return 1
+	}
+	s := e.alpha / e.seed
+	if s > 1-oraDeadband {
+		return 1
+	}
+	if s < oraScaleMin {
+		return oraScaleMin
+	}
+	return s
+}

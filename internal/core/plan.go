@@ -52,6 +52,12 @@ type Plan struct {
 
 	secs []*secPlan // indexed by section ID
 	fmax float64
+	// alphaTask is the work-weighted mean ACET/WCET ratio over all compute
+	// tasks (Σ ACET / Σ WCET), each section counted once: the task-level
+	// static workload assumption ORA's online estimator is seeded from and
+	// judged against. Distinct from CTAvg/CTWorst, which is a
+	// schedule-length ratio skewed by barriers and overhead padding.
+	alphaTask float64
 }
 
 // secPlan is the off-line data of one program section.
@@ -194,6 +200,16 @@ func NewPlanWithCache(g *andor.Graph, m int, platform *power.Platform, ov power.
 	}
 	p.CTWorst = p.secs[secs.First.ID].lenW + p.secs[secs.First.ID].remWorst
 	p.CTAvg = p.secs[secs.First.ID].lenA + p.secs[secs.First.ID].remAvg
+	var sumW, sumA float64
+	for _, sp := range p.secs {
+		for j := range sp.wcets {
+			sumW += sp.wcets[j]
+			sumA += sp.acets[j]
+		}
+	}
+	if sumW > 0 {
+		p.alphaTask = sumA / sumW
+	}
 	return p, nil
 }
 

@@ -26,7 +26,7 @@ func TestPlanSharedAcrossGoroutines(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := plan.CTWorst / 0.6
-	schemes := []core.Scheme{core.NPM, core.SPM, core.GSS, core.SS1, core.SS2, core.AS, core.CLV, core.ASP}
+	schemes := []core.Scheme{core.NPM, core.SPM, core.GSS, core.SS1, core.SS2, core.AS, core.CLV, core.ASP, core.ORA}
 
 	const goroutines = 16
 	const runsPer = 60
@@ -99,6 +99,71 @@ func TestPlanSharedAcrossGoroutines(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+	runtime.KeepAlive(plan)
+}
+
+// TestORASharedPlanBitIdentical pins ORA's run-scoped estimator contract:
+// the online α-estimator lives in each run's Arena, never on the Plan, so
+// two goroutines running ORA on one shared Plan with separate arenas must
+// neither race nor couple — each goroutine's results are bit-identical to
+// a serial pass over the same seeds. Low α maximizes the dynamic slack the
+// estimator reacts to; a goroutine-dependent seed schedule drives the two
+// estimators through different trajectories, so any state leaking through
+// the Plan would desynchronize the fingerprints.
+func TestORASharedPlanBitIdentical(t *testing.T) {
+	g := workload.ATR(workload.DefaultATRConfig())
+	g.ScaleACET(0.1)
+	plan, err := core.NewPlan(g, 2, power.Transmeta5400(), power.DefaultOverheads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := plan.CTWorst / 0.8
+	const goroutines = 2
+	const runsPer = 200
+
+	serial := func(w int) []fingerprint {
+		arena := core.NewArena()
+		src := exectime.NewSource(0)
+		sampler := exectime.NewSampler(src)
+		var res core.RunResult
+		out := make([]fingerprint, runsPer)
+		for r := 0; r < runsPer; r++ {
+			src.Reseed(uint64(w)*1000003 + uint64(r))
+			err := plan.RunInto(core.RunConfig{
+				Scheme: core.ORA, Deadline: d, Sampler: sampler,
+			}, arena, &res)
+			if err != nil {
+				t.Errorf("worker %d run %d: %v", w, r, err)
+				return out
+			}
+			out[r] = fingerprintOf(&res)
+		}
+		return out
+	}
+
+	want := make([][]fingerprint, goroutines)
+	for w := range want {
+		want[w] = serial(w)
+	}
+
+	got := make([][]fingerprint, goroutines)
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = serial(w)
+		}(w)
+	}
+	wg.Wait()
+	for w := range want {
+		for r := range want[w] {
+			if got[w][r] != want[w][r] {
+				t.Fatalf("worker %d run %d: concurrent ORA result %+v != serial %+v — estimator state escaped the arena",
+					w, r, got[w][r], want[w][r])
+			}
+		}
 	}
 	runtime.KeepAlive(plan)
 }

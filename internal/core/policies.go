@@ -32,6 +32,11 @@ type policy struct {
 	// SpecRemain statistic at pickup time.
 	remAvgAfter float64
 
+	// ORA: the online α-estimator that rescales AS's remaining-time
+	// assumption. Part of the policy value, so it lives in the run's Arena
+	// and never touches the shared Plan.
+	ora oraEstimator
+
 	// maxChange is the worst-case cost of one voltage/speed change on the
 	// platform, budgeted before the target level (and thus the actual
 	// voltage swing) is known.
@@ -42,6 +47,7 @@ type policy struct {
 	tracer obs.Tracer
 	hSlack *obs.Histogram
 	cSteal *obs.Counter
+	gAlpha *obs.Gauge
 }
 
 // attachObs wires the run's tracer and metrics into the policy's pickup
@@ -52,6 +58,10 @@ func (pol *policy) attachObs(tracer obs.Tracer, m *obs.Metrics) {
 	if m != nil {
 		pol.hSlack = m.Histogram(MetricSlackShare, obs.DefaultTimeBuckets)
 		pol.cSteal = m.Counter(MetricSlackSteals)
+		if pol.scheme == ORA {
+			pol.gAlpha = m.Gauge(MetricORAAlpha)
+			pol.gAlpha.Set(pol.ora.alpha)
+		}
 	}
 }
 
@@ -97,6 +107,19 @@ func (pol *policy) init(p *Plan, scheme Scheme, d float64) {
 		// resetSection sets the floor before the first task runs.
 		pol.floorLow = p.Platform.MinIndex()
 		pol.floorHigh = pol.floorLow
+	case ORA:
+		pol.floorLow = p.Platform.MinIndex()
+		pol.floorHigh = pol.floorLow
+		pol.ora.init(p, 0)
+	}
+}
+
+// setORAWeight overrides the estimator's EWMA weight after init: w = 0
+// keeps DefaultORAWeight, w < 0 freezes the estimator (ORA then reproduces
+// AS exactly), and 0 < w ≤ 1 is used as-is. A no-op for other schemes.
+func (pol *policy) setORAWeight(w float64) {
+	if pol.scheme == ORA && w != 0 {
+		pol.ora.eta = w
 	}
 }
 
@@ -104,14 +127,22 @@ func (pol *policy) init(p *Plan, scheme Scheme, d float64) {
 // reaches the section with the given ID at time now (at the start and after
 // every OR synchronization node, §4.2):
 // f_spec = f_max · T_avg,remaining / (D − now).
+// ORA uses the same rule with the static remaining-time assumption rescaled
+// by its estimator: the measured dynamic slack of the sections behind us is
+// redistributed over the sections ahead. With scale ≡ 1 (empty or frozen
+// history) the arithmetic below is bit-identical to AS's.
 func (pol *policy) resetSection(sectionID int, now float64) {
 	switch pol.scheme {
-	case AS:
+	case AS, ORA:
 		left := pol.d - now
 		if left <= 0 {
 			pol.floorLow = pol.plan.Platform.MaxIndex()
 		} else {
-			f := pol.plan.fmax * pol.plan.SectionAvgRemaining(sectionID) / left
+			rem := pol.plan.SectionAvgRemaining(sectionID)
+			if pol.scheme == ORA {
+				rem = pol.ora.scale() * rem
+			}
+			f := pol.plan.fmax * rem / left
 			pol.floorLow = pol.plan.Platform.QuantizeUp(f)
 		}
 		pol.floorHigh = pol.floorLow
@@ -120,11 +151,33 @@ func (pol *policy) resetSection(sectionID int, now float64) {
 	}
 }
 
+// observeSection folds one completed section's observed actual/worst-case
+// execution ratios into ORA's α-estimator, in the section's deterministic
+// compute-task order. works holds the section's actual cycles by task index
+// (the resolved script's layout). Called by the run driver after the
+// section finishes — the estimator only ever sees the past, even though the
+// whole script is resolved up front. A no-op for every other scheme.
+func (pol *policy) observeSection(sp *secPlan, works []float64) {
+	if pol.scheme != ORA {
+		return
+	}
+	for j, ti := range sp.computeIdx {
+		w := sp.wcets[j] * pol.plan.fmax // worst-case cycles, unpadded
+		if w <= 0 {
+			continue
+		}
+		pol.ora.observe(works[ti] / w)
+	}
+	if pol.gAlpha != nil {
+		pol.gAlpha.Set(pol.ora.alpha)
+	}
+}
+
 // floorAt returns the speculative floor level for task t picked at time
 // `now` (SS1/SS2/AS/ASP), or -1 when the scheme has none (GSS).
 func (pol *policy) floorAt(t *sim.Task, now float64) int {
 	switch pol.scheme {
-	case SS1, AS:
+	case SS1, AS, ORA:
 		return pol.floorLow
 	case SS2:
 		if now < pol.switchAt {

@@ -46,6 +46,12 @@ type RunConfig struct {
 	// (see the sim.Metric* and core.Metric* names); a snapshot is attached
 	// to the result.
 	Metrics *obs.Metrics
+	// ORAWeight tunes ORA's α-estimator and is ignored by every other
+	// scheme: 0 selects DefaultORAWeight, a negative value freezes the
+	// estimator (ORA then reproduces AS bit-exactly — differential tests
+	// use this), and a value in (0, 1] is the EWMA weight. Values above 1
+	// are rejected.
+	ORAWeight float64
 }
 
 // Metrics names updated by the run driver and scheme policies.
@@ -61,6 +67,10 @@ const (
 	MetricSections = "core.sections"
 	// MetricORResolves counts OR synchronization nodes resolved (counter).
 	MetricORResolves = "core.or.resolves"
+	// MetricORAAlpha is a gauge holding ORA's current α estimate —
+	// refreshed after every completed section, so a snapshot taken at run
+	// end reports the final estimate.
+	MetricORAAlpha = "core.slack.ora_alpha"
 )
 
 // RunResult reports one on-line execution.
@@ -206,6 +216,9 @@ func (p *Plan) RunInto(cfg RunConfig, a *Arena, out *RunResult) error {
 	if cfg.Sampler == nil && !cfg.WorstCase {
 		return fmt.Errorf("core: RunConfig needs a Sampler unless WorstCase is set")
 	}
+	if cfg.ORAWeight > 1 {
+		return fmt.Errorf("core: ORAWeight %g out of range (want ≤ 1; 0 = default, < 0 = frozen)", cfg.ORAWeight)
+	}
 	if a == nil {
 		a = NewArena()
 	}
@@ -214,6 +227,7 @@ func (p *Plan) RunInto(cfg RunConfig, a *Arena, out *RunResult) error {
 		return p.runClairvoyant(cfg, a, sc, out)
 	}
 	a.pol.init(p, cfg.Scheme, d)
+	a.pol.setORAWeight(cfg.ORAWeight)
 	return p.execute(cfg, a, sc, &a.pol, nil, out)
 }
 
@@ -330,6 +344,7 @@ func (p *Plan) execute(cfg RunConfig, a *Arena, sc *script, pol *policy, levelsO
 		if cfg.CollectTrace {
 			out.Trace = append(out.Trace, sim.Entries(tasks, sr.Records)...)
 		}
+		pol.observeSection(sp, sc.works[step])
 		now = sr.Finish
 		// sr.FinalLevels is owned by the engine arena and recycled by the
 		// next section's run; carry the values, not the slice.

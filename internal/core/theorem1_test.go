@@ -1,24 +1,86 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
+	"andorsched/internal/andor"
 	"andorsched/internal/exectime"
 	"andorsched/internal/power"
 	"andorsched/internal/workload"
 )
 
-// TestTheorem1InvariantSweep is the Theorem-1 table test: across both
-// processor tables, α ∈ {0.1, 0.5, 1.0}, two loads, several seeds and every
-// scheme, no task starts after its latest start time and the application
-// deadline is met. All runs go through a shared arena (the engine-level
-// validator is also enabled, cross-checking each section's schedule against
-// the machine model). CLV replays a probed path rather than dispatching
-// against LSTs, so the run driver exempts it from the LST count; it still
-// must meet the deadline.
+// This file is the deadline-safety property harness: every scheme the
+// package exports (the paper's six plus CLV, ASP and ORA) is swept over a
+// workload×platform×deadline case under common random numbers and held to
+// the Theorem-1 obligations. New schemes ride in automatically through
+// allSchemes() — adding a scheme without passing this harness breaks the
+// build's tier-1 run.
+
+// safetyCase is one workload instance for the deadline-safety harness.
+type safetyCase struct {
+	// name prefixes failure messages ("ATR/Transmeta α=0.5 load=0.9").
+	name string
+	plan *Plan
+	// deadline is the run deadline; must be feasible for the plan.
+	deadline float64
+	// seeds drives the sweep: every scheme replays each seed's script
+	// (common random numbers), so energies are exactly paired.
+	seeds []uint64
+}
+
+// checkDeadlineSafety runs every scheme on the case and asserts, per
+// scheme × seed: the run succeeds with the engine-level validator enabled,
+// no task starts after its latest start time (Theorem 1's invariant; CLV
+// replays a probed path and is exempted by the run driver), the deadline
+// is met, and the energy net of power-management overheads does not exceed
+// NPM's on the same script — slowing down under slack can never cost
+// active-plus-idle energy; only the overheads a scheme pays for managing
+// power can push it above NPM, and at extreme α the savings on near-empty
+// tasks genuinely are smaller than the management cost. It returns each
+// scheme's (gross) energy summed over the seeds, for aggregate
+// cross-scheme assertions.
+func checkDeadlineSafety(t *testing.T, arena *Arena, c safetyCase) map[Scheme]float64 {
+	t.Helper()
+	var res RunResult
+	sums := make(map[Scheme]float64, len(allSchemes()))
+	for _, seed := range c.seeds {
+		npmEnergy := 0.0
+		for _, s := range allSchemes() {
+			err := c.plan.RunInto(RunConfig{
+				Scheme: s, Deadline: c.deadline,
+				Sampler:  exectime.NewSampler(exectime.NewSource(seed)),
+				Validate: true,
+			}, arena, &res)
+			if err != nil {
+				t.Fatalf("%s %s seed=%d: %v", c.name, s, seed, err)
+			}
+			if res.LSTViolations != 0 {
+				t.Errorf("%s %s seed=%d: %d tasks started after their LST",
+					c.name, s, seed, res.LSTViolations)
+			}
+			if !res.MetDeadline {
+				t.Errorf("%s %s seed=%d: finish %g misses deadline %g",
+					c.name, s, seed, res.Finish, c.deadline)
+			}
+			e := res.Energy()
+			if s == NPM {
+				npmEnergy = e
+			} else if e-res.OverheadEnergy > npmEnergy*(1+1e-9) {
+				t.Errorf("%s %s seed=%d: energy %g (%g net of overheads) exceeds NPM's %g on the same script",
+					c.name, s, seed, e, e-res.OverheadEnergy, npmEnergy)
+			}
+			sums[s] += e
+		}
+	}
+	return sums
+}
+
+// TestTheorem1InvariantSweep is the Theorem-1 table test on the paper's ATR
+// application: across both processor tables, α ∈ {0.1, 0.5, 1.0}, two
+// loads, several seeds and every scheme, the harness's obligations hold.
 func TestTheorem1InvariantSweep(t *testing.T) {
 	arena := NewArena()
-	var res RunResult
 	for _, plat := range []*power.Platform{power.Transmeta5400(), power.IntelXScale()} {
 		for _, alpha := range []float64{0.1, 0.5, 1.0} {
 			g := workload.ATR(workload.DefaultATRConfig())
@@ -28,29 +90,62 @@ func TestTheorem1InvariantSweep(t *testing.T) {
 				t.Fatalf("%s α=%g: NewPlan: %v", plat.Name, alpha, err)
 			}
 			for _, load := range []float64{0.5, 0.9} {
-				d := plan.CTWorst / load
-				for _, s := range allSchemes() {
-					for seed := uint64(0); seed < 3; seed++ {
-						err := plan.RunInto(RunConfig{
-							Scheme: s, Deadline: d,
-							Sampler:  exectime.NewSampler(exectime.NewSource(seed)),
-							Validate: true,
-						}, arena, &res)
-						if err != nil {
-							t.Fatalf("%s α=%g load=%g %s seed=%d: %v",
-								plat.Name, alpha, load, s, seed, err)
-						}
-						if res.LSTViolations != 0 {
-							t.Errorf("%s α=%g load=%g %s seed=%d: %d tasks started after their LST",
-								plat.Name, alpha, load, s, seed, res.LSTViolations)
-						}
-						if !res.MetDeadline {
-							t.Errorf("%s α=%g load=%g %s seed=%d: finish %g misses deadline %g",
-								plat.Name, alpha, load, s, seed, res.Finish, d)
-						}
-					}
+				checkDeadlineSafety(t, arena, safetyCase{
+					name:     fmt.Sprintf("ATR/%s α=%g load=%g", plat.Name, alpha, load),
+					plan:     plan,
+					deadline: plan.CTWorst / load,
+					seeds:    []uint64{0, 1, 2},
+				})
+			}
+		}
+	}
+}
+
+// TestDeadlineSafetyRandomWorkloads is the property sweep: 50 random
+// AND/OR applications × both platforms × α ∈ {0.1, 0.5, 1.0}, every scheme
+// on every case, processor counts 1–4 and loads 0.5–0.8. Beyond the
+// per-case obligations it asserts two aggregates per α: every scheme's
+// total (gross) energy over the sweep stays at or below NPM's — power
+// management pays off on average even where single overhead-dominated
+// cases go the other way — and, at α = 0.1, ORA's total does not exceed
+// AS's: where dynamic slack is plentiful, online reclamation must at
+// least pay for itself against the static-assumption baseline.
+func TestDeadlineSafetyRandomWorkloads(t *testing.T) {
+	plats := []*power.Platform{power.Transmeta5400(), power.IntelXScale()}
+	arena := NewArena()
+	for _, alpha := range []float64{0.1, 0.5, 1.0} {
+		totals := make(map[Scheme]float64, len(allSchemes()))
+		for wl := 0; wl < 50; wl++ {
+			opts := andor.DefaultRandomOpts()
+			opts.Alpha = alpha
+			g := workload.Random(uint64(wl)+1, opts)
+			m := 1 + wl%4
+			load := 0.5 + 0.1*float64(wl%4)
+			for _, plat := range plats {
+				plan, err := NewPlan(g, m, plat, power.DefaultOverheads())
+				if err != nil {
+					t.Fatalf("workload %d %s α=%g: NewPlan: %v", wl, plat.Name, alpha, err)
+				}
+				sums := checkDeadlineSafety(t, arena, safetyCase{
+					name:     fmt.Sprintf("random-%d/%s (m=%d) α=%g load=%g", wl, plat.Name, m, alpha, load),
+					plan:     plan,
+					deadline: plan.CTWorst / load,
+					seeds:    []uint64{uint64(wl) * 7, uint64(wl)*7 + 1},
+				})
+				for s, e := range sums {
+					totals[s] += e
 				}
 			}
+		}
+		for _, s := range allSchemes() {
+			if s != NPM && totals[s] > totals[NPM]*(1+1e-9) {
+				t.Errorf("α=%g sweep: %s total energy %g exceeds NPM's %g",
+					alpha, s, totals[s], totals[NPM])
+			}
+		}
+		if alpha == 0.1 && totals[ORA] > totals[AS]*(1+1e-9) {
+			t.Errorf("α=0.1 sweep: ORA total energy %g exceeds AS's %g — reclamation did not pay for itself",
+				totals[ORA], totals[AS])
 		}
 	}
 }

@@ -1,0 +1,34 @@
+package exectime
+
+// Biased wraps a TimeSampler and scales every task's average-case time by
+// a fixed factor before delegating, clamped so the effective mean never
+// exceeds the worst case. It models the execution behavior of a system
+// whose off-line profile is wrong: the plan was compiled with one α while
+// the actual runs center on factor·ACET. A factor below 1 makes runs
+// lighter than assumed (the situation online slack reclamation exploits);
+// a factor above 1 makes them heavier.
+type Biased struct {
+	inner  TimeSampler
+	factor float64
+}
+
+// NewBiased wraps inner so sampled times center on factor·ACET. It panics
+// on a non-positive factor (a zero mean has no sampling interpretation).
+func NewBiased(inner TimeSampler, factor float64) *Biased {
+	if factor <= 0 {
+		panic("exectime: Biased factor must be positive")
+	}
+	return &Biased{inner: inner, factor: factor}
+}
+
+// Sample draws one actual execution time around the rescaled mean.
+func (b *Biased) Sample(wcet, acet float64) float64 {
+	a := b.factor * acet
+	if a > wcet {
+		a = wcet
+	}
+	return b.inner.Sample(wcet, a)
+}
+
+// Source returns the wrapped sampler's random source.
+func (b *Biased) Source() *Source { return b.inner.Source() }

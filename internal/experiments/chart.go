@@ -25,6 +25,10 @@ func schemeColor(s core.Scheme) string {
 		return "#e67e22"
 	case core.CLV:
 		return "#111111"
+	case core.ASP:
+		return "#16a085"
+	case core.ORA:
+		return "#d4ac0d"
 	}
 	return "#555555"
 }

@@ -2,9 +2,12 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -50,12 +53,12 @@ func e2eSeconds(t *testing.T) time.Duration {
 }
 
 // TestE2ESustainedLoad is the issue's acceptance test: the server sustains
-// a closed-loop load of ATR requests mixing all eight schemes with zero
+// a closed-loop load of ATR requests mixing all nine schemes with zero
 // dropped-but-accepted requests, then drains cleanly.
 func TestE2ESustainedLoad(t *testing.T) {
 	s, base, errc := startE2E(t, Config{Workers: 4, QueueSize: 64})
 
-	schemes := []string{"NPM", "SPM", "GSS", "SS1", "SS2", "AS", "CLV", "ASP"}
+	schemes := []string{"NPM", "SPM", "GSS", "SS1", "SS2", "AS", "CLV", "ASP", "ORA"}
 	body := func(i int) []byte {
 		// Every third request streams a small Monte-Carlo batch, the rest
 		// are single runs; all schemes cycle through.
@@ -329,6 +332,60 @@ func TestE2EGracefulDrain(t *testing.T) {
 
 func shutdownE2E(t *testing.T, s *Server, errc chan error) {
 	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v", err)
+	}
+}
+
+// TestE2ECompareAllStability pins the /v1/compare "all" contract end to
+// end: the scheme set includes ORA, rows come back in the canonical
+// presentation order (the paper's six then the extensions), and repeated
+// calls with the same seed replay the same common random numbers — the
+// response bodies are byte-identical.
+func TestE2ECompareAllStability(t *testing.T) {
+	s, base, errc := startE2E(t, Config{Workers: 2, QueueSize: 16})
+	client := &http.Client{Timeout: 60 * time.Second}
+	body := `{"workload":"atr","schemes":["all"],"runs":40,"seed":7,"load":0.6}`
+	want := []string{"NPM", "SPM", "GSS", "SS1", "SS2", "AS", "CLV", "ASP", "ORA"}
+	var first []byte
+	for rep := 0; rep < 3; rep++ {
+		resp, err := client.Post(base+"/v1/compare", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("call %d: %v", rep, err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("call %d: read: %v", rep, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("call %d: status %d: %s", rep, resp.StatusCode, raw)
+		}
+		if rep == 0 {
+			first = raw
+			var cr CompareResponse
+			if err := json.Unmarshal(raw, &cr); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if len(cr.Schemes) != len(want) {
+				t.Fatalf("compare covered %d schemes, want %d", len(cr.Schemes), len(want))
+			}
+			for i, name := range want {
+				if cr.Schemes[i].Scheme != name {
+					t.Errorf("scheme row %d is %s, want %s", i, cr.Schemes[i].Scheme, name)
+				}
+			}
+		} else if !bytes.Equal(raw, first) {
+			t.Errorf("call %d: response differs from call 0 under the same seed:\n%s\nvs\n%s",
+				rep, raw, first)
+		}
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := s.Shutdown(ctx); err != nil {

@@ -299,8 +299,8 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, apiErr.status, apiErr.msg)
 		return
 	}
-	schemes := make([]core.Scheme, 0, 8)
-	if len(req.Schemes) == 0 {
+	schemes := make([]core.Scheme, 0, 9)
+	if len(req.Schemes) == 0 || (len(req.Schemes) == 1 && req.Schemes[0] == "all") {
 		schemes = append(schemes, core.Schemes...)
 		schemes = append(schemes, core.ExtendedSchemes...)
 	} else {

@@ -67,8 +67,8 @@ type RunRequest struct {
 // schemes on one application.
 type CompareRequest struct {
 	AppSpec
-	// Schemes lists scheme names; empty means all eight (the paper's six
-	// plus CLV and ASP).
+	// Schemes lists scheme names; empty, or the single keyword "all",
+	// means all nine (the paper's six plus CLV, ASP and ORA).
 	Schemes []string `json:"schemes,omitempty"`
 	// Deadline / Load: as in RunRequest.
 	Deadline float64 `json:"deadline,omitempty"`

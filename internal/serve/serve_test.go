@@ -181,14 +181,19 @@ func TestCompareEndpoint(t *testing.T) {
 
 func TestCompareDefaultsToAllSchemes(t *testing.T) {
 	s := newTestServer(t, Config{})
-	w := post(t, s, "/v1/compare", `{"workload":"synthetic","runs":5}`)
-	if w.Code != http.StatusOK {
-		t.Fatalf("status %d: %s", w.Code, w.Body.String())
-	}
-	var resp CompareResponse
-	decodeBody(t, w, &resp)
-	if len(resp.Schemes) != 8 {
-		t.Errorf("default compare covered %d schemes, want all 8", len(resp.Schemes))
+	for _, body := range []string{
+		`{"workload":"synthetic","runs":5}`,
+		`{"workload":"synthetic","runs":5,"schemes":["all"]}`,
+	} {
+		w := post(t, s, "/v1/compare", body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", body, w.Code, w.Body.String())
+		}
+		var resp CompareResponse
+		decodeBody(t, w, &resp)
+		if len(resp.Schemes) != 9 {
+			t.Errorf("%s: compare covered %d schemes, want all 9", body, len(resp.Schemes))
+		}
 	}
 }
 

@@ -325,6 +325,17 @@ func FuzzEngineArenaDifferential(f *testing.F) {
 		}
 	}
 	f.Add([]byte{2, 0, 1, 3, 0, 0, 50, 128, 0, 1, 0, 40, 200, 1, 0})
+	// Reclamation-stressing seed (also committed to testdata/fuzz): one
+	// section mixing near-empty and huge tasks at α ≈ 0.1 (frac 25/255),
+	// chained through a dummy barrier — the high-variance, slack-rich
+	// workload shape ORA's online reclamation reacts to most strongly.
+	f.Add([]byte{2, 1, 3, 6,
+		0, 0, 2, 25, 0,
+		0, 0xEA, 0x60, 25, 1, 0,
+		0, 0, 1, 25, 0,
+		0, 0x75, 0x30, 25, 1, 1,
+		1, 0, 0, 0, 2, 0, 2,
+		0, 0x4E, 0x20, 25, 1, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cfg, tasks, ok := decodeWorkload(data)

@@ -17,7 +17,7 @@ duration="${1:-10s}"
 conc="${2:-8}"
 addr="${LOADTEST_ADDR:-127.0.0.1:18080}"
 runs="${LOADTEST_RUNS:-4}"
-schemes="${LOADTEST_SCHEMES:-NPM,SPM,GSS,SS1,SS2,AS,CLV,ASP}"
+schemes="${LOADTEST_SCHEMES:-NPM,SPM,GSS,SS1,SS2,AS,CLV,ASP,ORA}"
 
 bin="$(mktemp -d /tmp/andorsched-loadtest.XXXXXX)"
 trap 'kill "$daemon" 2>/dev/null || true; rm -rf "$bin"' EXIT
