@@ -304,6 +304,57 @@ func BenchmarkRunORA(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationHeteroPlacement regenerates the schemes × placement-
+// policies grid on the big.LITTLE reference platform (the heterogeneous
+// subsystem's headline ablation).
+func BenchmarkAblationHeteroPlacement(b *testing.B) { benchExperiment(b, "hetero-biglittle") }
+
+// BenchmarkOfflineHeteroPlanATR measures the heterogeneous off-line phase
+// — per-class canonical schedules under a placement policy, class
+// recording, per-class feasibility — for the ATR application on
+// big.LITTLE. Hetero plans bypass the section-schedule cache, so this is
+// the full compile cost.
+func BenchmarkOfflineHeteroPlanATR(b *testing.B) {
+	g := workload.ATR(workload.DefaultATRConfig())
+	hp := power.BigLittle()
+	ov := power.DefaultOverheads()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewHeteroPlan(g, hp, ov, sim.EnergyGreedy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunHeteroAS is the steady-state heterogeneous on-line run
+// (class-pinned dispatch, per-class level tables, per-processor energy
+// accounting) through a warmed arena. allocs/op must stay at 0: the
+// per-class policy state lives in the arena.
+func BenchmarkRunHeteroAS(b *testing.B) {
+	plan, err := core.NewHeteroPlan(workload.ATR(workload.DefaultATRConfig()),
+		power.BigLittle(), power.DefaultOverheads(), sim.EnergyGreedy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := plan.CTWorst / 0.5
+	src := exectime.NewSource(1)
+	sampler := exectime.NewSampler(src)
+	arena := core.NewArena()
+	var res core.RunResult
+	cfg := core.RunConfig{Scheme: core.AS, Deadline: d, Sampler: sampler}
+	if err := plan.RunInto(cfg, arena, &res); err != nil { // warm-up
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reseed(uint64(i))
+		if err := plan.RunInto(cfg, arena, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEngineScaling measures the event-driven engine across section
 // sizes and processor counts (layered sections, 4-wide layers).
 func BenchmarkEngineScaling(b *testing.B) {

@@ -51,7 +51,7 @@ func main() {
 	timeout := flag.Duration("timeout", 15*time.Second, "per-request timeout")
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 	maxRuns := flag.Int("max-runs", 100000, "largest runs count a single request may ask for")
-	maxProcs := flag.Int("max-procs", 64, "largest processor count a single request may ask for")
+	maxProcs := flag.Int("max-procs", 64, "largest processor count a single request may ask for (hetero platform specs included)")
 	maxBatch := flag.Int("max-batch", 256, "largest item count a /v1/batch request may carry")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown grace period")
 	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant requests/sec (0 = admission control off)")

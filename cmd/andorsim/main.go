@@ -35,14 +35,15 @@ import (
 
 // options collects every flag-settable parameter of one invocation.
 type options struct {
-	workload string
-	platform string
-	procs    int
-	scheme   string
-	load     float64
-	deadline float64
-	seed     uint64
-	worst    bool
+	workload  string
+	platform  string
+	placement string
+	procs     int
+	scheme    string
+	load      float64
+	deadline  float64
+	seed      uint64
+	worst     bool
 
 	trace     bool // print the Gantt + ASCII timeline
 	printPlan bool
@@ -64,8 +65,9 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.workload, "workload", "synthetic", "application: atr, synthetic, random[:seed], or a .json graph file")
-	flag.StringVar(&o.platform, "platform", "transmeta", "platform: transmeta, xscale, or synthetic:N:fminMHz:fmaxMHz")
-	flag.IntVar(&o.procs, "procs", 2, "number of processors")
+	flag.StringVar(&o.platform, "platform", "transmeta", "platform: transmeta, xscale, synthetic:N:fminMHz:fmaxMHz, a heterogeneous reference (symmetric, biglittle, accel), or a .json platform spec file")
+	flag.StringVar(&o.placement, "placement", "", "heterogeneous placement policy: fastest-first (default), energy-greedy, or class-affinity")
+	flag.IntVar(&o.procs, "procs", 2, "number of processors (identical-processor platforms; heterogeneous specs carry their own counts)")
 	flag.StringVar(&o.scheme, "scheme", "GSS", "power management scheme: NPM, SPM, GSS, SS1, SS2, AS, or the extensions CLV, ASP, ORA")
 	flag.Float64Var(&o.load, "load", 0.5, "system load (canonical worst case / deadline); ignored if -deadline is set")
 	flag.Float64Var(&o.deadline, "deadline", 0, "absolute deadline in seconds (overrides -load)")
@@ -113,7 +115,7 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	plat, err := cli.ParsePlatform(o.platform)
+	plat, hp, err := cli.ParseMachine(o.platform)
 	if err != nil {
 		return err
 	}
@@ -123,9 +125,24 @@ func run(o options) error {
 	}
 	ov := power.Overheads{SpeedCompCycles: o.compCycles, SpeedChangeTime: o.changeUs * 1e-6, VoltSlewTime: o.slewUsPerV * 1e-6}
 
-	plan, err := core.NewPlan(g, o.procs, plat, ov)
-	if err != nil {
-		return err
+	var plan *core.Plan
+	if hp != nil {
+		place, err := cli.ParsePlacement(o.placement)
+		if err != nil {
+			return err
+		}
+		plan, err = core.NewHeteroPlan(g, hp, ov, place)
+		if err != nil {
+			return err
+		}
+	} else {
+		if o.placement != "" {
+			return fmt.Errorf("-placement applies to heterogeneous platforms; %q has identical processors", o.platform)
+		}
+		plan, err = core.NewPlan(g, o.procs, plat, ov)
+		if err != nil {
+			return err
+		}
 	}
 	deadline := o.deadline
 	if deadline == 0 {
@@ -137,8 +154,17 @@ func run(o options) error {
 
 	fmt.Printf("application : %s (%d nodes, %d sections, %d execution paths)\n",
 		g.Name, g.Len(), plan.NumSections(), plan.Sections.NumPaths())
-	fmt.Printf("platform    : %d × %s (%d levels, %s – %s)\n",
-		o.procs, plat.Name, plat.NumLevels(), plat.Min(), plat.Max())
+	if hp != nil {
+		fmt.Printf("platform    : %s (%d processors", hp.Name, hp.NumProcs())
+		for c := 0; c < hp.NumClasses(); c++ {
+			cl := hp.Class(c)
+			fmt.Printf(", %d × %s ×%.2g", cl.Count, cl.Plat.Name, cl.Speed)
+		}
+		fmt.Printf("), placement %s\n", plan.Placement.Name())
+	} else {
+		fmt.Printf("platform    : %d × %s (%d levels, %s – %s)\n",
+			o.procs, plat.Name, plat.NumLevels(), plat.Min(), plat.Max())
+	}
 	fmt.Printf("off-line    : CT_worst=%.3fms CT_avg=%.3fms deadline=%.3fms (load %.3f)\n",
 		plan.CTWorst*1e3, plan.CTAvg*1e3, deadline*1e3, plan.CTWorst/deadline)
 
@@ -189,6 +215,12 @@ func run(o options) error {
 		return writeEventExports(o, collector)
 	}
 
+	if hp != nil && (o.trace || o.svgPath != "" || o.chromePath != "") {
+		// The schedule renderers label speeds off one DVS table; classes
+		// have their own. The structured exports (-trace-out/-events-out)
+		// carry processor indices and work fine.
+		return fmt.Errorf("-trace, -svg and -chrome-trace are not supported on heterogeneous platforms yet (use -trace-out/-events-out)")
+	}
 	collect := o.trace || o.svgPath != "" || o.chromePath != ""
 	cfg := core.RunConfig{
 		Scheme: scheme, Deadline: deadline, CollectTrace: collect,
@@ -218,7 +250,13 @@ func run(o options) error {
 	fmt.Printf("residency   :")
 	for i, t := range res.LevelTime {
 		if t > 0 {
-			fmt.Printf("  %.0fMHz %.1f%%", plat.Levels()[i].Freq/1e6, 100*t/res.BusyTime)
+			if plat != nil {
+				fmt.Printf("  %.0fMHz %.1f%%", plat.Levels()[i].Freq/1e6, 100*t/res.BusyTime)
+			} else {
+				// Heterogeneous levels are class-local indices; frequencies
+				// differ per class, so report the index residency.
+				fmt.Printf("  L%d %.1f%%", i, 100*t/res.BusyTime)
+			}
 		}
 	}
 	fmt.Println()

@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"andorsched/internal/cli"
 	"andorsched/internal/core"
 	"andorsched/internal/experiments"
 	"andorsched/internal/obs"
@@ -29,6 +30,7 @@ func main() {
 		listF     = flag.Bool("list", false, "list available experiments and exit")
 		tablesF   = flag.Bool("tables", false, "print the paper's platform tables (Tables 1 and 2) and exit")
 		idF       = flag.String("id", "all", "experiment ID (e.g. 4a, 6b, fmin) or 'all'")
+		platF     = flag.String("platform", "", "run a custom-platform study instead of the registry: transmeta, xscale, synthetic:N:fmin:fmax, symmetric, biglittle, accel, or a .json heterogeneous spec file (see workloads/biglittle.json)")
 		runsF     = flag.Int("runs", 200, "simulated executions per data point (the paper uses 1000)")
 		seedF     = flag.Uint64("seed", 2002, "random seed")
 		outF      = flag.String("out", "", "directory to write per-experiment CSV files instead of printing tables")
@@ -60,7 +62,7 @@ func main() {
 		}
 	}
 
-	runErr := run(*listF, *tablesF, *idF, *runsF, *seedF, *outF, *htmlF, *changesF, *winnersF)
+	runErr := run(*listF, *tablesF, *idF, *platF, *runsF, *seedF, *outF, *htmlF, *changesF, *winnersF)
 	if *cStatsF {
 		st := core.ScheduleCacheStats()
 		fmt.Fprintf(os.Stderr, "schedcache: %d hits, %d misses, %d evictions, %d/%d entries\n",
@@ -78,7 +80,7 @@ func main() {
 	}
 }
 
-func run(list, tables bool, id string, runs int, seed uint64, out, html string, changes, winners bool) error {
+func run(list, tables bool, id, platform string, runs int, seed uint64, out, html string, changes, winners bool) error {
 	if list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-9s %s\n", e.ID, e.Title)
@@ -95,7 +97,13 @@ func run(list, tables bool, id string, runs int, seed uint64, out, html string, 
 	}
 
 	var todo []experiments.Experiment
-	if id == "all" {
+	if platform != "" {
+		e, err := platformStudy(platform)
+		if err != nil {
+			return err
+		}
+		todo = []experiments.Experiment{e}
+	} else if id == "all" {
 		todo = experiments.All()
 	} else {
 		e, err := experiments.ByID(id)
@@ -144,6 +152,37 @@ func run(list, tables bool, id string, runs int, seed uint64, out, html string, 
 		}
 	}
 	return nil
+}
+
+// platformStudy builds the one-off experiment behind -platform: on a
+// heterogeneous machine the schemes × placement-policies study of the
+// hetero ablations; on identical processors the standard load sweep (ATR,
+// 2 CPUs) on that platform.
+func platformStudy(spec string) (experiments.Experiment, error) {
+	plat, hp, err := cli.ParseMachine(spec)
+	if err != nil {
+		return experiments.Experiment{}, err
+	}
+	if hp != nil {
+		return experiments.PlacementStudy(hp), nil
+	}
+	return experiments.Experiment{
+		ID: "platform",
+		Title: fmt.Sprintf("Custom platform: normalized energy vs load (ATR, 2 CPUs, %s)",
+			plat.Name),
+		Run: func(runs int, seed uint64) (*experiments.Series, error) {
+			return experiments.EnergyVsLoad(experiments.Config{
+				Graph:     workload.ATR(workload.DefaultATRConfig()),
+				Procs:     2,
+				Platform:  plat,
+				Overheads: power.DefaultOverheads(),
+				Schemes: []core.Scheme{core.SPM, core.GSS, core.SS1,
+					core.SS2, core.AS},
+				Runs: runs,
+				Seed: seed,
+			}, []float64{0.2, 0.4, 0.6, 0.8, 1.0})
+		},
+	}, nil
 }
 
 // runWinners prints the scheme-selection maps for the paper's two

@@ -32,7 +32,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestList(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(true, false, "all", 1, 1, "", "", false, false)
+		return run(true, false, "all", "", 1, 1, "", "", false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -46,7 +46,7 @@ func TestList(t *testing.T) {
 
 func TestTables(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(false, true, "all", 1, 1, "", "", false, false)
+		return run(false, true, "all", "", 1, 1, "", "", false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -58,7 +58,7 @@ func TestTables(t *testing.T) {
 
 func TestOneExperimentText(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(false, false, "4b", 3, 1, "", "", true, false)
+		return run(false, false, "4b", "", 3, 1, "", "", true, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +71,7 @@ func TestOneExperimentText(t *testing.T) {
 func TestCSVOut(t *testing.T) {
 	dir := t.TempDir()
 	_, err := capture(t, func() error {
-		return run(false, false, "6a", 2, 1, dir, "", false, false)
+		return run(false, false, "6a", "", 2, 1, dir, "", false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +89,7 @@ func TestHTMLOut(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "report.html")
 	_, err := capture(t, func() error {
-		return run(false, false, "4a", 2, 1, "", path, false, false)
+		return run(false, false, "4a", "", 2, 1, "", path, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -103,9 +103,41 @@ func TestHTMLOut(t *testing.T) {
 	}
 }
 
+func TestPlatformFlag(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(false, false, "all", "xscale", 1, 1, "", "", true, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "normalized energy vs load") || !strings.Contains(out, "Intel XScale") {
+		t.Errorf("platform study output wrong:\n%s", out)
+	}
+}
+
+func TestPlatformFlagHetero(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(false, false, "all", "biglittle", 2, 1, "", "", true, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "placement") || !strings.Contains(out, "big.LITTLE") {
+		t.Errorf("hetero placement study output wrong:\n%s", out)
+	}
+}
+
+func TestPlatformFlagBad(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run(false, false, "all", "quantum", 1, 1, "", "", false, false)
+	}); err == nil {
+		t.Error("want unknown-platform error")
+	}
+}
+
 func TestUnknownID(t *testing.T) {
 	if _, err := capture(t, func() error {
-		return run(false, false, "nope", 1, 1, "", "", false, false)
+		return run(false, false, "nope", "", 1, 1, "", "", false, false)
 	}); err == nil {
 		t.Error("want unknown-ID error")
 	}
@@ -113,7 +145,7 @@ func TestUnknownID(t *testing.T) {
 
 func TestWinnersFlag(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(false, false, "all", 2, 1, "", "", false, true)
+		return run(false, false, "all", "", 2, 1, "", "", false, true)
 	})
 	if err != nil {
 		t.Fatal(err)

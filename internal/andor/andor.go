@@ -72,6 +72,11 @@ type Node struct {
 	// ACET is the average-case execution time in seconds at maximum
 	// processor speed. Zero for synchronization nodes.
 	ACET float64
+	// Class is the node's preferred processor class on heterogeneous
+	// platforms (the `@class` tag of the .andor format). Empty means no
+	// preference; homogeneous schedulers ignore it. Set via
+	// Graph.SetClass so the graph's memoized analyses are invalidated.
+	Class string
 
 	succ []*Node
 	pred []*Node

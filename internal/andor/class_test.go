@@ -1,0 +1,86 @@
+package andor
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestClassTagRoundTrip pins the `@class` affinity tag through the text and
+// JSON forms, and that class-free graphs render byte-identically to the
+// pre-tag format (content-addressed digests must not move).
+func TestClassTagRoundTrip(t *testing.T) {
+	src := "app demo\ntask A 1ms 0.5ms @accel\ntask B 2ms 1ms\nedge A -> B\n"
+	g, err := ParseText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NodeByName("A").Class; got != "accel" {
+		t.Fatalf("A class %q, want accel", got)
+	}
+	if got := g.NodeByName("B").Class; got != "" {
+		t.Fatalf("B class %q, want none", got)
+	}
+
+	text := FormatText(g)
+	if !strings.Contains(text, "task A 1ms 500us @accel") {
+		t.Fatalf("FormatText dropped the class tag:\n%s", text)
+	}
+	if strings.Contains(text, "task B 2ms 1ms @") {
+		t.Fatalf("FormatText invented a class tag for B:\n%s", text)
+	}
+	back, err := ParseText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NodeByName("A").Class != "accel" || back.NodeByName("B").Class != "" {
+		t.Fatal("text round-trip changed class tags")
+	}
+
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jg Graph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		t.Fatal(err)
+	}
+	if jg.NodeByName("A").Class != "accel" || jg.NodeByName("B").Class != "" {
+		t.Fatal("JSON round-trip changed class tags")
+	}
+
+	// Clone must carry the tag.
+	if g.Clone().NodeByName("A").Class != "accel" {
+		t.Fatal("Clone dropped the class tag")
+	}
+
+	// A bare "@" or non-@ fifth token is a parse error, not a class.
+	for _, bad := range []string{"task X 1ms 1ms @", "task X 1ms 1ms accel"} {
+		if _, err := ParseText(bad); err == nil {
+			t.Fatalf("parser accepted %q", bad)
+		}
+	}
+}
+
+// TestSetClassInvalidates checks that tagging a node discards the graph's
+// memoized analyses (the tag changes what heterogeneous plans compile).
+func TestSetClassInvalidates(t *testing.T) {
+	g := NewGraph("g")
+	n := g.AddTask("A", 1e-3, 1e-3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.validated.Load() {
+		t.Fatal("Validate did not memoize")
+	}
+	g.SetClass(n, "accel")
+	if g.validated.Load() {
+		t.Fatal("SetClass left the validation memo in place")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetClass on an And node did not panic")
+		}
+	}()
+	g.SetClass(g.AddAnd("sync"), "accel")
+}

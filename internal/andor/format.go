@@ -16,6 +16,7 @@ import (
 //	app demo
 //
 //	task Detect  8ms 5ms               # name, WCET, ACET (s/ms/us suffix)
+//	task Filter  6ms 4ms @accel        # optional processor-class affinity
 //	or   Branch
 //	task Fast 3ms 2ms
 //	task Slow 9ms 7ms
@@ -116,8 +117,8 @@ func (p *textParser) directive(f []string) error {
 		return nil
 
 	case "task":
-		if len(f) != 4 {
-			return fmt.Errorf("task wants: task NAME WCET ACET")
+		if len(f) != 4 && len(f) != 5 {
+			return fmt.Errorf("task wants: task NAME WCET ACET [@CLASS]")
 		}
 		w, err := parseDuration(f[2])
 		if err != nil {
@@ -130,7 +131,20 @@ func (p *textParser) directive(f []string) error {
 		if w <= 0 || a <= 0 || a > w {
 			return fmt.Errorf("task %q needs 0 < ACET ≤ WCET, got %v/%v", f[1], f[2], f[3])
 		}
-		return p.define(f[1], p.g.AddTask(f[1], w, a))
+		n := p.g.AddTask(f[1], w, a)
+		if len(f) == 5 {
+			// Optional processor-class affinity tag for heterogeneous
+			// platforms: "@accel" prefers the class named "accel".
+			if len(f[4]) < 2 || f[4][0] != '@' {
+				return fmt.Errorf("task %q class tag %q must be @CLASS", f[1], f[4])
+			}
+			class := f[4][1:]
+			if err := validName(class); err != nil {
+				return err
+			}
+			p.g.SetClass(n, class)
+		}
+		return p.define(f[1], n)
 
 	case "and":
 		if len(f) != 2 {
@@ -327,6 +341,14 @@ func FormatText(g *Graph) string {
 	for _, n := range g.Nodes() {
 		switch n.Kind {
 		case Compute:
+			// The class tag is emitted only when present, so class-free
+			// graphs render byte-identically to before the tag existed
+			// (their content-addressed digests are stable).
+			if n.Class != "" {
+				fmt.Fprintf(&b, "task %s %s %s @%s\n", sanitizeName(n.Name),
+					formatDuration(n.WCET), formatDuration(n.ACET), sanitizeName(n.Class))
+				continue
+			}
 			fmt.Fprintf(&b, "task %s %s %s\n", sanitizeName(n.Name), formatDuration(n.WCET), formatDuration(n.ACET))
 		case And:
 			fmt.Fprintf(&b, "and %s\n", sanitizeName(n.Name))

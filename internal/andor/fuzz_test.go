@@ -117,6 +117,8 @@ func FuzzParseText(f *testing.F) {
 	f.Add("task A 1ms")
 	f.Add("edge A -> B")
 	f.Add("task A 1ms 1ms\ntask A 1ms 1ms")
+	f.Add("task A 1ms 1ms @accel\ntask B 2ms 1ms @big")
+	f.Add("task A 1ms 1ms @")
 	f.Fuzz(func(t *testing.T, src string) {
 		g, err := ParseText(src)
 		if err != nil {
@@ -139,6 +141,9 @@ func FuzzParseText(f *testing.F) {
 			bn := back.NodeByName(n.Name)
 			if bn == nil || bn.Kind != n.Kind || len(bn.Succs()) != len(n.Succs()) {
 				t.Fatalf("round-trip changed node %q", n.Name)
+			}
+			if bn.Class != n.Class {
+				t.Fatalf("round-trip changed node %q class %q to %q", n.Name, n.Class, bn.Class)
 			}
 		}
 		// Unit scaling in the text form may perturb times by 1 ulp, so

@@ -130,6 +130,17 @@ func (g *Graph) SetBranchProbs(or *Node, probs ...float64) {
 	or.prob = append([]float64(nil), probs...)
 }
 
+// SetClass tags a computation node with a preferred processor class for
+// heterogeneous platforms (see Node.Class). It panics on synchronization
+// nodes, which are placement-free.
+func (g *Graph) SetClass(n *Node, class string) {
+	if n.Kind != Compute {
+		panic(fmt.Sprintf("andor: SetClass on %s node %q", n.Kind, n.Name))
+	}
+	g.invalidate()
+	n.Class = class
+}
+
 // Sources returns the nodes without predecessors (the application roots).
 func (g *Graph) Sources() []*Node {
 	var roots []*Node
@@ -205,7 +216,7 @@ func (g *Graph) ScaleACET(alpha float64) {
 func (g *Graph) Clone() *Graph {
 	c := NewGraph(g.Name)
 	for _, n := range g.nodes {
-		c.add(&Node{Name: n.Name, Kind: n.Kind, WCET: n.WCET, ACET: n.ACET})
+		c.add(&Node{Name: n.Name, Kind: n.Kind, WCET: n.WCET, ACET: n.ACET, Class: n.Class})
 	}
 	for _, n := range g.nodes {
 		cn := c.nodes[n.ID]

@@ -17,6 +17,7 @@ type jsonNode struct {
 	Kind  string    `json:"kind"`
 	WCET  float64   `json:"wcet,omitempty"`
 	ACET  float64   `json:"acet,omitempty"`
+	Class string    `json:"class,omitempty"`
 	Probs []float64 `json:"probs,omitempty"`
 }
 
@@ -29,7 +30,7 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 	for _, n := range g.nodes {
 		jg.Nodes[n.ID] = jsonNode{
 			Name: n.Name, Kind: n.Kind.String(),
-			WCET: n.WCET, ACET: n.ACET,
+			WCET: n.WCET, ACET: n.ACET, Class: n.Class,
 			Probs: n.prob,
 		}
 		for _, s := range n.succ {
@@ -56,6 +57,7 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 				return fmt.Errorf("andor: node %d (%q): invalid times wcet=%g acet=%g", i, jn.Name, jn.WCET, jn.ACET)
 			}
 			n = fresh.AddTask(jn.Name, jn.WCET, jn.ACET)
+			n.Class = jn.Class
 		case "and":
 			n = fresh.AddAnd(jn.Name)
 		case "or":

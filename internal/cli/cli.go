@@ -1,5 +1,6 @@
 // Package cli holds the flag-value parsers shared by the command-line
-// tools in cmd/: workload and platform selection by name.
+// tools in cmd/: workload, platform, machine and placement selection by
+// name.
 package cli
 
 import (
@@ -11,6 +12,7 @@ import (
 
 	"andorsched/internal/andor"
 	"andorsched/internal/power"
+	"andorsched/internal/sim"
 	"andorsched/internal/workload"
 )
 
@@ -92,4 +94,51 @@ func ParsePlatform(spec string) (*power.Platform, error) {
 		return power.Synthetic(n, fmin, fmax, 0.8, 1.8), nil
 	}
 	return nil, fmt.Errorf("cli: unknown platform %q (want transmeta, xscale or synthetic:N:fmin:fmax)", spec)
+}
+
+// ParseMachine resolves a -platform flag value that may name either machine
+// model. Exactly one of the results is non-nil:
+//
+//	transmeta, xscale, synthetic:...   identical processors (ParsePlatform)
+//	symmetric, biglittle, accel        reference heterogeneous platforms
+//	<path>.json                        a heterogeneous platform spec file
+//	                                   (power.HeteroSpec JSON)
+func ParseMachine(spec string) (*power.Platform, *power.Hetero, error) {
+	if plat, err := ParsePlatform(spec); err == nil {
+		return plat, nil, nil
+	}
+	if strings.HasSuffix(spec, ".json") {
+		data, err := os.ReadFile(spec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cli: %v", err)
+		}
+		hp, err := power.ParseHeteroSpec(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cli: %s: %w", spec, err)
+		}
+		return nil, hp, nil
+	}
+	if hp, err := power.ReferenceHetero(spec); err == nil {
+		return nil, hp, nil
+	}
+	return nil, nil, fmt.Errorf("cli: unknown platform %q (want transmeta, xscale, synthetic:N:fmin:fmax, symmetric, biglittle, accel, or a .json platform spec file)", spec)
+}
+
+// ParsePlacement resolves a -placement flag value to a placement policy for
+// heterogeneous plans. The empty string and each policy's canonical name
+// are accepted, plus short aliases:
+//
+//	fastest-first | fastest | ""   sim.FastestFirst (the default)
+//	energy-greedy | energy         sim.EnergyGreedy
+//	class-affinity | affinity      sim.ClassAffinity
+func ParsePlacement(name string) (sim.PlacementPolicy, error) {
+	switch name {
+	case "", "fastest-first", "fastest":
+		return sim.FastestFirst, nil
+	case "energy-greedy", "energy":
+		return sim.EnergyGreedy, nil
+	case "class-affinity", "affinity":
+		return sim.ClassAffinity, nil
+	}
+	return nil, fmt.Errorf("cli: unknown placement policy %q (want fastest-first, energy-greedy or class-affinity)", name)
 }

@@ -104,3 +104,66 @@ func TestParsePlatform(t *testing.T) {
 		}
 	}
 }
+
+func TestParseMachine(t *testing.T) {
+	plat, hp, err := ParseMachine("transmeta")
+	if err != nil || plat == nil || hp != nil {
+		t.Errorf("transmeta: plat=%v hetero=%v err=%v", plat, hp, err)
+	}
+	for spec, classes := range map[string]int{"symmetric": 1, "biglittle": 2, "accel": 2} {
+		plat, hp, err := ParseMachine(spec)
+		if err != nil || plat != nil || hp == nil {
+			t.Fatalf("%s: plat=%v hetero=%v err=%v", spec, plat, hp, err)
+		}
+		if hp.NumClasses() != classes {
+			t.Errorf("%s: %d classes, want %d", spec, hp.NumClasses(), classes)
+		}
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "machine.json")
+	spec := `{"name":"lab","classes":[
+		{"name":"fast","count":1,"platform":"transmeta"},
+		{"name":"slow","count":2,"speed":0.5,"platform":"xscale"}]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, hp, err = ParseMachine(path)
+	if err != nil || hp == nil {
+		t.Fatalf("spec file: hetero=%v err=%v", hp, err)
+	}
+	if hp.Name != "lab" || hp.NumProcs() != 3 {
+		t.Errorf("spec file parsed to %q with %d procs", hp.Name, hp.NumProcs())
+	}
+
+	for _, spec := range []string{"", "pentium", "/does/not/exist.json"} {
+		if _, _, err := ParseMachine(spec); err == nil {
+			t.Errorf("%q: want error", spec)
+		}
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"classes":[{"name":"x","count":1,"platform":"transmeta","speed":-1}]}`), 0o644)
+	if _, _, err := ParseMachine(bad); err == nil {
+		t.Error("negative class speed accepted")
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	for name, want := range map[string]string{
+		"":               "fastest-first",
+		"fastest":        "fastest-first",
+		"fastest-first":  "fastest-first",
+		"energy":         "energy-greedy",
+		"energy-greedy":  "energy-greedy",
+		"affinity":       "class-affinity",
+		"class-affinity": "class-affinity",
+	} {
+		p, err := ParsePlacement(name)
+		if err != nil || p.Name() != want {
+			t.Errorf("%q: got %v, %v; want %s", name, p, err, want)
+		}
+	}
+	if _, err := ParsePlacement("round-robin"); err == nil {
+		t.Error("unknown placement accepted")
+	}
+}

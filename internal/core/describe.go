@@ -12,13 +12,27 @@ import (
 // why the scheduler chose the speeds it did (used by andorsim -plan).
 func (p *Plan) Describe(deadline float64) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "off-line plan: %s on %d × %s\n", p.Graph.Name, p.Procs, p.Platform.Name)
+	if p.Hetero != nil {
+		fmt.Fprintf(&b, "off-line plan: %s on %s (%d processors", p.Graph.Name, p.Hetero.Name, p.Procs)
+		for c := 0; c < p.Hetero.NumClasses(); c++ {
+			cl := p.Hetero.Class(c)
+			fmt.Fprintf(&b, ", %d × %s ×%.2g", cl.Count, cl.Plat.Name, cl.Speed)
+		}
+		fmt.Fprintf(&b, ") placement %s\n", p.Placement.Name())
+	} else {
+		fmt.Fprintf(&b, "off-line plan: %s on %d × %s\n", p.Graph.Name, p.Procs, p.Platform.Name)
+	}
 	fmt.Fprintf(&b, "  canonical worst case CT_worst = %.3fms (longest path)\n", p.CTWorst*1e3)
 	fmt.Fprintf(&b, "  canonical average    CT_avg   = %.3fms (probability-weighted)\n", p.CTAvg*1e3)
 	fmt.Fprintf(&b, "  deadline D = %.3fms → load %.3f, feasible: %v\n",
 		deadline*1e3, p.CTWorst/deadline, p.Feasible(deadline))
-	fmt.Fprintf(&b, "  static speeds: SPM %s, speculative f_max·CT_avg/D = %.0fMHz\n",
-		p.SPMLevel(deadline), p.SpeculativeSpeed(deadline)/1e6)
+	if p.Hetero != nil {
+		fmt.Fprintf(&b, "  speculative stretch CT_avg/D = %.3f (applied to each class's own f_max)\n",
+			p.CTAvg/deadline)
+	} else {
+		fmt.Fprintf(&b, "  static speeds: SPM %s, speculative f_max·CT_avg/D = %.0fMHz\n",
+			p.SPMLevel(deadline), p.SpeculativeSpeed(deadline)/1e6)
+	}
 
 	for _, sp := range p.secs {
 		exit := "END"

@@ -33,8 +33,21 @@ type Plan struct {
 	Sections *andor.Sections
 	// Procs is the number of processors m.
 	Procs int
-	// Platform is the processors' DVS model.
+	// Platform is the processors' DVS model on identical-processor systems;
+	// nil when the plan was compiled for a heterogeneous platform.
 	Platform *power.Platform
+	// Hetero is the heterogeneous machine model when the plan was compiled
+	// by NewHeteroPlan; nil for identical-processor plans. Exactly one of
+	// Platform and Hetero is non-nil.
+	Hetero *power.Hetero
+	// Placement is the placement policy the heterogeneous canonical
+	// schedules were built with (nil on identical-processor plans, never nil
+	// on heterogeneous ones). It is a plan parameter, not a run parameter:
+	// the policy decides which class each task's canonical schedule runs it
+	// on, and the online phase pins every task to that class — that pinning
+	// is what carries Theorem 1's safety argument to unequal processors, so
+	// two placements genuinely compare two plans (see NewHeteroPlan).
+	Placement sim.PlacementPolicy
 	// Overheads are the power-management costs assumed by the dynamic
 	// schemes. The off-line phase pads every task's worst case by
 	// Overheads.PadTime so run-time speed management can never cause a
@@ -155,6 +168,84 @@ func NewPlan(g *andor.Graph, m int, platform *power.Platform, ov power.Overheads
 	return NewPlanWithCache(g, m, platform, ov, scheduleCache.Load())
 }
 
+// NewHeteroPlan runs the off-line phase for a heterogeneous platform: the
+// canonical longest-task-first schedules are built on the platform's actual
+// processor mix (every class at its own maximum speed, processors chosen by
+// the given placement policy; nil defaults to sim.FastestFirst), work is
+// measured in cycles at the reference rate Hetero.RefFmax, and every task
+// additionally records the class its canonical schedule ran it on. The
+// online phase pins each task to that class: within a class the processors
+// are identical, so the paper's Theorem-1 argument applies class by class
+// and deadline safety survives unequal processors — whereas letting the
+// online run migrate a task to any other class, even a faster one, admits
+// Graham-style timing anomalies (docs/MODEL.md). Placement is therefore a
+// plan parameter: sim.EnergyGreedy steers canonical work onto cheaper
+// classes (usually lengthening CTWorst, the minimum feasible deadline, in
+// exchange for energy), and sim.ClassAffinity honors `@class` tags.
+//
+// Task nodes tagged with a class name (andor's `@class`) must name one of
+// the platform's classes; the tag becomes the task's placement affinity.
+// On a 1-class platform with Speed 1 the compiled plan's runs are
+// bit-identical to NewPlan on the class's platform under every placement
+// policy (differential-tested).
+//
+// Heterogeneous canonical schedules bypass the process-wide section cache:
+// its key does not describe a processor mix or a placement, and the
+// placement-sensitive schedules would poison identical-platform entries.
+func NewHeteroPlan(g *andor.Graph, hp *power.Hetero, ov power.Overheads, place sim.PlacementPolicy) (*Plan, error) {
+	if hp == nil {
+		return nil, fmt.Errorf("core: nil heterogeneous platform")
+	}
+	if place == nil {
+		place = sim.FastestFirst
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	secs, err := andor.Decompose(g)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Graph:     g,
+		Sections:  secs,
+		Procs:     hp.NumProcs(),
+		Hetero:    hp,
+		Placement: place,
+		Overheads: ov,
+		fmax:      hp.RefFmax(),
+		secs:      make([]*secPlan, len(secs.All)),
+	}
+	pad := ov.PadTimeHetero(hp)
+	for _, sec := range secs.All {
+		sp, err := p.planSection(sec, pad, nil)
+		if err != nil {
+			return nil, err
+		}
+		p.secs[sec.ID] = sp
+	}
+	p.aggregate()
+	for _, sp := range p.secs {
+		base := sp.remWorst + sp.lenW
+		for i := range sp.tasks {
+			sp.tasks[i].relLFT -= base
+		}
+	}
+	p.CTWorst = p.secs[secs.First.ID].lenW + p.secs[secs.First.ID].remWorst
+	p.CTAvg = p.secs[secs.First.ID].lenA + p.secs[secs.First.ID].remAvg
+	var sumW, sumA float64
+	for _, sp := range p.secs {
+		for j := range sp.wcets {
+			sumW += sp.wcets[j]
+			sumA += sp.acets[j]
+		}
+	}
+	if sumW > 0 {
+		p.alphaTask = sumA / sumW
+	}
+	return p, nil
+}
+
 // NewPlanWithCache is NewPlan against an explicit section-schedule cache
 // instead of the process-wide one. A nil cache disables memoization. The
 // compiled Plan does not retain the cache; it only reads (and populates)
@@ -233,6 +324,14 @@ func (p *Plan) planSection(sec *andor.Section, pad float64, cache *schedcache.Ca
 		t := sim.Task{Node: n.ID, Name: n.Name, Dummy: n.Kind == andor.And}
 		if n.Kind == andor.Compute {
 			t.WorkW = (n.WCET + pad) * p.fmax
+			if p.Hetero != nil && n.Class != "" {
+				ci := p.Hetero.ClassIndex(n.Class)
+				if ci < 0 {
+					return nil, fmt.Errorf("core: task %q: platform %q has no processor class %q",
+						n.Name, p.Hetero.Name, n.Class)
+				}
+				t.Affinity = ci + 1
+			}
 		}
 		for _, pr := range n.Preds() {
 			if j, ok := local[pr]; ok {
@@ -277,11 +376,19 @@ func (p *Plan) planSection(sec *andor.Section, pad float64, cache *schedcache.Ca
 
 	// Worst-case canonical schedule: padded WCETs at f_max, longest task
 	// first. It defines the section length, the dispatch orders and the
-	// per-task canonical finish times used for shifting.
+	// per-task canonical finish times used for shifting. On heterogeneous
+	// platforms every class runs at its own maximum speed with processors
+	// chosen by the plan's placement policy, and each task's canonical class
+	// is recorded — the online feasibility guard pins the task there.
+	canonCfg := sim.Config{Mode: sim.ByPriority, Procs: p.Procs}
+	if p.Hetero != nil {
+		canonCfg.Hetero = p.Hetero
+		canonCfg.Placement = p.Placement
+	} else {
+		canonCfg.Platform = p.Platform
+	}
 	worst := p.canonicalTasks(sp, func(tp *taskPlan) float64 { return tp.tmpl.WorkW })
-	resW, err := sim.Run(sim.Config{
-		Platform: p.Platform, Mode: sim.ByPriority, Procs: p.Procs,
-	}, worst)
+	resW, err := sim.Run(canonCfg, worst)
 	if err != nil {
 		return nil, fmt.Errorf("core: canonical schedule of section %d: %w", sec.ID, err)
 	}
@@ -289,6 +396,9 @@ func (p *Plan) planSection(sec *andor.Section, pad float64, cache *schedcache.Ca
 	for k, rec := range resW.Records {
 		sp.tasks[rec.Task].tmpl.Order = k
 		sp.tasks[rec.Task].relLFT = rec.Finish // made deadline-relative by NewPlan
+		if p.Hetero != nil {
+			sp.tasks[rec.Task].tmpl.CanonClass = p.Hetero.ClassOf(rec.Proc)
+		}
 	}
 
 	// Average-case canonical schedule: same heuristic with padded ACETs.
@@ -300,9 +410,7 @@ func (p *Plan) planSection(sec *andor.Section, pad float64, cache *schedcache.Ca
 		}
 		return (tp.node.ACET + pad) * p.fmax
 	})
-	resA, err := sim.Run(sim.Config{
-		Platform: p.Platform, Mode: sim.ByPriority, Procs: p.Procs,
-	}, avg)
+	resA, err := sim.Run(canonCfg, avg)
 	if err != nil {
 		return nil, fmt.Errorf("core: average canonical schedule of section %d: %w", sec.ID, err)
 	}
@@ -405,6 +513,16 @@ func (p *Plan) SectionWorstRemaining(sectionID int) float64 {
 
 // NumSections returns the number of program sections.
 func (p *Plan) NumSections() int { return len(p.secs) }
+
+// numLevels is the size of the speed-residency profile: the platform's
+// level count, or the largest class table on a heterogeneous platform
+// (smaller classes simply never touch the trailing slots).
+func (p *Plan) numLevels() int {
+	if p.Hetero != nil {
+		return p.Hetero.MaxLevels()
+	}
+	return p.Platform.NumLevels()
+}
 
 // SpeculativeSpeed returns the paper's static speculative speed
 // f_max·CT_avg/D for the given deadline (before level quantization).

@@ -42,6 +42,21 @@ type policy struct {
 	// voltage swing) is known.
 	maxChange float64
 
+	// Heterogeneous state, populated only when the plan was compiled by
+	// NewHeteroPlan (hp non-nil): the per-class analogues of fixed,
+	// floorLow/floorHigh, switchAt and maxChange, indexed by class. Level
+	// indices are only meaningful relative to a class's own DVS table, so
+	// every scheme quantity that is a level on identical processors becomes
+	// an effective frequency here and is quantized per class. On one class
+	// with Speed 1 every entry reproduces the homogeneous scalar bit-for-bit
+	// (x/1.0 == x and x·1.0 == x exactly in IEEE-754).
+	hp           *power.Hetero
+	clsFixed     []int
+	clsFloorLow  []int
+	clsFloorHigh []int
+	clsSwitch    []float64
+	clsMaxChange []float64
+
 	// Observability hooks, attached by the run driver; all nil by default
 	// so undecorated runs pay only nil checks.
 	tracer obs.Tracer
@@ -74,10 +89,18 @@ func newPolicy(p *Plan, scheme Scheme, d float64) *policy {
 
 // init (re)configures pol in place for one run with deadline d, clearing
 // any state left by a previous run — arenas reuse one policy value across
-// runs without allocating.
+// runs without allocating (the per-class buffers survive the reset).
 func (pol *policy) init(p *Plan, scheme Scheme, d float64) {
-	*pol = policy{plan: p, d: d, scheme: scheme,
-		maxChange: p.Overheads.MaxChangeTime(p.Platform)}
+	clsFixed, clsFloorLow, clsFloorHigh := pol.clsFixed, pol.clsFloorLow, pol.clsFloorHigh
+	clsSwitch, clsMaxChange := pol.clsSwitch, pol.clsMaxChange
+	*pol = policy{plan: p, d: d, scheme: scheme}
+	if p.Hetero != nil {
+		pol.clsFixed, pol.clsFloorLow, pol.clsFloorHigh = clsFixed, clsFloorLow, clsFloorHigh
+		pol.clsSwitch, pol.clsMaxChange = clsSwitch, clsMaxChange
+		pol.initHetero(p, scheme, d)
+		return
+	}
+	pol.maxChange = p.Overheads.MaxChangeTime(p.Platform)
 	switch scheme {
 	case NPM:
 		pol.fixed = p.Platform.MaxIndex()
@@ -114,6 +137,74 @@ func (pol *policy) init(p *Plan, scheme Scheme, d float64) {
 	}
 }
 
+// initHetero derives each class's scheme parameters. A static or
+// speculative speed on identical processors is really a stretch factor —
+// a fraction of f_max — applied to the canonical schedule; on unequal
+// classes that stretch applies to each class's own table, so every scheme
+// quantity becomes clsFmax·(fraction) quantized per class. Stretching each
+// class by the common fraction CT/D slows the whole canonical schedule
+// uniformly, which is what carries the paper's safety argument across
+// (docs/MODEL.md); dividing a reference-effective frequency by Speed
+// instead would over-drive slow classes and saturate them at their maxima.
+func (pol *policy) initHetero(p *Plan, scheme Scheme, d float64) {
+	hp := p.Hetero
+	nc := hp.NumClasses()
+	pol.hp = hp
+	pol.clsFixed = ensureInts(pol.clsFixed, nc)
+	pol.clsFloorLow = ensureInts(pol.clsFloorLow, nc)
+	pol.clsFloorHigh = ensureInts(pol.clsFloorHigh, nc)
+	pol.clsSwitch = ensureFloats(pol.clsSwitch, nc)
+	pol.clsMaxChange = ensureFloats(pol.clsMaxChange, nc)
+	for c := 0; c < nc; c++ {
+		cl := hp.Class(c)
+		pol.clsFixed[c] = 0
+		pol.clsFloorLow[c] = 0
+		pol.clsFloorHigh[c] = 0
+		pol.clsSwitch[c] = 0
+		pol.clsMaxChange[c] = p.Overheads.MaxChangeTime(cl.Plat)
+	}
+	switch scheme {
+	case NPM, CLV:
+		// CLV's probe pass runs flat out; runClairvoyant then installs the
+		// per-class stretch of the probe's finish time.
+		for c := 0; c < nc; c++ {
+			pol.clsFixed[c] = hp.Class(c).Plat.MaxIndex()
+		}
+	case SPM:
+		for c := 0; c < nc; c++ {
+			cl := hp.Class(c)
+			pol.clsFixed[c] = cl.Plat.QuantizeUp(cl.Plat.Max().Freq * p.CTWorst / d)
+		}
+	case SS1:
+		for c := 0; c < nc; c++ {
+			cl := hp.Class(c)
+			pol.clsFloorLow[c] = cl.Plat.QuantizeUp(cl.Plat.Max().Freq * p.CTAvg / d)
+			pol.clsFloorHigh[c] = pol.clsFloorLow[c]
+		}
+	case SS2:
+		// The low/high pair and the switch point are class-local: each class
+		// straddles its own speculative speed clsFmax·CT_avg/D with its own
+		// levels, and switches where its own pair balances the average case.
+		for c := 0; c < nc; c++ {
+			cl := hp.Class(c)
+			fspec := cl.Plat.Max().Freq * p.CTAvg / d
+			lo := cl.Plat.QuantizeDown(fspec)
+			hi := cl.Plat.QuantizeUp(fspec)
+			pol.clsFloorLow[c] = lo
+			pol.clsFloorHigh[c] = hi
+			if lo != hi {
+				fl := cl.Plat.Levels()[lo].Freq
+				fh := cl.Plat.Levels()[hi].Freq
+				pol.clsSwitch[c] = d * (fh - fspec) / (fh - fl)
+			}
+		}
+	case AS:
+		// resetSection sets the floors before the first task runs.
+	case ORA:
+		pol.ora.init(p, 0)
+	}
+}
+
 // setORAWeight overrides the estimator's EWMA weight after init: w = 0
 // keeps DefaultORAWeight, w < 0 freezes the estimator (ORA then reproduces
 // AS exactly), and 0 < w ≤ 1 is used as-is. A no-op for other schemes.
@@ -134,6 +225,10 @@ func (pol *policy) setORAWeight(w float64) {
 func (pol *policy) resetSection(sectionID int, now float64) {
 	switch pol.scheme {
 	case AS, ORA:
+		if pol.hp != nil {
+			pol.resetSectionHetero(sectionID, now)
+			return
+		}
 		left := pol.d - now
 		if left <= 0 {
 			pol.floorLow = pol.plan.Platform.MaxIndex()
@@ -148,6 +243,29 @@ func (pol *policy) resetSection(sectionID int, now float64) {
 		pol.floorHigh = pol.floorLow
 	case ASP:
 		pol.remAvgAfter = pol.plan.secs[sectionID].remAvg
+	}
+}
+
+// resetSectionHetero is the AS/ORA barrier rule per class: the speculative
+// stretch T_avg,remaining/(D−now) applied to each class's own maximum and
+// quantized on its own table.
+func (pol *policy) resetSectionHetero(sectionID int, now float64) {
+	left := pol.d - now
+	var rem float64
+	if left > 0 {
+		rem = pol.plan.SectionAvgRemaining(sectionID)
+		if pol.scheme == ORA {
+			rem = pol.ora.scale() * rem
+		}
+	}
+	for c := 0; c < pol.hp.NumClasses(); c++ {
+		cl := pol.hp.Class(c)
+		if left <= 0 {
+			pol.clsFloorLow[c] = cl.Plat.MaxIndex()
+		} else {
+			pol.clsFloorLow[c] = cl.Plat.QuantizeUp(cl.Plat.Max().Freq * rem / left)
+		}
+		pol.clsFloorHigh[c] = pol.clsFloorLow[c]
 	}
 }
 
@@ -300,7 +418,105 @@ func (pol *policy) gssPick(t *sim.Task, now float64, cur int) int {
 	return lvlC
 }
 
+// floorAtHetero returns the speculative floor as a level index into class
+// ci's own table (or -1 when the scheme has none). The static schemes read
+// their precomputed per-class entries; ASP quantizes its per-pickup
+// effective speed on the class's table.
+func (pol *policy) floorAtHetero(t *sim.Task, now float64, cl *power.Class, ci int) int {
+	switch pol.scheme {
+	case SS1, AS, ORA:
+		return pol.clsFloorLow[ci]
+	case SS2:
+		if now < pol.clsSwitch[ci] {
+			return pol.clsFloorLow[ci]
+		}
+		return pol.clsFloorHigh[ci]
+	case ASP:
+		left := pol.d - now
+		if left <= 0 {
+			return cl.Plat.MaxIndex()
+		}
+		f := cl.Plat.Max().Freq * (t.SpecRemain + pol.remAvgAfter) / left
+		return cl.Plat.QuantizeUp(f)
+	}
+	return -1
+}
+
+// PickLevelHetero implements sim.HeteroPolicy: PickLevel with every
+// frequency read through the class's effective rate Speed·f and every level
+// quantized on the class's own table. On one class with Speed 1 each
+// expression reduces bit-identically to PickLevel's.
+func (pol *policy) PickLevelHetero(t *sim.Task, now float64, cur int, ci int) int {
+	switch pol.scheme {
+	case NPM, SPM, CLV:
+		return pol.clsFixed[ci]
+	}
+	cl := pol.hp.Class(ci)
+	g := pol.gssPickHetero(t, now, cur, cl, ci)
+	lvl := g
+	if flr := pol.floorAtHetero(t, now, cl, ci); flr > g {
+		if flr == cur {
+			lvl = cur
+		} else {
+			lv := cl.Plat.Levels()
+			ov := pol.plan.Overheads
+			avail := t.LFT - now - ov.CompTime(lv[cur].Freq*cl.Speed) - pol.clsMaxChange[ci]
+			if avail > 0 && lv[flr].Freq*cl.Speed*avail >= t.WorkW*(1-feasTol) {
+				lvl = flr
+			}
+		}
+	}
+	if pol.tracer != nil || pol.hSlack != nil {
+		pol.observePick(t, now, g, lvl)
+	}
+	return lvl
+}
+
+// gssPickHetero is gssPick on class cl's table: the task's allocation is
+// unchanged (latest finish times come from the heterogeneous canonical
+// schedule), but work retires at Speed·f, so the needed frequency divides
+// through by the class speed before quantization.
+func (pol *policy) gssPickHetero(t *sim.Task, now float64, cur int, cl *power.Class, ci int) int {
+	plat := cl.Plat
+	lv := plat.Levels()
+	ov := pol.plan.Overheads
+
+	availNC := t.LFT - now - ov.CompTime(lv[cur].Freq*cl.Speed)
+	needNC := math.Inf(1)
+	if availNC > 0 {
+		needNC = t.WorkW / availNC
+	}
+	curOK := lv[cur].Freq*cl.Speed >= needNC*(1-feasTol)
+
+	availC := availNC - pol.clsMaxChange[ci]
+	lvlC := plat.MaxIndex()
+	feasC := false
+	if availC > 0 {
+		lvlC = plat.QuantizeUp(t.WorkW / availC / cl.Speed)
+		feasC = lv[lvlC].Freq*cl.Speed*availC >= t.WorkW*(1-feasTol)
+	}
+
+	if curOK {
+		if feasC && lvlC < cur {
+			return lvlC
+		}
+		return cur
+	}
+	return lvlC
+}
+
+// initialLevelHetero is initialLevel for one processor class.
+func (pol *policy) initialLevelHetero(ci int) int {
+	switch pol.scheme {
+	case SPM, CLV:
+		return pol.clsFixed[ci]
+	default:
+		return pol.hp.Class(ci).Plat.MaxIndex()
+	}
+}
+
 var _ sim.Policy = (*policy)(nil)
+var _ sim.HeteroPolicy = (*policy)(nil)
 
 // SPMLevel returns the level index SPM would use for the given deadline —
 // exposed for tests and reporting.

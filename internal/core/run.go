@@ -247,16 +247,32 @@ func (p *Plan) execute(cfg RunConfig, a *Arena, sc *script, pol *policy, levelsO
 	// dynamic schemes and NPM, the static speed for SPM (set once before
 	// release, as in [11]).
 	a.levels = ensureInts(a.levels, p.Procs)
-	if levelsOverride != nil {
+	switch {
+	case levelsOverride != nil:
 		copy(a.levels, levelsOverride)
-	} else {
+	case p.Hetero != nil:
+		for i := range a.levels {
+			a.levels[i] = pol.initialLevelHetero(p.Hetero.ClassOf(i))
+		}
+	default:
 		for i := range a.levels {
 			a.levels[i] = pol.initialLevel()
 		}
 	}
 	levels := a.levels
+	// Heterogeneous idle energy is per-processor (classes idle at their own
+	// platform's idle power), so busy/overhead time additionally accumulates
+	// per processor; identical platforms keep the scalar accounting.
+	if p.Hetero != nil {
+		a.busyP = ensureFloats(a.busyP, p.Procs)
+		a.ovhP = ensureFloats(a.ovhP, p.Procs)
+		for i := 0; i < p.Procs; i++ {
+			a.busyP[i] = 0
+			a.ovhP[i] = 0
+		}
+	}
 
-	lt := ensureFloats(out.LevelTime, p.Platform.NumLevels())
+	lt := ensureFloats(out.LevelTime, p.numLevels())
 	for i := range lt {
 		lt[i] = 0
 	}
@@ -290,6 +306,8 @@ func (p *Plan) execute(cfg RunConfig, a *Arena, sc *script, pol *policy, levelsO
 		tasks := p.runtimeTasks(a, sp, d, sc.works[step])
 		sr, err := a.sim.Run(sim.Config{
 			Platform:      p.Platform,
+			Hetero:        p.Hetero,
+			Placement:     p.Placement,
 			Overheads:     ov,
 			Mode:          sim.ByOrder,
 			Policy:        pol,
@@ -320,8 +338,14 @@ func (p *Plan) execute(cfg RunConfig, a *Arena, sc *script, pol *policy, levelsO
 			cOR.Inc()
 		}
 		if cfg.Validate {
-			if err := sim.ValidateResult(p.Platform, sim.ByOrder, now, tasks, sr); err != nil {
-				return fmt.Errorf("core: section %d: %w", sp.sec.ID, err)
+			var verr error
+			if p.Hetero != nil {
+				verr = sim.ValidateResultHetero(p.Hetero, sim.ByOrder, now, tasks, sr)
+			} else {
+				verr = sim.ValidateResult(p.Platform, sim.ByOrder, now, tasks, sr)
+			}
+			if verr != nil {
+				return fmt.Errorf("core: section %d: %w", sp.sec.ID, verr)
 			}
 		}
 		out.ActiveEnergy += sr.ActiveEnergy
@@ -330,12 +354,23 @@ func (p *Plan) execute(cfg RunConfig, a *Arena, sc *script, pol *policy, levelsO
 		for i := range sr.BusyTime {
 			out.BusyTime += sr.BusyTime[i]
 			out.OverheadTime += sr.OverheadTime[i]
+			if p.Hetero != nil {
+				a.busyP[i] += sr.BusyTime[i]
+				a.ovhP[i] += sr.OverheadTime[i]
+			}
 		}
 		for _, rec := range sr.Records {
 			t := tasks[rec.Task]
 			out.LevelTime[rec.Level] += rec.Finish - rec.Start
 			if !t.Dummy && cfg.Scheme != CLV {
-				lst := t.LFT - t.WorkW/p.fmax
+				// The latest start time is class-relative on heterogeneous
+				// platforms: a task's worst case on the processor that ran it
+				// is WorkW over that class's effective maximum rate.
+				eff := p.fmax
+				if p.Hetero != nil {
+					eff = p.Hetero.Class(p.Hetero.ClassOf(rec.Proc)).EffFmax()
+				}
+				lst := t.LFT - t.WorkW/eff
 				if rec.Dispatch > lst*(1+feasTol)+feasTol {
 					out.LSTViolations++
 				}
@@ -356,11 +391,30 @@ func (p *Plan) execute(cfg RunConfig, a *Arena, sc *script, pol *policy, levelsO
 	out.Finish = now
 	out.MetDeadline = now <= d*(1+feasTol)
 	horizon := math.Max(d, now)
-	idleTime := float64(p.Procs)*horizon - out.BusyTime - out.OverheadTime
-	if idleTime < 0 {
-		idleTime = 0
+	switch {
+	case p.Hetero == nil:
+		idleTime := float64(p.Procs)*horizon - out.BusyTime - out.OverheadTime
+		if idleTime < 0 {
+			idleTime = 0
+		}
+		out.IdleEnergy = p.Platform.IdlePower() * idleTime
+	case p.Hetero.NumClasses() == 1:
+		// Uniform idle power: the per-processor decomposition collapses to
+		// the scalar form (and stays bit-identical to the homogeneous path).
+		idleTime := float64(p.Procs)*horizon - out.BusyTime - out.OverheadTime
+		if idleTime < 0 {
+			idleTime = 0
+		}
+		out.IdleEnergy = p.Hetero.Class(0).Plat.IdlePower() * idleTime
+	default:
+		for i := 0; i < p.Procs; i++ {
+			idle := horizon - a.busyP[i] - a.ovhP[i]
+			if idle < 0 {
+				idle = 0
+			}
+			out.IdleEnergy += p.Hetero.Class(p.Hetero.ClassOf(i)).Plat.IdlePower() * idle
+		}
 	}
-	out.IdleEnergy = p.Platform.IdlePower() * idleTime
 	if cfg.Metrics != nil {
 		snap := cfg.Metrics.Snapshot()
 		out.Metrics = &snap
@@ -434,6 +488,13 @@ func (pol *policy) initialLevel() int {
 // that constant speed with no power-management costs. CLV is not one of the
 // paper's schemes; it bounds what speculation can hope to achieve and is
 // used by the ablation benches.
+//
+// On heterogeneous platforms the probe runs every class flat out, and the
+// stretch finish/D is applied to each class's own maximum frequency and
+// quantized on its own table — a per-class uniform slowdown of the probe
+// schedule, which still meets the deadline, but because each class rounds
+// to its own grid the replay is a near-bound heuristic, not a provably
+// minimal single speed.
 func (p *Plan) runClairvoyant(cfg RunConfig, a *Arena, sc *script, out *RunResult) error {
 	probeCfg := cfg
 	probeCfg.CollectTrace = false
@@ -442,15 +503,30 @@ func (p *Plan) runClairvoyant(cfg RunConfig, a *Arena, sc *script, out *RunResul
 	// being observed: keep it out of the event stream and the metrics.
 	probeCfg.Tracer = nil
 	probeCfg.Metrics = nil
-	a.probePol = policy{plan: p, d: cfg.Deadline, scheme: CLV, fixed: p.Platform.MaxIndex()}
+	if p.Hetero != nil {
+		a.probePol.init(p, CLV, cfg.Deadline) // per-class maximum levels
+	} else {
+		a.probePol = policy{plan: p, d: cfg.Deadline, scheme: CLV, fixed: p.Platform.MaxIndex()}
+	}
 	if err := p.execute(probeCfg, a, sc, &a.probePol, nil, &a.probe); err != nil {
 		return err
 	}
-	idx := p.Platform.QuantizeUp(p.fmax * a.probe.Finish / cfg.Deadline)
-	a.probePol = policy{plan: p, d: cfg.Deadline, scheme: CLV, fixed: idx}
 	a.clvLevels = ensureInts(a.clvLevels, p.Procs)
-	for i := range a.clvLevels {
-		a.clvLevels[i] = idx
+	if p.Hetero != nil {
+		a.probePol.init(p, CLV, cfg.Deadline)
+		for c := 0; c < p.Hetero.NumClasses(); c++ {
+			cl := p.Hetero.Class(c)
+			a.probePol.clsFixed[c] = cl.Plat.QuantizeUp(cl.Plat.Max().Freq * a.probe.Finish / cfg.Deadline)
+		}
+		for i := range a.clvLevels {
+			a.clvLevels[i] = a.probePol.clsFixed[p.Hetero.ClassOf(i)]
+		}
+	} else {
+		idx := p.Platform.QuantizeUp(p.fmax * a.probe.Finish / cfg.Deadline)
+		a.probePol = policy{plan: p, d: cfg.Deadline, scheme: CLV, fixed: idx}
+		for i := range a.clvLevels {
+			a.clvLevels[i] = idx
+		}
 	}
 	return p.execute(cfg, a, sc, &a.probePol, a.clvLevels, out)
 }

@@ -93,7 +93,7 @@ func (p *Plan) RunStreamArena(cfg StreamConfig, a *Arena) (*StreamResult, error)
 	}
 	out := &StreamResult{
 		Frames:    cfg.Frames,
-		LevelTime: make([]float64, p.Platform.NumLevels()),
+		LevelTime: make([]float64, p.numLevels()),
 	}
 	runCfg := RunConfig{
 		Scheme: cfg.Scheme, Deadline: cfg.Period, Sampler: cfg.Sampler,

@@ -7,6 +7,7 @@ import (
 	"andorsched/internal/core"
 	"andorsched/internal/exectime"
 	"andorsched/internal/power"
+	"andorsched/internal/sim"
 	"andorsched/internal/stats"
 	"andorsched/internal/workload"
 )
@@ -29,6 +30,84 @@ func Ablations() []Experiment {
 		ablationStructure(),
 		ablationSlew(),
 		ablationReclaim(),
+		ablationHeteroPlacement("hetero-symmetric", func() *power.Hetero { return power.SymmetricHetero(2) }),
+		ablationHeteroPlacement("hetero-biglittle", power.BigLittle),
+		ablationHeteroPlacement("hetero-accel", power.AccelOffload),
+	}
+}
+
+// PlacementStudy is the schemes × placement-policies measurement of the
+// heterogeneous ablations on an arbitrary platform: cmd/experiments
+// -platform builds one for a user-supplied spec file or reference name.
+func PlacementStudy(hp *power.Hetero) Experiment {
+	return ablationHeteroPlacement("placement", func() *power.Hetero { return hp })
+}
+
+// heteroLoad is the load of the heterogeneous placement ablations,
+// relative to the slowest placement's CT_worst. It is deliberately high:
+// with lots of slack, DVS on the fast class reaches its low-voltage levels
+// and placement barely matters; near the deadline the fast class is stuck
+// at high voltage and routing work onto a cheaper class is the only lever
+// left — the regime the placement policies are for.
+const heteroLoad = 0.9
+
+// placementPolicies is the X order of the heterogeneous placement
+// ablations: X = 0 fastest-first (the default), 1 energy-greedy,
+// 2 class-affinity.
+func placementPolicies() []sim.PlacementPolicy {
+	return []sim.PlacementPolicy{sim.FastestFirst, sim.EnergyGreedy, sim.ClassAffinity}
+}
+
+// ablationHeteroPlacement measures the schemes × placement-policies grid on
+// one reference heterogeneous platform. Placement is a plan parameter —
+// each policy compiles its own plan, shaping which class every task is
+// pinned to — so the policies are compared at a common deadline (the
+// slowest policy's CT_worst over the ablation load) at which every plan is
+// feasible. NormEnergy stays normalized to the same plan's NPM run, which
+// measures how much DVS slack each placement leaves; the absolute anchor
+// for comparing policies against each other is NPMEnergy
+// (and NormEnergy·NPMEnergy per scheme). On big.LITTLE the energy-greedy
+// policy routes work onto the cheap little cores and beats fastest-first
+// on absolute energy while still meeting every deadline (measurePoint
+// fails the whole point on any miss or LST violation).
+func ablationHeteroPlacement(id string, hetero func() *power.Hetero) Experiment {
+	name := hetero().Name
+	return Experiment{
+		ID: id,
+		Title: fmt.Sprintf("Ablation: schemes × placement policies on %s (ATR, common deadline, load %g)",
+			name, heteroLoad),
+		Run: func(runs int, seed uint64) (*Series, error) {
+			hp := hetero()
+			g := atrGraph()
+			places := placementPolicies()
+			plans := make([]*core.Plan, len(places))
+			worst := 0.0
+			for i, place := range places {
+				plan, err := core.NewHeteroPlan(g, hp, power.DefaultOverheads(), place)
+				if err != nil {
+					return nil, err
+				}
+				plans[i] = plan
+				if plan.CTWorst > worst {
+					worst = plan.CTWorst
+				}
+			}
+			d := worst / heteroLoad
+			se := &Series{
+				Title:   fmt.Sprintf("ATR on %s: energy by placement policy at a common deadline", hp.Name),
+				XLabel:  "placement (0 fastest-first, 1 energy-greedy, 2 class-affinity)",
+				Schemes: paperSchemes(),
+			}
+			for i, plan := range plans {
+				// Same seed for every placement: paired comparison.
+				pt, err := measurePoint(plan, se.Schemes, float64(i), d, runs, seed, 0)
+				if err != nil {
+					return nil, fmt.Errorf("%s placement %s: %w", hp.Name, places[i].Name(), err)
+				}
+				se.Points = append(se.Points, pt)
+			}
+			return se, nil
+		},
 	}
 }
 

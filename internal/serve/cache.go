@@ -15,12 +15,17 @@ import (
 // cacheKey identifies one off-line compilation: the application (by a
 // canonical content hash), the platform (by its spec string), the
 // processor count, and the power-management overheads. Two requests with
-// the same key share one Plan.
+// the same key share one Plan. A heterogeneous request instead carries the
+// platform's content hash (power.Hetero.Key — a reference name and its
+// spelled-out spec collapse onto one entry) plus the placement policy,
+// which is a plan parameter; platform and procs stay zero there.
 type cacheKey struct {
-	graph    [sha256.Size]byte
-	platform string
-	procs    int
-	ov       power.Overheads
+	graph     [sha256.Size]byte
+	platform  string
+	procs     int
+	hetero    string
+	placement string
+	ov        power.Overheads
 }
 
 // graphDigest hashes a graph's canonical text rendering. FormatText is

@@ -18,14 +18,18 @@ import (
 // planFor resolves an AppSpec to a compiled Plan through the cache. The
 // boolean reports a cache hit.
 func (s *Server) planFor(ctx context.Context, spec *AppSpec) (*core.Plan, bool, *apiError) {
-	g, key, apiErr := s.resolveApp(spec)
+	ra, apiErr := s.resolveApp(spec)
 	if apiErr != nil {
 		return nil, false, apiErr
 	}
+	key := ra.key
 	rec := obs.TraceFromContext(ctx)
 	plan, hit, err := s.cache.GetOrCompile(ctx, key, func() (*core.Plan, error) {
 		tc := rec.SinceStart()
 		defer rec.RecordOffset(PhaseCompile, tc)
+		if ra.hp != nil {
+			return core.NewHeteroPlan(ra.g, ra.hp, key.ov, ra.place)
+		}
 		plat, err := parsePlatformMemo(key.platform)
 		if err != nil {
 			return nil, err
@@ -34,7 +38,7 @@ func (s *Server) planFor(ctx context.Context, spec *AppSpec) (*core.Plan, bool, 
 		// plan-cache miss on a graph whose sections were seen before (same
 		// structure at a different procs/platform, or an evicted plan)
 		// skips the canonical simulations.
-		return core.NewPlan(g, key.procs, plat, key.ov)
+		return core.NewPlan(ra.g, key.procs, plat, key.ov)
 	})
 	// The cache span wraps the whole lookup (starting from the previous
 	// phase's end, so it also covers the graph resolution above): on a
@@ -78,19 +82,27 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, apiErr.status, apiErr.msg)
 		return
 	}
-	s.writeJSONTraced(w, r, http.StatusOK, PlanResponse{
+	resp := PlanResponse{
 		App:         plan.Graph.Name,
 		Nodes:       plan.Graph.Len(),
 		Sections:    plan.NumSections(),
 		Paths:       plan.Sections.NumPaths(),
 		Procs:       plan.Procs,
-		Platform:    plan.Platform.Name,
-		Levels:      plan.Platform.NumLevels(),
 		CTWorst:     plan.CTWorst,
 		CTAvg:       plan.CTAvg,
 		MinDeadline: plan.MinDeadline(),
 		Cached:      hit,
-	})
+	}
+	if plan.Hetero != nil {
+		resp.Platform = plan.Hetero.Name
+		resp.Levels = plan.Hetero.MaxLevels()
+		resp.Classes = plan.Hetero.NumClasses()
+		resp.Placement = plan.Placement.Name()
+	} else {
+		resp.Platform = plan.Platform.Name
+		resp.Levels = plan.Platform.NumLevels()
+	}
+	s.writeJSONTraced(w, r, http.StatusOK, resp)
 }
 
 // fillRow writes one run's result into row, reusing row.Path.

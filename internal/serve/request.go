@@ -12,6 +12,7 @@ import (
 	"andorsched/internal/andor"
 	"andorsched/internal/cli"
 	"andorsched/internal/power"
+	"andorsched/internal/sim"
 	"andorsched/internal/workload"
 )
 
@@ -33,6 +34,17 @@ type AppSpec struct {
 	Platform string `json:"platform,omitempty"`
 	// Procs is the processor count m (default 2).
 	Procs int `json:"procs,omitempty"`
+	// Hetero selects a heterogeneous platform instead of Platform/Procs:
+	// either a JSON string naming a reference platform ("symmetric",
+	// "biglittle", "accel") or a power.HeteroSpec object with per-class
+	// speed/power tables. The spec carries its own processor counts, so
+	// Hetero is mutually exclusive with Platform and Procs. The platform is
+	// content-addressed into the plan-cache key.
+	Hetero json.RawMessage `json:"hetero,omitempty"`
+	// Placement names the placement policy compiled into a heterogeneous
+	// plan: "fastest-first" (the default), "energy-greedy" or
+	// "class-affinity". Only valid together with Hetero.
+	Placement string `json:"placement,omitempty"`
 	// Overheads overrides the paper's default power-management costs.
 	Overheads *OverheadsSpec `json:"overheads,omitempty"`
 }
@@ -79,7 +91,9 @@ type CompareRequest struct {
 	Seed uint64 `json:"seed,omitempty"`
 }
 
-// PlanResponse summarizes a compiled plan.
+// PlanResponse summarizes a compiled plan. For a heterogeneous plan,
+// Platform carries the heterogeneous platform's name, Levels the largest
+// per-class DVS table, and Classes/Placement are set.
 type PlanResponse struct {
 	App         string  `json:"app"`
 	Nodes       int     `json:"nodes"`
@@ -88,6 +102,8 @@ type PlanResponse struct {
 	Procs       int     `json:"procs"`
 	Platform    string  `json:"platform"`
 	Levels      int     `json:"levels"`
+	Classes     int     `json:"classes,omitempty"`
+	Placement   string  `json:"placement,omitempty"`
 	CTWorst     float64 `json:"ct_worst_s"`
 	CTAvg       float64 `json:"ct_avg_s"`
 	MinDeadline float64 `json:"min_deadline_s"`
@@ -159,11 +175,24 @@ func errf(status int, format string, args ...any) *apiError {
 // compile path for seconds.
 const maxGraphNodes = 20000
 
+// resolvedApp is resolveApp's output: the validated graph, the cache key,
+// and — for heterogeneous requests — the parsed platform and the placement
+// policy compiled into the plan. hp == nil means identical processors.
+type resolvedApp struct {
+	g     *andor.Graph
+	key   cacheKey
+	hp    *power.Hetero
+	place sim.PlacementPolicy
+}
+
 // resolveApp turns an AppSpec into a validated graph plus the cache-key
 // ingredients. The graph digest comes from the canonical text rendering,
-// so equivalent submissions in different encodings share a cache entry.
-func (s *Server) resolveApp(spec *AppSpec) (*andor.Graph, cacheKey, *apiError) {
-	var key cacheKey
+// so equivalent submissions in different encodings share a cache entry;
+// heterogeneous platforms are content-addressed the same way (power.Key),
+// so a reference name and its spelled-out spec share one entry too.
+func (s *Server) resolveApp(spec *AppSpec) (resolvedApp, *apiError) {
+	var ra resolvedApp
+	key := &ra.key
 
 	given := 0
 	for _, ok := range []bool{len(spec.Graph) > 0, spec.Text != "", spec.Workload != ""} {
@@ -172,10 +201,10 @@ func (s *Server) resolveApp(spec *AppSpec) (*andor.Graph, cacheKey, *apiError) {
 		}
 	}
 	if given == 0 {
-		return nil, key, errf(http.StatusBadRequest, "one of graph, text or workload is required")
+		return ra, errf(http.StatusBadRequest, "one of graph, text or workload is required")
 	}
 	if given > 1 {
-		return nil, key, errf(http.StatusBadRequest, "graph, text and workload are mutually exclusive")
+		return ra, errf(http.StatusBadRequest, "graph, text and workload are mutually exclusive")
 	}
 
 	var g *andor.Graph
@@ -183,28 +212,54 @@ func (s *Server) resolveApp(spec *AppSpec) (*andor.Graph, cacheKey, *apiError) {
 	case len(spec.Graph) > 0:
 		g = andor.NewGraph("")
 		if err := json.Unmarshal(spec.Graph, g); err != nil {
-			return nil, key, errf(http.StatusBadRequest, "graph: %v", err)
+			return ra, errf(http.StatusBadRequest, "graph: %v", err)
 		}
 		if err := g.Validate(); err != nil {
-			return nil, key, errf(http.StatusBadRequest, "graph: %v", err)
+			return ra, errf(http.StatusBadRequest, "graph: %v", err)
 		}
 	case spec.Text != "":
 		var err error
 		g, err = andor.ParseText(spec.Text)
 		if err != nil {
-			return nil, key, errf(http.StatusBadRequest, "text: %v", err)
+			return ra, errf(http.StatusBadRequest, "text: %v", err)
 		}
 	default:
 		var err error
 		var digest [sha256.Size]byte
 		g, digest, err = memoBuiltinWorkload(spec.Workload)
 		if err != nil {
-			return nil, key, errf(http.StatusBadRequest, "%v", err)
+			return ra, errf(http.StatusBadRequest, "%v", err)
 		}
 		key.graph = digest
 	}
 	if g.Len() > maxGraphNodes {
-		return nil, key, errf(http.StatusBadRequest, "graph has %d nodes, limit %d", g.Len(), maxGraphNodes)
+		return ra, errf(http.StatusBadRequest, "graph has %d nodes, limit %d", g.Len(), maxGraphNodes)
+	}
+	ra.g = g
+
+	if len(spec.Hetero) > 0 {
+		if spec.Platform != "" || spec.Procs != 0 {
+			return ra, errf(http.StatusBadRequest,
+				"hetero is mutually exclusive with platform and procs (the hetero spec carries its own processor counts)")
+		}
+		hp, err := power.ParseHeteroSpec(spec.Hetero)
+		if err != nil {
+			return ra, errf(http.StatusBadRequest, "hetero: %v", err)
+		}
+		if hp.NumProcs() > s.cfg.MaxProcs {
+			return ra, errf(http.StatusBadRequest, "hetero platform has %d processors, limit %d",
+				hp.NumProcs(), s.cfg.MaxProcs)
+		}
+		place, err := cli.ParsePlacement(spec.Placement)
+		if err != nil {
+			return ra, errf(http.StatusBadRequest, "%v", err)
+		}
+		ra.hp = hp
+		ra.place = place
+		key.hetero = hp.Key()
+		key.placement = place.Name()
+	} else if spec.Placement != "" {
+		return ra, errf(http.StatusBadRequest, "placement requires a hetero platform")
 	}
 
 	procs := spec.Procs
@@ -212,21 +267,25 @@ func (s *Server) resolveApp(spec *AppSpec) (*andor.Graph, cacheKey, *apiError) {
 		procs = 2
 	}
 	if procs < 1 || procs > s.cfg.MaxProcs {
-		return nil, key, errf(http.StatusBadRequest, "procs %d outside [1, %d]", procs, s.cfg.MaxProcs)
+		return ra, errf(http.StatusBadRequest, "procs %d outside [1, %d]", procs, s.cfg.MaxProcs)
 	}
 
 	platform := spec.Platform
 	if platform == "" {
 		platform = "transmeta"
 	}
-	if _, err := parsePlatformMemo(platform); err != nil {
-		return nil, key, errf(http.StatusBadRequest, "%v", err)
+	if ra.hp == nil {
+		if _, err := parsePlatformMemo(platform); err != nil {
+			return ra, errf(http.StatusBadRequest, "%v", err)
+		}
+		key.platform = platform
+		key.procs = procs
 	}
 
 	ov := power.DefaultOverheads()
 	if o := spec.Overheads; o != nil {
 		if o.SpeedCompCycles < 0 || o.SpeedChangeUs < 0 || o.VoltSlewUsPerV < 0 {
-			return nil, key, errf(http.StatusBadRequest, "overheads must be non-negative")
+			return ra, errf(http.StatusBadRequest, "overheads must be non-negative")
 		}
 		ov = power.Overheads{
 			SpeedCompCycles: o.SpeedCompCycles,
@@ -238,10 +297,8 @@ func (s *Server) resolveApp(spec *AppSpec) (*andor.Graph, cacheKey, *apiError) {
 	if key.graph == ([sha256.Size]byte{}) {
 		key.graph = graphDigest(g)
 	}
-	key.platform = platform
-	key.procs = procs
 	key.ov = ov
-	return g, key, nil
+	return ra, nil
 }
 
 // builtinMemo caches the graph and content digest of the fixed builtin

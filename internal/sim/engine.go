@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"andorsched/internal/obs"
+	"andorsched/internal/power"
 )
 
 // engineMetrics holds the engine's pre-resolved instruments so the dispatch
@@ -60,6 +61,18 @@ type runState struct {
 	tracer obs.Tracer
 	met    *engineMetrics
 
+	// Heterogeneous machine state; hp == nil selects the homogeneous
+	// dispatch path, byte-for-byte the original single-platform engine.
+	hp      *power.Hetero
+	hpol    HeteroPolicy
+	maxHPol maxHeteroPolicy // backing store when cfg.Policy is nil
+	place   PlacementPolicy
+	cls     []int      // per-processor class index
+	clsEff  []float64  // per-class effective f_max (Speed·f_max)
+	clsEPC  []float64  // per-class minimal energy per cycle
+	clsPad  []float64  // per-class feasibility-guard overhead pad
+	elig    []ProcView // placement scratch
+
 	m      int
 	levels []int
 	busy   []bool
@@ -79,7 +92,24 @@ type runState struct {
 
 func (rs *runState) run(cfg Config, tasks []*Task) (*Result, error) {
 	m := cfg.Procs
-	if cfg.InitialLevels != nil {
+	if cfg.Hetero != nil {
+		m = cfg.Hetero.NumProcs()
+		if cfg.Procs > 0 && cfg.Procs != m {
+			return nil, fmt.Errorf("sim: Procs=%d disagrees with the heterogeneous platform's %d processors",
+				cfg.Procs, m)
+		}
+		if cfg.InitialLevels != nil {
+			if len(cfg.InitialLevels) != m {
+				return nil, fmt.Errorf("sim: len(InitialLevels)=%d disagrees with the heterogeneous platform's %d processors",
+					len(cfg.InitialLevels), m)
+			}
+			for i, lv := range cfg.InitialLevels {
+				if n := cfg.Hetero.Class(cfg.Hetero.ClassOf(i)).Plat.NumLevels(); lv < 0 || lv >= n {
+					return nil, fmt.Errorf("sim: InitialLevels[%d]=%d outside its class's %d levels", i, lv, n)
+				}
+			}
+		}
+	} else if cfg.InitialLevels != nil {
 		if cfg.Procs > 0 && cfg.Procs != len(cfg.InitialLevels) {
 			return nil, fmt.Errorf("sim: Procs=%d disagrees with len(InitialLevels)=%d; set one or make them match",
 				cfg.Procs, len(cfg.InitialLevels))
@@ -103,7 +133,14 @@ func (rs *runState) run(cfg Config, tasks []*Task) (*Result, error) {
 	rs.tasks = tasks
 	rs.m = m
 	rs.policy = cfg.Policy
-	if rs.policy == nil {
+	rs.hp = cfg.Hetero
+	rs.hpol = nil
+	rs.place = nil
+	if rs.hp != nil {
+		if err := rs.setupHetero(&cfg, m); err != nil {
+			return nil, err
+		}
+	} else if rs.policy == nil {
 		rs.maxPol = maxPolicy{cfg.Platform.MaxIndex()}
 		rs.policy = &rs.maxPol
 	}
@@ -112,9 +149,14 @@ func (rs *runState) run(cfg Config, tasks []*Task) (*Result, error) {
 	// aliases a previous run's FinalLevels from this same arena: ensureInts
 	// preserves the backing array's contents.
 	rs.levels = ensureInts(rs.levels, m)
-	if cfg.InitialLevels != nil {
+	switch {
+	case cfg.InitialLevels != nil:
 		copy(rs.levels, cfg.InitialLevels)
-	} else {
+	case cfg.Hetero != nil:
+		for i := range rs.levels {
+			rs.levels[i] = cfg.Hetero.Class(rs.cls[i]).Plat.MaxIndex()
+		}
+	default:
 		for i := range rs.levels {
 			rs.levels[i] = cfg.Platform.MaxIndex()
 		}
@@ -167,7 +209,7 @@ func (rs *runState) run(cfg Config, tasks []*Task) (*Result, error) {
 	rs.now = cfg.Start
 	rs.dispatchErr = nil
 
-	rs.dispatch()
+	rs.dispatchReady()
 	for rs.remaining > 0 {
 		if rs.dispatchErr != nil {
 			return nil, rs.dispatchErr
@@ -192,7 +234,7 @@ func (rs *runState) run(cfg Config, tasks []*Task) (*Result, error) {
 		if rs.dispatchErr != nil {
 			return nil, rs.dispatchErr
 		}
-		rs.dispatch()
+		rs.dispatchReady()
 	}
 	if rs.dispatchErr != nil {
 		return nil, rs.dispatchErr

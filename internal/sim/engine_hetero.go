@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"andorsched/internal/obs"
+)
+
+// placeTol absorbs floating-point noise in the feasibility guard's rate
+// comparisons, mirroring the quantization tolerance in internal/power.
+const placeTol = 1e-9
+
+// setupHetero prepares the per-class state of a heterogeneous run: the
+// processor→class map, the class property tables the placement policies
+// rank by, and the level policy (each class's own maximum when none is
+// configured).
+func (rs *runState) setupHetero(cfg *Config, m int) error {
+	if rs.policy != nil {
+		hp, ok := rs.policy.(HeteroPolicy)
+		if !ok {
+			return fmt.Errorf("sim: policy %T cannot drive a heterogeneous platform (no PickLevelHetero)", rs.policy)
+		}
+		rs.hpol = hp
+	} else {
+		rs.maxHPol.maxIdx = ensureInts(rs.maxHPol.maxIdx, rs.hp.NumClasses())
+		for i := range rs.maxHPol.maxIdx {
+			rs.maxHPol.maxIdx[i] = rs.hp.Class(i).Plat.MaxIndex()
+		}
+		rs.hpol = &rs.maxHPol
+	}
+	rs.place = cfg.Placement
+	if rs.place == nil {
+		rs.place = FastestFirst
+	}
+	nc := rs.hp.NumClasses()
+	rs.clsEff = ensureFloats(rs.clsEff, nc)
+	rs.clsEPC = ensureFloats(rs.clsEPC, nc)
+	rs.clsPad = ensureFloats(rs.clsPad, nc)
+	for c := 0; c < nc; c++ {
+		cl := rs.hp.Class(c)
+		rs.clsEff[c] = cl.EffFmax()
+		rs.clsEPC[c] = cl.EnergyPerCycle()
+		// The guard budgets a worst speed change plus one speed computation
+		// at the class's slowest effective rate before the task's work.
+		rs.clsPad[c] = cfg.Overheads.MaxChangeTime(cl.Plat) +
+			cfg.Overheads.CompTime(cl.Plat.Min().Freq*cl.Speed)
+	}
+	rs.cls = ensureInts(rs.cls, m)
+	for i := 0; i < m; i++ {
+		rs.cls[i] = rs.hp.ClassOf(i)
+	}
+	if cap(rs.elig) < m {
+		rs.elig = make([]ProcView, 0, m)
+	}
+	return nil
+}
+
+// dispatchReady routes to the machine model's dispatch loop.
+func (rs *runState) dispatchReady() {
+	if rs.hp != nil {
+		rs.dispatchHetero()
+	} else {
+		rs.dispatch()
+	}
+}
+
+// classOK is the per-class feasibility guard: may task t be placed on a
+// processor of class ci right now? Canonical (ByPriority) runs admit every
+// class — that is where the placement policy shapes the schedule and each
+// task's class is decided. Online (ByOrder) runs pin every task to the
+// class its canonical schedule ran it on: within a class the processors
+// are identical, so the paper's Theorem-1 induction applies class by class
+// and no task starts after its class-relative latest start time. Admitting
+// any other class online — even a strictly faster one — is unsafe: a task
+// migrated up and slowed to its (slow-class-derived) latest finish time
+// squats on a fast processor that later tasks' canonical schedule needs,
+// and the lateness cascades (a Graham timing anomaly). Dummy barrier tasks
+// carry zero work and may complete on any processor.
+func (rs *runState) classOK(t *Task, ci int) bool {
+	if t.Dummy || rs.cfg.Mode == ByPriority {
+		return true
+	}
+	return ci == t.CanonClass
+}
+
+// pickProcHetero chooses the processor for t: the placement policy decides
+// among idle processors passing the feasibility guard. Returns -1 when no
+// admissible processor is idle; the task then waits even if foreign-class
+// processors sit idle (see classOK — waiting is what keeps Theorem 1's
+// induction sound, and the task's own class must free up because it is
+// running strictly earlier-ordered tasks).
+func (rs *runState) pickProcHetero(t *Task) int {
+	rs.elig = rs.elig[:0]
+	for i := 0; i < rs.m; i++ {
+		if rs.busy[i] {
+			continue
+		}
+		ci := rs.cls[i]
+		if !rs.classOK(t, ci) {
+			continue
+		}
+		rs.elig = append(rs.elig, ProcView{
+			Proc: i, Class: ci, FreeAt: rs.freeAt[i],
+			EffFmax: rs.clsEff[ci], EnergyPerCycle: rs.clsEPC[ci],
+		})
+	}
+	if len(rs.elig) == 0 {
+		return -1
+	}
+	k := rs.place.Pick(t, rs.now, rs.elig)
+	if k < 0 || k >= len(rs.elig) {
+		panic(fmt.Sprintf("sim: placement %q returned pick %d of %d eligible", rs.place.Name(), k, len(rs.elig)))
+	}
+	return rs.elig[k].Proc
+}
+
+// dispatchHetero is the heterogeneous twin of dispatch: the processor is
+// chosen by the placement policy, and all frequency, power and overhead
+// arithmetic uses the processor class's own DVS table with work retiring at
+// the effective rate Speed·f. With one class at Speed 1 every expression
+// reduces bit-identically to the homogeneous loop (x·1.0 == x exactly).
+func (rs *runState) dispatchHetero() {
+	cfg := &rs.cfg
+	res := &rs.res
+	for {
+		ti, ok := rs.rq.peek()
+		if !ok {
+			return
+		}
+		t := rs.tasks[ti]
+		proc := rs.pickProcHetero(t)
+		if proc < 0 {
+			return
+		}
+		rs.rq.pop()
+		ci := rs.cls[proc]
+		c := rs.hp.Class(ci)
+		plat := c.Plat
+		lv := plat.Levels()
+		now := rs.now
+		cur := rs.levels[proc]
+		lvl := cur
+		var compT, changeT float64
+		if !t.Dummy {
+			compT = cfg.Overheads.CompTime(lv[cur].Freq * c.Speed)
+			lvl = rs.hpol.PickLevelHetero(t, now, cur, ci)
+			if lvl < 0 || lvl >= plat.NumLevels() {
+				panic(fmt.Sprintf("sim: policy returned invalid level %d for task %q on class %q", lvl, t.Name, c.Name))
+			}
+			if lvl != cur {
+				changeT = cfg.Overheads.ChangeTime(lv[cur], lv[lvl])
+				res.SpeedChanges++
+			}
+		}
+		var execT float64
+		if t.WorkA > 0 {
+			execT = t.WorkA / (lv[lvl].Freq * c.Speed)
+		}
+		start := now + compT + changeT
+		finish := start + execT
+		if rs.tracer != nil {
+			if idle := now - rs.freeAt[proc]; idle > 0 {
+				rs.tracer.Event(obs.Event{
+					Kind: obs.EvIdle, Time: now, Proc: proc,
+					Task: -1, Node: -1, Value: idle,
+				})
+			}
+			rs.tracer.Event(obs.Event{
+				Kind: obs.EvTaskDispatch, Time: now, Proc: proc,
+				Task: ti, Node: t.Node, Name: t.Name,
+				Level: lvl, Prev: cur, Value: compT + changeT,
+			})
+			if lvl != cur {
+				rs.tracer.Event(obs.Event{
+					Kind: obs.EvSpeedChange, Time: now, Proc: proc,
+					Task: ti, Node: t.Node, Name: t.Name,
+					Level: lvl, Prev: cur, Value: changeT,
+				})
+			}
+		}
+		if rs.met != nil {
+			if t.Dummy {
+				rs.met.dummies.Inc()
+			} else {
+				rs.met.tasks.Inc()
+				rs.met.exec.Observe(execT)
+			}
+			if lvl != cur {
+				rs.met.changes.Inc()
+				rs.met.procChanges[proc].Inc()
+			}
+			if idle := now - rs.freeAt[proc]; idle > 0 {
+				rs.met.idle.Observe(idle)
+			}
+		}
+		res.Records = append(res.Records, Record{
+			Task: ti, Proc: proc,
+			Dispatch: now, Start: start, Finish: finish,
+			Level: lvl, CompOH: compT, ChangeOH: changeT,
+		})
+		res.BusyTime[proc] += execT
+		res.OverheadTime[proc] += compT + changeT
+		res.ActiveEnergy += plat.PowerAt(lvl) * execT
+		// Same transition-power convention as the homogeneous loop: the
+		// speed computation runs at the old level, the transition at the
+		// higher-powered of the two.
+		res.OverheadEnergy += plat.PowerAt(cur) * compT
+		res.OverheadEnergy += math.Max(plat.PowerAt(cur), plat.PowerAt(lvl)) * changeT
+		rs.levels[proc] = lvl
+		if finish == now {
+			rs.complete(proc, ti, now)
+			if rs.dispatchErr != nil {
+				return
+			}
+			continue
+		}
+		rs.busy[proc] = true
+		rs.events.push(event{time: finish, seq: rs.seq, proc: proc, task: ti})
+		rs.seq++
+	}
+}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"andorsched/internal/power"
+)
+
+// fixedHeteroPolicy picks min(level, class max) on any class — a fixed
+// policy usable on both machine models for differential testing.
+type fixedHeteroPolicy struct {
+	h   *power.Hetero
+	lvl int
+}
+
+func (f fixedHeteroPolicy) PickLevel(*Task, float64, int) int { return f.lvl }
+func (f fixedHeteroPolicy) PickLevelHetero(_ *Task, _ float64, _ int, class int) int {
+	if max := f.h.Class(class).Plat.MaxIndex(); f.lvl > max {
+		return max
+	}
+	return f.lvl
+}
+
+// TestHetero1ClassSimDifferential pins the degenerate-case contract at the
+// engine level: a 1-class heterogeneous platform at Speed 1 produces
+// bit-identical records, energies and level trajectories to the
+// homogeneous engine, across random order-gated workloads, both dispatch
+// modes, and both the fixed-level and nil (max-level) policies.
+func TestHetero1ClassSimDifferential(t *testing.T) {
+	plats := []*power.Platform{testPlat(), power.IntelXScale(), power.Transmeta5400()}
+	prop := func(seed int64) bool {
+		rnd := newLCG(uint64(seed))
+		plat := plats[int(rnd.next()%3)]
+		m := 1 + int(rnd.next()%4)
+		hp, err := power.Homogeneous(plat, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1 + int(rnd.next()%24)
+		tasks := make([]*Task, n)
+		for i := 0; i < n; i++ {
+			w := 1e6 + float64(rnd.next()%400)*1e6
+			tasks[i] = &Task{
+				Name: "t", Node: i, Order: i,
+				WorkW: w, WorkA: w * (0.3 + 0.7*rnd.float()),
+				LFT: 1e9,
+			}
+			if rnd.next()%4 == 0 {
+				tasks[i].Dummy = true
+				tasks[i].WorkW, tasks[i].WorkA = 0, 0
+			}
+			for j := 0; j < i; j++ {
+				if rnd.next()%7 == 0 {
+					tasks[i].Preds = append(tasks[i].Preds, j)
+					tasks[j].Succs = append(tasks[j].Succs, i)
+				}
+			}
+		}
+		cfg := Config{
+			Platform: plat,
+			Overheads: power.Overheads{
+				SpeedCompCycles: float64(rnd.next() % 2000),
+				SpeedChangeTime: rnd.float() * 1e-4,
+			},
+			Mode:  Mode(rnd.next() % 2),
+			Procs: m,
+			Start: rnd.float(),
+		}
+		if rnd.next()%3 != 0 {
+			cfg.Policy = fixedPolicy(int(rnd.next() % uint64(plat.NumLevels())))
+		}
+		want, err := Run(cfg, tasks)
+		if err != nil {
+			t.Logf("seed %d: homogeneous: %v", seed, err)
+			return false
+		}
+
+		hcfg := cfg
+		hcfg.Platform = nil
+		hcfg.Procs = 0
+		hcfg.Hetero = hp
+		if cfg.Policy != nil {
+			hcfg.Policy = fixedHeteroPolicy{hp, int(cfg.Policy.(fixedPolicy))}
+		}
+		got, err := Run(hcfg, tasks)
+		if err != nil {
+			t.Logf("seed %d: heterogeneous: %v", seed, err)
+			return false
+		}
+		assertResultsIdentical(t, want, got)
+		if t.Failed() {
+			t.Logf("seed %d: 1-class heterogeneous run diverged from homogeneous", seed)
+			return false
+		}
+		if err := ValidateResultHetero(hp, hcfg.Mode, hcfg.Start, tasks, got); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bigLittlePair is a two-class test platform: one fast core and one slow
+// low-voltage core with a cheaper energy-per-cycle.
+func bigLittlePair() *power.Hetero {
+	h, err := power.NewHetero("pair", []power.Class{
+		{Name: "big", Count: 1, Plat: testPlat(), Speed: 1}, // 100–400 MHz, up to 1.5 V
+		{Name: "little", Count: 1, Speed: 1, Plat: power.NewPlatform("little", []power.Level{
+			power.MHz(100, 0.8),
+		})},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func onlineTask(workMcycles, lft float64) *Task {
+	w := workMcycles * 1e6
+	return &Task{Name: "t", WorkW: w, WorkA: w, LFT: lft}
+}
+
+// TestPlacementPolicyRanking exercises the three policies directly on
+// synthetic processor views.
+func TestPlacementPolicyRanking(t *testing.T) {
+	views := []ProcView{
+		{Proc: 0, Class: 0, FreeAt: 3, EffFmax: 4e8, EnergyPerCycle: 2e-9},
+		{Proc: 1, Class: 0, FreeAt: 1, EffFmax: 4e8, EnergyPerCycle: 2e-9},
+		{Proc: 2, Class: 1, FreeAt: 0, EffFmax: 1e8, EnergyPerCycle: 0.5e-9},
+	}
+	task := &Task{}
+	if got := FastestFirst.Pick(task, 5, views); got != 1 {
+		t.Errorf("fastest-first picked %d, want 1 (fastest class, idle longest)", got)
+	}
+	if got := EnergyGreedy.Pick(task, 5, views); got != 2 {
+		t.Errorf("energy-greedy picked %d, want 2 (cheapest per cycle)", got)
+	}
+	tagged := &Task{Affinity: 2} // prefers class 1
+	if got := ClassAffinity.Pick(tagged, 5, views); got != 2 {
+		t.Errorf("class-affinity picked %d, want 2 (tagged class)", got)
+	}
+	noClass := &Task{Affinity: 7} // class absent: degrade to fastest-first
+	if got := ClassAffinity.Pick(noClass, 5, views); got != 1 {
+		t.Errorf("class-affinity fallback picked %d, want 1", got)
+	}
+	// Equal speeds: fastest-first must reduce to idle-longest, ties by
+	// index — the homogeneous engine's processor pick.
+	flat := []ProcView{
+		{Proc: 0, Class: 0, FreeAt: 2, EffFmax: 4e8},
+		{Proc: 1, Class: 0, FreeAt: 2, EffFmax: 4e8},
+	}
+	if got := FastestFirst.Pick(task, 5, flat); got != 0 {
+		t.Errorf("fastest-first tie-break picked %d, want 0", got)
+	}
+}
+
+// TestHeteroFeasibilityGuard pins the per-class guard: online (ByOrder)
+// dispatch places every task only on its canonical class — even when the
+// placement policy would prefer another class, and even when the only idle
+// processors are elsewhere (the task waits; cross-class migration is what
+// admits timing anomalies). Canonical (ByPriority) runs admit every class:
+// there the placement policy decides, and the classes it picks become the
+// tasks' pins.
+func TestHeteroFeasibilityGuard(t *testing.T) {
+	hp := bigLittlePair()
+	run := func(mode Mode, place PlacementPolicy, canon int) int {
+		tk := onlineTask(400, 10.0) // 1 s at big f_max, 4 s on the little core
+		tk.CanonClass = canon
+		res, err := Run(Config{
+			Hetero: hp, Placement: place, Mode: mode,
+			Policy: fixedHeteroPolicy{hp, testPlat().MaxIndex()},
+		}, []*Task{tk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Records[0].Proc
+	}
+	// Online: pinned to the canonical class, whatever the policy prefers.
+	if proc := run(ByOrder, EnergyGreedy, 0); proc != 0 {
+		t.Errorf("online big-pinned task placed on proc %d, want big core 0", proc)
+	}
+	if proc := run(ByOrder, FastestFirst, 1); proc != 1 {
+		t.Errorf("online little-pinned task placed on proc %d, want little core 1", proc)
+	}
+	// Canonical: the policy decides freely.
+	if proc := run(ByPriority, EnergyGreedy, 0); proc != 1 {
+		t.Errorf("canonical energy-greedy run placed on proc %d, want little core 1", proc)
+	}
+
+	// A pinned task waits for its class even while the other class idles:
+	// two big-pinned tasks share the single big core back to back.
+	a := onlineTask(400, 10.0)
+	a.Node, a.Order = 0, 0
+	b := onlineTask(400, 10.0)
+	b.Node, b.Order = 1, 1
+	res, err := Run(Config{
+		Hetero: hp, Placement: FastestFirst, Mode: ByOrder,
+		Policy: fixedHeteroPolicy{hp, testPlat().MaxIndex()},
+	}, []*Task{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Records {
+		if r.Proc != 0 {
+			t.Errorf("big-pinned task %d ran on proc %d, want 0", r.Task, r.Proc)
+		}
+	}
+	if d := res.Records[1].Dispatch; d != res.Records[0].Finish {
+		t.Errorf("second pinned task dispatched at %g, want %g (when the big core freed)",
+			d, res.Records[0].Finish)
+	}
+}
+
+// TestHeteroConfigErrors covers the heterogeneous configuration checks.
+func TestHeteroConfigErrors(t *testing.T) {
+	hp := bigLittlePair()
+	tk := onlineTask(10, 1e9)
+	if _, err := Run(Config{Hetero: hp, Procs: 5}, []*Task{tk}); err == nil {
+		t.Error("Procs mismatch accepted")
+	}
+	if _, err := Run(Config{Hetero: hp, InitialLevels: []int{0}}, []*Task{tk}); err == nil {
+		t.Error("short InitialLevels accepted")
+	}
+	// Level 1 is valid on the big core's table but not the little core's.
+	if _, err := Run(Config{Hetero: hp, InitialLevels: []int{1, 1}}, []*Task{tk}); err == nil {
+		t.Error("per-class out-of-range initial level accepted")
+	}
+	if _, err := Run(Config{Hetero: hp, Policy: fixedPolicy(0)}, []*Task{tk}); err == nil {
+		t.Error("non-hetero policy accepted on a heterogeneous platform")
+	}
+	if _, err := Run(Config{Hetero: hp, InitialLevels: []int{2, 0}}, []*Task{tk}); err != nil {
+		t.Errorf("valid heterogeneous config rejected: %v", err)
+	}
+}
+
+// TestClassAffinitySteering runs a two-task section on the accelerator
+// reference platform: the tagged task must land on the accelerator and
+// finish 4× faster than its frequency alone would allow.
+func TestClassAffinitySteering(t *testing.T) {
+	hp := power.AccelOffload()
+	ai := hp.ClassIndex("accel")
+	w := 2e9 // 2 Gcycles: 1 s on the accelerator (4 × 500 MHz), ~2.9 s on a cpu
+	tagged := &Task{Name: "a", Node: 0, Order: 0, WorkW: w, WorkA: w, Affinity: ai + 1, CanonClass: ai}
+	plain := &Task{Name: "b", Node: 1, Order: 1, WorkW: w, WorkA: w}
+	res, err := Run(Config{Hetero: hp, Placement: ClassAffinity, Mode: ByOrder}, []*Task{tagged, plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Records {
+		if r.Task == 0 {
+			if hp.ClassOf(r.Proc) != ai {
+				t.Errorf("tagged task ran on class %d, want accel %d", hp.ClassOf(r.Proc), ai)
+			}
+			if dur := r.Finish - r.Start; dur != w/(4*500e6) {
+				t.Errorf("accelerated duration %g, want %g", dur, w/(4*500e6))
+			}
+		}
+	}
+	if err := ValidateResultHetero(hp, ByOrder, 0, []*Task{tagged, plain}, res); err != nil {
+		t.Error(err)
+	}
+}

@@ -65,6 +65,18 @@ type Task struct {
 	// canonical dispatch to the end of its section (used by the per-PMP
 	// speculation scheme).
 	SpecRemain float64
+	// Affinity is the task's preferred processor class plus one; zero
+	// means no preference. Only the class-affinity placement policy on
+	// heterogeneous platforms reads it (assigned from `@class` tags in
+	// .andor workloads).
+	Affinity int
+	// CanonClass is the class the task ran on in the canonical schedule.
+	// The heterogeneous engine's feasibility guard pins online (ByOrder)
+	// dispatch to exactly this class: within a class processors are
+	// identical, which is what carries the Theorem-1 safety induction to
+	// unequal processors. Zero (class 0) on homogeneous platforms and in
+	// canonical (ByPriority) runs, which ignore it.
+	CanonClass int
 	// Preds and Succs are indices into the engine's task slice.
 	Preds, Succs []int
 }
@@ -132,15 +144,45 @@ type Policy interface {
 	PickLevel(t *Task, now float64, cur int) int
 }
 
+// HeteroPolicy chooses operating levels on heterogeneous platforms, where
+// a level index is only meaningful relative to a processor class's own DVS
+// table. A Policy used with Config.Hetero must also implement this
+// interface; Run rejects configurations where it does not.
+type HeteroPolicy interface {
+	// PickLevelHetero returns the level index — into the class's own
+	// table — to run task t, dispatched at time now on a processor of the
+	// given class currently at level cur.
+	PickLevelHetero(t *Task, now float64, cur int, class int) int
+}
+
 // maxPolicy runs everything at the platform's maximum level.
 type maxPolicy struct{ idx int }
 
 func (m maxPolicy) PickLevel(*Task, float64, int) int { return m.idx }
 
+// maxHeteroPolicy runs everything at each class's own maximum level.
+type maxHeteroPolicy struct{ maxIdx []int }
+
+func (m *maxHeteroPolicy) PickLevelHetero(_ *Task, _ float64, _ int, class int) int {
+	return m.maxIdx[class]
+}
+
 // Config parameterizes an engine run.
 type Config struct {
-	// Platform is the processors' DVS model.
+	// Platform is the processors' DVS model. Ignored when Hetero is set.
 	Platform *power.Platform
+	// Hetero, when non-nil, selects the heterogeneous machine model: each
+	// processor belongs to a class with its own DVS table and speed
+	// multiplier, processors are picked by the Placement policy behind a
+	// per-class feasibility guard, and Policy (if non-nil) must implement
+	// HeteroPolicy. Platform is ignored; the processor count is the
+	// platform's.
+	Hetero *power.Hetero
+	// Placement picks the processor each ready task is dispatched on when
+	// Hetero is set; nil defaults to FastestFirst (which on a single class
+	// is exactly the homogeneous idle-longest-first pick). Ignored on
+	// homogeneous runs.
+	Placement PlacementPolicy
 	// Overheads are the power-management costs. Zero values disable them
 	// (used for canonical schedules and for the static schemes, which
 	// perform no run-time speed computation).

@@ -25,6 +25,23 @@ const valTol = 1e-9
 //     (the order-gate discipline);
 //   - the per-processor busy/overhead totals match the records.
 func ValidateResult(platform *power.Platform, mode Mode, start float64, tasks []*Task, res *Result) error {
+	return validateResult(func(int) (*power.Platform, float64) { return platform, 1 },
+		mode, start, tasks, res)
+}
+
+// ValidateResultHetero is ValidateResult for heterogeneous runs: each
+// record's level bound and duration are checked against its processor
+// class's own DVS table and effective rate Speed·f.
+func ValidateResultHetero(h *power.Hetero, mode Mode, start float64, tasks []*Task, res *Result) error {
+	return validateResult(func(proc int) (*power.Platform, float64) {
+		c := h.Class(h.ClassOf(proc))
+		return c.Plat, c.Speed
+	}, mode, start, tasks, res)
+}
+
+// procModel returns the DVS table and speed multiplier of a processor; the
+// proc index has been bounds-checked against the result.
+func validateResult(procModel func(proc int) (*power.Platform, float64), mode Mode, start float64, tasks []*Task, res *Result) error {
 	if len(res.Records) != len(tasks) {
 		return fmt.Errorf("sim: %d records for %d tasks", len(res.Records), len(tasks))
 	}
@@ -38,6 +55,10 @@ func ValidateResult(platform *power.Platform, mode Mode, start float64, tasks []
 			return fmt.Errorf("sim: task %q executed twice", tasks[r.Task].Name)
 		}
 		byTask[r.Task] = r
+		if r.Proc < 0 || r.Proc >= len(res.BusyTime) {
+			return fmt.Errorf("sim: record on unknown processor %d", r.Proc)
+		}
+		platform, speed := procModel(r.Proc)
 		if r.Level < 0 || r.Level >= platform.NumLevels() {
 			return fmt.Errorf("sim: task %q ran at invalid level %d", tasks[r.Task].Name, r.Level)
 		}
@@ -48,7 +69,7 @@ func ValidateResult(platform *power.Platform, mode Mode, start float64, tasks []
 			return fmt.Errorf("sim: task %q start %g ≠ dispatch %g + overheads %g",
 				tasks[r.Task].Name, r.Start, r.Dispatch, r.CompOH+r.ChangeOH)
 		}
-		wantDur := tasks[r.Task].WorkA / platform.Levels()[r.Level].Freq
+		wantDur := tasks[r.Task].WorkA / (platform.Levels()[r.Level].Freq * speed)
 		if math.Abs((r.Finish-r.Start)-wantDur) > valTol {
 			return fmt.Errorf("sim: task %q duration %g ≠ work/freq %g",
 				tasks[r.Task].Name, r.Finish-r.Start, wantDur)

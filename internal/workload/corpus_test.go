@@ -9,6 +9,7 @@ import (
 	"andorsched/internal/core"
 	"andorsched/internal/exectime"
 	"andorsched/internal/power"
+	"andorsched/internal/sim"
 )
 
 // TestWorkloadCorpus parses, validates, plans and runs every .andor file
@@ -60,5 +61,55 @@ func TestWorkloadCorpus(t *testing.T) {
 	}
 	if found < 3 {
 		t.Errorf("workload corpus has %d .andor files, want ≥ 3", found)
+	}
+}
+
+// TestPlatformSpecCorpus parses, plans and runs every .json heterogeneous
+// platform spec shipped in workloads/ (the -platform example files): each
+// must stay loadable and able to schedule the ATR application safely under
+// every placement policy.
+func TestPlatformSpecCorpus(t *testing.T) {
+	dir := filepath.Join("..", "..", "workloads")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		found++
+		t.Run(e.Name(), func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hp, err := power.ParseHeteroSpec(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := ATR(DefaultATRConfig())
+			for _, place := range []sim.PlacementPolicy{sim.FastestFirst, sim.EnergyGreedy, sim.ClassAffinity} {
+				plan, err := core.NewHeteroPlan(g, hp, power.DefaultOverheads(), place)
+				if err != nil {
+					t.Fatalf("%s: %v", place.Name(), err)
+				}
+				for seed := uint64(0); seed < 5; seed++ {
+					res, err := plan.Run(core.RunConfig{
+						Scheme: core.AS, Deadline: plan.CTWorst / 0.7,
+						Sampler:  exectime.NewSampler(exectime.NewSource(seed)),
+						Validate: true,
+					})
+					if err != nil || !res.MetDeadline || res.LSTViolations != 0 {
+						t.Fatalf("%s seed %d: err=%v met=%v lst=%d",
+							place.Name(), seed, err, res.MetDeadline, res.LSTViolations)
+					}
+				}
+			}
+		})
+	}
+	if found < 2 {
+		t.Errorf("workload corpus has %d .json platform specs, want ≥ 2", found)
 	}
 }
