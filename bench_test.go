@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -312,8 +313,10 @@ func BenchmarkAblationHeteroPlacement(b *testing.B) { benchExperiment(b, "hetero
 // BenchmarkOfflineHeteroPlanATR measures the heterogeneous off-line phase
 // — per-class canonical schedules under a placement policy, class
 // recording, per-class feasibility — for the ATR application on
-// big.LITTLE. Hetero plans bypass the section-schedule cache, so this is
-// the full compile cost.
+// big.LITTLE. Hetero plans go through the process-wide section-schedule
+// cache like homogeneous ones (keyed by platform mix, placement and
+// `@class` tags), so after the first iteration this is the warm-compile
+// cost.
 func BenchmarkOfflineHeteroPlanATR(b *testing.B) {
 	g := workload.ATR(workload.DefaultATRConfig())
 	hp := power.BigLittle()
@@ -693,4 +696,49 @@ func benchServeRunWarm(b *testing.B, cfg serve.Config) {
 			b.Fatalf("status %d", code)
 		}
 	}
+}
+
+// BenchmarkServeRunWarmParallel drives warmed /v1/run requests from
+// GOMAXPROCS closed-loop clients against the shared-nothing serve path
+// with one pool worker per CPU. A warm key is resolved from the owning
+// shard's published snapshot (a lock-free read on the handler goroutine)
+// and executed on whichever worker picks it up, so with -cpu 1,2,4 the
+// ns/op column is the per-core scaling table that scripts/bench.sh records
+// under "scaling" in BENCH.json (and scripts/loadtest.sh gates end to end
+// on multi-core hosts). Tracing is off: the flight recorder's ring is the
+// one intentionally shared structure on the request path.
+func BenchmarkServeRunWarmParallel(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
+	s := serve.New(serve.Config{
+		QueueSize: 4 * procs,
+		Trace:     serve.TraceConfig{Disabled: true},
+	})
+	defer s.Close()
+	const body = `{"workload":"atr","scheme":"GSS","seed":1,"load":0.5}`
+	{
+		rd := strings.NewReader(body)
+		req := httptest.NewRequest(http.MethodPost, "/v1/run", rd)
+		w := &benchRecorder{hdr: make(http.Header, 4)}
+		s.Handler().ServeHTTP(w, req) // compile the plan, publish the snapshot
+		if w.status != http.StatusOK {
+			b.Fatalf("warmup status %d: %s", w.status, w.body.String())
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rd := strings.NewReader(body)
+		req := httptest.NewRequest(http.MethodPost, "/v1/run", rd)
+		w := &benchRecorder{hdr: make(http.Header, 4)}
+		for pb.Next() {
+			rd.Reset(body)
+			w.body.Reset()
+			w.status = 0
+			s.Handler().ServeHTTP(w, req)
+			if w.status != http.StatusOK {
+				b.Errorf("status %d", w.status)
+				return
+			}
+		}
+	})
 }

@@ -246,6 +246,14 @@ func run(o options) error {
 	fmt.Println()
 	fmt.Printf("energy      : total %.4gJ = active %.4gJ + overhead %.4gJ + idle %.4gJ\n",
 		res.Energy(), res.ActiveEnergy, res.OverheadEnergy, res.IdleEnergy)
+	if hp != nil && len(res.ClassGrossEnergy) == hp.NumClasses() {
+		fmt.Printf("per class   :")
+		for c := range res.ClassGrossEnergy {
+			fmt.Printf("  %s %.4gJ (idle %.4gJ)",
+				hp.Class(c).Name, res.ClassGrossEnergy[c]+res.ClassIdleEnergy[c], res.ClassIdleEnergy[c])
+		}
+		fmt.Println()
+	}
 	fmt.Printf("speed chgs  : %d\n", res.SpeedChanges)
 	fmt.Printf("residency   :")
 	for i, t := range res.LevelTime {

@@ -2,12 +2,16 @@
 // benchmark baseline (see docs/BENCHMARKS.md).
 //
 //	go test -run '^$' -bench . -benchmem . > bench.txt
-//	go run ./cmd/benchregress -emit -in bench.txt -out BENCH.json -note "..."
+//	go test -run '^$' -bench ServeRunWarmParallel -benchmem -cpu 1,2,4 . > scaling.txt
+//	go run ./cmd/benchregress -emit -in bench.txt -scaling scaling.txt -out BENCH.json -note "..."
 //	go run ./cmd/benchregress -compare bench.txt -against BENCH.json -tol 0.2
 //
 // -emit parses benchmark output into a schema-stable report, preserving the
-// pre_arena section of an existing report at -out. -compare exits 1 if any
-// benchmark regressed beyond the tolerance band.
+// pre_arena section of an existing report at -out; -scaling additionally
+// records a `-cpu` sweep as the per-core scaling table (kept from the
+// previous report when omitted). -compare exits 1 if any benchmark
+// regressed beyond the tolerance band; the scaling table is a record, not
+// a gate.
 package main
 
 import (
@@ -28,11 +32,12 @@ func main() {
 		against = flag.String("against", "BENCH.json", "baseline report for -compare")
 		tol     = flag.Float64("tol", 0.20, "relative tolerance band for -compare")
 		note    = flag.String("note", "", "provenance note stored in the report (-emit)")
+		scaling = flag.String("scaling", "", "bench output of a -cpu sweep; stored as the per-core scaling table (-emit)")
 	)
 	flag.Parse()
 	switch {
 	case *emit:
-		if err := runEmit(*in, *out, *note); err != nil {
+		if err := runEmit(*in, *out, *note, *scaling); err != nil {
 			fatal(err)
 		}
 	case *compare != "":
@@ -60,7 +65,7 @@ func open(path string) (io.ReadCloser, error) {
 	return os.Open(path)
 }
 
-func runEmit(in, out, note string) error {
+func runEmit(in, out, note, scaling string) error {
 	r, err := open(in)
 	if err != nil {
 		return err
@@ -71,8 +76,21 @@ func runEmit(in, out, note string) error {
 		return err
 	}
 	rep := &benchregress.Report{Schema: benchregress.Schema, Note: note, Benchmarks: cur}
+	if scaling != "" {
+		sr, err := open(scaling)
+		if err != nil {
+			return err
+		}
+		defer sr.Close()
+		if rep.Scaling, err = benchregress.ParseGoBenchByCPU(sr); err != nil {
+			return err
+		}
+	}
 	if prev, err := benchregress.Load(out); err == nil {
 		rep.PreArena = prev.PreArena // keep the historical before-numbers
+		if rep.Scaling == nil {
+			rep.Scaling = prev.Scaling // keep the last recorded sweep
+		}
 		if note == "" {
 			rep.Note = prev.Note
 		}

@@ -43,6 +43,13 @@ type Report struct {
 	// zero-allocation arenas, for the before/after record. Compare ignores
 	// it.
 	PreArena map[string]Metrics `json:"pre_arena,omitempty"`
+	// Scaling records per-core throughput tables: benchmark name →
+	// GOMAXPROCS → metrics, from a `-cpu 1,2,4` sweep of the parallel
+	// serve benchmarks (scripts/bench.sh scaling stage). It is a record of
+	// the measuring machine, not a gate — Compare ignores it; the
+	// conditional multi-core gate lives in scripts/loadtest.sh, which
+	// only enforces speedup ratios when the host has the cores.
+	Scaling map[string]map[string]Metrics `json:"scaling,omitempty"`
 }
 
 // ParseGoBench reads `go test -bench -benchmem` output and returns the
@@ -99,6 +106,71 @@ func ParseGoBench(r io.Reader) (map[string]Metrics, error) {
 	for name, s := range sums {
 		n := float64(counts[name])
 		sums[name] = Metrics{NsPerOp: s.NsPerOp / n, BPerOp: s.BPerOp / n, AllocsPerOp: s.AllocsPerOp / n}
+	}
+	return sums, nil
+}
+
+// ParseGoBenchByCPU reads `go test -bench -cpu 1,2,4` output keeping the
+// GOMAXPROCS dimension: benchmark name → procs (the stripped `-N` suffix,
+// "1" when absent) → metrics. Repeated lines per (name, procs) cell are
+// averaged, mirroring ParseGoBench.
+func ParseGoBenchByCPU(r io.Reader) (map[string]map[string]Metrics, error) {
+	sums := map[string]map[string]Metrics{}
+	counts := map[string]map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name, procs := fields[0], "1"
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name, procs = name[:i], name[i+1:]
+			}
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count → not a result line
+		}
+		var m Metrics
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+			case "B/op":
+				m.BPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		if sums[name] == nil {
+			sums[name] = map[string]Metrics{}
+			counts[name] = map[string]int{}
+		}
+		s := sums[name][procs]
+		s.NsPerOp += m.NsPerOp
+		s.BPerOp += m.BPerOp
+		s.AllocsPerOp += m.AllocsPerOp
+		sums[name][procs] = s
+		counts[name][procs]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(sums) == 0 {
+		return nil, fmt.Errorf("benchregress: no benchmark lines found")
+	}
+	for name, byProcs := range sums {
+		for procs, s := range byProcs {
+			n := float64(counts[name][procs])
+			byProcs[procs] = Metrics{NsPerOp: s.NsPerOp / n, BPerOp: s.BPerOp / n, AllocsPerOp: s.AllocsPerOp / n}
+		}
+		sums[name] = byProcs
 	}
 	return sums, nil
 }

@@ -117,3 +117,54 @@ func TestReportRoundTrip(t *testing.T) {
 		t.Error("want error on unknown schema")
 	}
 }
+
+func TestParseGoBenchByCPU(t *testing.T) {
+	const sweep = `goos: linux
+BenchmarkServeRunWarmParallel     	   26138	     13301 ns/op	    2944 B/op	      30 allocs/op
+BenchmarkServeRunWarmParallel-2   	   25971	     15222 ns/op	    2945 B/op	      30 allocs/op
+BenchmarkServeRunWarmParallel-4   	   22633	     22655 ns/op	    2950 B/op	      30 allocs/op
+BenchmarkServeRunWarmParallel-4   	   22633	     22755 ns/op	    2950 B/op	      30 allocs/op
+PASS
+`
+	got, err := ParseGoBenchByCPU(strings.NewReader(sweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := got["BenchmarkServeRunWarmParallel"]
+	if len(got) != 1 || len(table) != 3 {
+		t.Fatalf("parsed %v, want one benchmark with 3 cpu points", got)
+	}
+	if table["1"].NsPerOp != 13301 || table["2"].NsPerOp != 15222 {
+		t.Errorf("cpu points: %+v", table)
+	}
+	if table["4"].NsPerOp != 22705 { // repeats averaged per (name, procs) cell
+		t.Errorf("cpu=4 not averaged: %+v", table["4"])
+	}
+}
+
+func TestScalingRoundTripAndCompareIgnoresIt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH.json")
+	rep := &Report{
+		Schema:     Schema,
+		Benchmarks: map[string]Metrics{"BenchmarkA": {NsPerOp: 1}},
+		Scaling: map[string]map[string]Metrics{
+			"BenchmarkServeRunWarmParallel": {"1": {NsPerOp: 100}, "4": {NsPerOp: 30}},
+		},
+	}
+	if err := rep.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scaling["BenchmarkServeRunWarmParallel"]["4"].NsPerOp != 30 {
+		t.Errorf("scaling table did not round trip: %+v", got.Scaling)
+	}
+	// The scaling table is a record of the measuring machine, never a gate:
+	// a current run with no scaling data must not be flagged.
+	if regs := Compare(got, map[string]Metrics{"BenchmarkA": {NsPerOp: 1}}, 0.2); len(regs) != 0 {
+		t.Errorf("Compare flagged scaling-only data: %v", regs)
+	}
+}

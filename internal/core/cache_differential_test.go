@@ -45,7 +45,9 @@ func eqPlans(a, b *Plan) string {
 			}
 			if at.tmpl.Node != bt.tmpl.Node || at.tmpl.Dummy != bt.tmpl.Dummy ||
 				at.tmpl.WorkW != bt.tmpl.WorkW || at.tmpl.Order != bt.tmpl.Order ||
-				at.tmpl.SpecRemain != bt.tmpl.SpecRemain {
+				at.tmpl.SpecRemain != bt.tmpl.SpecRemain ||
+				at.tmpl.CanonClass != bt.tmpl.CanonClass ||
+				at.tmpl.Affinity != bt.tmpl.Affinity {
 				return fmt.Sprintf("section %d task %d template: %+v vs %+v", s, i, at.tmpl, bt.tmpl)
 			}
 		}

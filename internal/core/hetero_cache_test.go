@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"andorsched/internal/andor"
+	"andorsched/internal/core/schedcache"
+	"andorsched/internal/exectime"
+	"andorsched/internal/power"
+	"andorsched/internal/sim"
+	"andorsched/internal/workload"
+)
+
+// TestHeteroScheduleCacheDifferential pins the correctness bar for routing
+// NewHeteroPlan through the section-schedule cache: across random AND/OR
+// workloads × reference platforms × placement policies, compiling uncached,
+// against a cold cache and against the warm cache must produce bit-identical
+// plans — including the restored CanonClass pinning — and those plans must
+// produce bit-identical run results under common random numbers. All
+// placements share one cache so a key collision between placements (or with
+// the homogeneous entries) would surface as a diverged plan.
+func TestHeteroScheduleCacheDifferential(t *testing.T) {
+	hps := []*power.Hetero{power.BigLittle(), power.AccelOffload(), power.SymmetricHetero(3)}
+	places := []sim.PlacementPolicy{sim.FastestFirst, sim.EnergyGreedy, sim.ClassAffinity}
+	ov := power.DefaultOverheads()
+	cache := schedcache.New(DefaultScheduleCacheCapacity)
+	for wl := 0; wl < 30; wl++ {
+		g := workload.Random(uint64(wl)+1, cacheDifferentialOpts(wl))
+		hp := hps[wl%len(hps)]
+		for _, place := range places {
+			uncached, err := NewHeteroPlanWithCache(g, hp, ov, place, nil)
+			if err != nil {
+				t.Fatalf("workload %d %s: uncached NewHeteroPlan: %v", wl, place.Name(), err)
+			}
+			missesBefore := cache.Stats().Misses
+			cold, err := NewHeteroPlanWithCache(g, hp, ov, place, cache)
+			if err != nil {
+				t.Fatalf("workload %d %s: cold cached NewHeteroPlan: %v", wl, place.Name(), err)
+			}
+			if cache.Stats().Misses == missesBefore {
+				t.Fatalf("workload %d %s: cold compile recorded no cache misses", wl, place.Name())
+			}
+			hitsBefore := cache.Stats().Hits
+			warm, err := NewHeteroPlanWithCache(g, hp, ov, place, cache)
+			if err != nil {
+				t.Fatalf("workload %d %s: warm cached NewHeteroPlan: %v", wl, place.Name(), err)
+			}
+			if cache.Stats().Hits == hitsBefore {
+				t.Fatalf("workload %d %s: warm compile recorded no cache hits", wl, place.Name())
+			}
+			if diff := eqPlans(uncached, cold); diff != "" {
+				t.Fatalf("workload %d %s: cold cached plan diverged: %s", wl, place.Name(), diff)
+			}
+			if diff := eqPlans(uncached, warm); diff != "" {
+				t.Fatalf("workload %d %s: warm cached plan diverged: %s", wl, place.Name(), diff)
+			}
+
+			cfg := RunConfig{Deadline: uncached.CTWorst / 0.5, CollectTrace: true, Validate: true}
+			for _, s := range allSchemes() {
+				cfg.Scheme = s
+				seed := uint64(wl)*41 + uint64(s)
+				cfg.Sampler = exectime.NewSampler(exectime.NewSource(seed))
+				ref, err := uncached.Run(cfg)
+				if err != nil {
+					t.Fatalf("workload %d %s %s: uncached run: %v", wl, place.Name(), s, err)
+				}
+				cfg.Sampler = exectime.NewSampler(exectime.NewSource(seed))
+				got, err := warm.Run(cfg)
+				if err != nil {
+					t.Fatalf("workload %d %s %s: cached run: %v", wl, place.Name(), s, err)
+				}
+				if diff := eqRunResults(ref, got); diff != "" {
+					t.Fatalf("workload %d %s %s: cached plan's run diverged: %s", wl, place.Name(), s, diff)
+				}
+			}
+		}
+	}
+	if ev := cache.Stats().Size; ev == 0 {
+		t.Fatal("cache ended empty after the sweep")
+	}
+}
+
+// TestHeteroCacheClassAffinityKeying pins the class-pinning part of the
+// cache key: two workloads whose graphs digest identically up to their
+// `@class` affinity tags must not share a section-schedule entry. Without
+// ClassBits in the key, the second compile would hit the first's entry and
+// inherit its placement.
+func TestHeteroCacheClassAffinityKeying(t *testing.T) {
+	src := "app collide\ntask a 4ms 2ms @little\ntask b 4ms 2ms\nedge a -> b\n"
+	alt := "app collide\ntask a 4ms 2ms\ntask b 4ms 2ms @little\nedge a -> b\n"
+	g1, err := andor.ParseText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := andor.ParseText(alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := power.BigLittle()
+	ov := power.DefaultOverheads()
+	cache := schedcache.New(64)
+	for _, g := range []*andor.Graph{g1, g2} {
+		want, err := NewHeteroPlanWithCache(g, hp, ov, sim.ClassAffinity, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewHeteroPlanWithCache(g, hp, ov, sim.ClassAffinity, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := eqPlans(want, got); diff != "" {
+			t.Fatalf("affinity-swapped workload diverged under a shared cache: %s", diff)
+		}
+	}
+}
+
+// relClose reports |a-b| ≤ tol·max(1,|a|,|b|): the per-class decomposition
+// repeats the scalar accumulation's terms but groups them differently, so
+// the sums agree only up to float re-association.
+func relClose(a, b float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+// TestHeteroClassEnergyConservation pins the per-class energy breakdown:
+// on heterogeneous runs the class slices are sized to the platform's class
+// count and their totals sum to the existing aggregate energies (gross =
+// active+overhead); homogeneous runs carry no per-class slices, so their
+// serialized results are unchanged.
+func TestHeteroClassEnergyConservation(t *testing.T) {
+	hps := []*power.Hetero{power.BigLittle(), power.AccelOffload(), power.SymmetricHetero(2)}
+	ov := power.DefaultOverheads()
+	for wl := 0; wl < 12; wl++ {
+		g := workload.Random(uint64(wl)+3, andor.DefaultRandomOpts())
+		hp := hps[wl%len(hps)]
+		plan, err := NewHeteroPlan(g, hp, ov, sim.FastestFirst)
+		if err != nil {
+			t.Fatalf("workload %d: %v", wl, err)
+		}
+		cfg := RunConfig{Deadline: plan.CTWorst / 0.5}
+		for _, s := range allSchemes() {
+			cfg.Scheme = s
+			cfg.Sampler = exectime.NewSampler(exectime.NewSource(uint64(wl)*7 + uint64(s)))
+			res, err := plan.Run(cfg)
+			if err != nil {
+				t.Fatalf("workload %d %s: %v", wl, s, err)
+			}
+			nc := hp.NumClasses()
+			if len(res.ClassGrossEnergy) != nc || len(res.ClassIdleEnergy) != nc {
+				t.Fatalf("workload %d %s: class slice lengths (%d,%d), want %d",
+					wl, s, len(res.ClassGrossEnergy), len(res.ClassIdleEnergy), nc)
+			}
+			var gross, idle float64
+			for c := 0; c < nc; c++ {
+				gross += res.ClassGrossEnergy[c]
+				idle += res.ClassIdleEnergy[c]
+			}
+			if want := res.ActiveEnergy + res.OverheadEnergy; !relClose(gross, want) {
+				t.Errorf("workload %d %s: Σ ClassGrossEnergy = %g, want active+overhead = %g",
+					wl, s, gross, want)
+			}
+			if !relClose(idle, res.IdleEnergy) {
+				t.Errorf("workload %d %s: Σ ClassIdleEnergy = %g, want IdleEnergy = %g",
+					wl, s, idle, res.IdleEnergy)
+			}
+		}
+	}
+
+	// Homogeneous runs must not grow per-class slices.
+	g := workload.ATR(workload.DefaultATRConfig())
+	plan, err := NewPlan(g, 3, power.Transmeta5400(), power.DefaultOverheads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Run(RunConfig{
+		Scheme: GSS, Deadline: plan.CTWorst / 0.5,
+		Sampler: exectime.NewSampler(exectime.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClassGrossEnergy != nil || res.ClassIdleEnergy != nil {
+		t.Fatalf("homogeneous run grew per-class energy slices: %v / %v",
+			res.ClassGrossEnergy, res.ClassIdleEnergy)
+	}
+}

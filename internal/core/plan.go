@@ -189,10 +189,23 @@ func NewPlan(g *andor.Graph, m int, platform *power.Platform, ov power.Overheads
 // bit-identical to NewPlan on the class's platform under every placement
 // policy (differential-tested).
 //
-// Heterogeneous canonical schedules bypass the process-wide section cache:
-// its key does not describe a processor mix or a placement, and the
-// placement-sensitive schedules would poison identical-platform entries.
+// Heterogeneous canonical schedules are memoized in the same process-wide
+// section cache as identical-processor ones, under a key that additionally
+// carries the platform's content hash (power.Hetero.Key), the placement
+// policy name and the section's class-affinity tags — the parts a
+// heterogeneous schedule depends on that the structural digest omits — so
+// placement-sensitive entries can never poison identical-platform ones.
+// Cached compiles are bit-identical to uncached ones (differential-tested).
 func NewHeteroPlan(g *andor.Graph, hp *power.Hetero, ov power.Overheads, place sim.PlacementPolicy) (*Plan, error) {
+	return NewHeteroPlanWithCache(g, hp, ov, place, scheduleCache.Load())
+}
+
+// NewHeteroPlanWithCache is NewHeteroPlan against an explicit
+// section-schedule cache instead of the process-wide one (the serve layer's
+// shared-nothing workers each bring their own). A nil cache disables
+// memoization. The compiled Plan does not retain the cache.
+func NewHeteroPlanWithCache(g *andor.Graph, hp *power.Hetero, ov power.Overheads,
+	place sim.PlacementPolicy, cache *schedcache.Cache) (*Plan, error) {
 	if hp == nil {
 		return nil, fmt.Errorf("core: nil heterogeneous platform")
 	}
@@ -218,7 +231,7 @@ func NewHeteroPlan(g *andor.Graph, hp *power.Hetero, ov power.Overheads, place s
 	}
 	pad := ov.PadTimeHetero(hp)
 	for _, sec := range secs.All {
-		sp, err := p.planSection(sec, pad, nil)
+		sp, err := p.planSection(sec, pad, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -361,14 +374,27 @@ func (p *Plan) planSection(sec *andor.Section, pad float64, cache *schedcache.Ca
 			FMaxBits: math.Float64bits(p.fmax),
 			PadBits:  math.Float64bits(pad),
 		}
-		// The length guard downgrades a (cryptographically improbable)
-		// digest collision to a recompute rather than a corrupt plan.
-		if cs, ok := cache.Get(key); ok && len(cs.Order) == len(sp.tasks) {
+		if p.Hetero != nil {
+			// The structural digest covers neither the processor mix, the
+			// placement, nor the `@class` tags (homogeneous schedules ignore
+			// all three); fold them in so heterogeneous entries only ever
+			// match the exact same scheduling problem.
+			key.Hetero = p.Hetero.Key() + "/" + p.Placement.Name()
+			key.ClassBits = classAffinityBits(sp.tasks)
+		}
+		// The length and class-shape guards downgrade a (cryptographically
+		// improbable) digest collision to a recompute rather than a corrupt
+		// plan.
+		if cs, ok := cache.Get(key); ok && len(cs.Order) == len(sp.tasks) &&
+			(cs.Classes != nil) == (p.Hetero != nil) {
 			sp.lenW, sp.lenA = cs.LenW, cs.LenA
 			for i := range sp.tasks {
 				sp.tasks[i].tmpl.Order = cs.Order[i]
 				sp.tasks[i].relLFT = cs.FinishW[i] // made deadline-relative by NewPlan
 				sp.tasks[i].tmpl.SpecRemain = cs.SpecRemain[i]
+				if cs.Classes != nil {
+					sp.tasks[i].tmpl.CanonClass = cs.Classes[i]
+				}
 			}
 			return sp, nil
 		}
@@ -430,14 +456,34 @@ func (p *Plan) planSection(sec *andor.Section, pad float64, cache *schedcache.Ca
 			FinishW:    make([]float64, len(sp.tasks)),
 			SpecRemain: make([]float64, len(sp.tasks)),
 		}
+		if p.Hetero != nil {
+			cs.Classes = make([]int, len(sp.tasks))
+		}
 		for i := range sp.tasks {
 			cs.Order[i] = sp.tasks[i].tmpl.Order
 			cs.FinishW[i] = sp.tasks[i].relLFT
 			cs.SpecRemain[i] = sp.tasks[i].tmpl.SpecRemain
+			if cs.Classes != nil {
+				cs.Classes[i] = sp.tasks[i].tmpl.CanonClass
+			}
 		}
 		cache.Put(key, cs)
 	}
 	return sp, nil
+}
+
+// classAffinityBits hashes a section's per-task class affinities (local
+// index, resolved class index) into the schedule-cache key. FNV-1a over the
+// tagged tasks only: untagged sections of equal shape still share entries.
+func classAffinityBits(tasks []taskPlan) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := range tasks {
+		if a := tasks[i].tmpl.Affinity; a != 0 {
+			h = (h ^ uint64(i)) * 0x100000001b3
+			h = (h ^ uint64(a)) * 0x100000001b3
+		}
+	}
+	return h
 }
 
 // canonicalTasks copies the section's task templates with WorkA set by

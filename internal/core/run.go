@@ -91,6 +91,14 @@ type RunResult struct {
 	// IdleEnergy the energy of idle processors over the horizon
 	// [0, max(Deadline, Finish)] at the platform's idle power.
 	ActiveEnergy, OverheadEnergy, IdleEnergy float64
+	// ClassGrossEnergy and ClassIdleEnergy decompose the energy by
+	// processor class on heterogeneous runs (indexed by class):
+	// ClassGrossEnergy[c] is class c's active plus overhead joules,
+	// ClassIdleEnergy[c] its idle joules over the same horizon. The class
+	// totals sum to ActiveEnergy+OverheadEnergy and IdleEnergy
+	// respectively (up to float association). Nil on identical-processor
+	// runs.
+	ClassGrossEnergy, ClassIdleEnergy []float64
 	// SpeedChanges counts voltage/speed transitions.
 	SpeedChanges int
 	// BusyTime and OverheadTime are the summed per-processor seconds.
@@ -276,12 +284,24 @@ func (p *Plan) execute(cfg RunConfig, a *Arena, sc *script, pol *policy, levelsO
 	for i := range lt {
 		lt[i] = 0
 	}
+	var classGross, classIdle []float64
+	if p.Hetero != nil {
+		nc := p.Hetero.NumClasses()
+		classGross = ensureFloats(out.ClassGrossEnergy, nc)
+		classIdle = ensureFloats(out.ClassIdleEnergy, nc)
+		for i := 0; i < nc; i++ {
+			classGross[i] = 0
+			classIdle[i] = 0
+		}
+	}
 	*out = RunResult{
 		Scheme: cfg.Scheme, Deadline: d,
-		LevelTime:   lt,
-		FinalLevels: out.FinalLevels[:0],
-		Path:        out.Path[:0],
-		Trace:       out.Trace[:0],
+		LevelTime:        lt,
+		ClassGrossEnergy: classGross,
+		ClassIdleEnergy:  classIdle,
+		FinalLevels:      out.FinalLevels[:0],
+		Path:             out.Path[:0],
+		Trace:            out.Trace[:0],
 	}
 	tracer := cfg.Tracer
 	pol.attachObs(cfg.Tracer, cfg.Metrics)
@@ -350,6 +370,9 @@ func (p *Plan) execute(cfg RunConfig, a *Arena, sc *script, pol *policy, levelsO
 		}
 		out.ActiveEnergy += sr.ActiveEnergy
 		out.OverheadEnergy += sr.OverheadEnergy
+		for c := range sr.ClassActiveEnergy {
+			out.ClassGrossEnergy[c] += sr.ClassActiveEnergy[c] + sr.ClassOverheadEnergy[c]
+		}
 		out.SpeedChanges += sr.SpeedChanges
 		for i := range sr.BusyTime {
 			out.BusyTime += sr.BusyTime[i]
@@ -406,13 +429,16 @@ func (p *Plan) execute(cfg RunConfig, a *Arena, sc *script, pol *policy, levelsO
 			idleTime = 0
 		}
 		out.IdleEnergy = p.Hetero.Class(0).Plat.IdlePower() * idleTime
+		out.ClassIdleEnergy[0] = out.IdleEnergy
 	default:
 		for i := 0; i < p.Procs; i++ {
 			idle := horizon - a.busyP[i] - a.ovhP[i]
 			if idle < 0 {
 				idle = 0
 			}
-			out.IdleEnergy += p.Hetero.Class(p.Hetero.ClassOf(i)).Plat.IdlePower() * idle
+			ci := p.Hetero.ClassOf(i)
+			out.IdleEnergy += p.Hetero.Class(ci).Plat.IdlePower() * idle
+			out.ClassIdleEnergy[ci] += p.Hetero.Class(ci).Plat.IdlePower() * idle
 		}
 	}
 	if cfg.Metrics != nil {

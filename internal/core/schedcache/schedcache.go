@@ -39,11 +39,26 @@ type Key struct {
 	Section andor.SectionDigest
 	// Procs is the processor count m.
 	Procs int
-	// FMaxBits is math.Float64bits of the platform's maximum frequency.
+	// FMaxBits is math.Float64bits of the platform's maximum frequency
+	// (the reference rate Hetero.RefFmax on heterogeneous platforms).
 	FMaxBits uint64
 	// PadBits is math.Float64bits of the per-task overhead pad
-	// (power.Overheads.PadTime).
+	// (power.Overheads.PadTime / PadTimeHetero).
 	PadBits uint64
+	// Hetero identifies the processor mix and the placement policy the
+	// canonical schedules were built with: power.Hetero.Key() plus the
+	// placement name. Empty for identical-processor keys. Unlike the
+	// homogeneous parameters, the whole mix matters — per-class speeds,
+	// power tables and counts all shape a heterogeneous canonical
+	// schedule — so the platform's content hash is the only safe
+	// discriminator.
+	Hetero string
+	// ClassBits folds the section's per-task class affinities (`@class`
+	// tags resolved to class indices) into the key. The section digest
+	// deliberately omits class tags — homogeneous schedules ignore them —
+	// so without this, two graphs differing only in pinning would collide
+	// on one heterogeneous entry. Zero on identical-processor keys.
+	ClassBits uint64
 }
 
 // Schedule is one cached canonical section schedule. All slices are indexed
@@ -62,6 +77,10 @@ type Schedule struct {
 	// SpecRemain[i] is the average-case canonical time from task i's
 	// dispatch to the section end (the per-PMP speculation statistic).
 	SpecRemain []float64
+	// Classes[i] is the processor class task i's canonical schedule ran it
+	// on (sim.Task.CanonClass) — the class the online phase pins the task
+	// to. Nil on identical-processor entries.
+	Classes []int
 }
 
 // Stats is a point-in-time snapshot of the cache's counters.
@@ -121,6 +140,10 @@ func (c *Cache) shardFor(k Key) *shard {
 	h ^= uint64(k.Procs) * 0x9e3779b97f4a7c15
 	h ^= k.FMaxBits * 0xbf58476d1ce4e5b9
 	h ^= k.PadBits * 0x94d049bb133111eb
+	h ^= k.ClassBits * 0xd6e8feb86659fd93
+	for i := 0; i < len(k.Hetero); i++ {
+		h = (h ^ uint64(k.Hetero[i])) * 0x100000001b3
+	}
 	h ^= h >> 33
 	return &c.shards[h%numShards]
 }

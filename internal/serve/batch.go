@@ -37,6 +37,9 @@ type BatchItemResult struct {
 	DeadlineMisses int     `json:"deadline_misses,omitempty"`
 	LSTViolations  int     `json:"lst_violations,omitempty"`
 	SpeedChanges   int     `json:"speed_changes,omitempty"`
+	// Per-class energy means, heterogeneous items only (see RunSummary).
+	MeanClassGrossJ []float64 `json:"mean_class_gross_j,omitempty"`
+	MeanClassIdleJ  []float64 `json:"mean_class_idle_j,omitempty"`
 }
 
 // BatchSummary is the trailing line of a batch response; its presence is
@@ -168,7 +171,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			valid = append(valid, &items[i])
 		}
 	}
-	chunks := s.pool.workers
+	chunks := s.pool.Workers()
 	if chunks > len(valid) {
 		chunks = len(valid)
 	}
@@ -213,7 +216,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 						DeadlineS: sum.DeadlineS, MeanEnergyJ: sum.MeanEnergyJ,
 						MeanFinishS: sum.MeanFinishS, MaxFinishS: sum.MaxFinishS,
 						DeadlineMisses: sum.DeadlineMisses, LSTViolations: sum.LSTViolations,
-						SpeedChanges: sum.SpeedChanges,
+						SpeedChanges:    sum.SpeedChanges,
+						MeanClassGrossJ: sum.MeanClassGrossJ, MeanClassIdleJ: sum.MeanClassIdleJ,
 					}
 				}
 			})

@@ -180,6 +180,9 @@ func TestHTTPSingleCompile(t *testing.T) {
 			t.Fatalf("request %d: status %d", i, code)
 		}
 	}
+	// Shard counters merge into the registry on the read paths; refresh
+	// like a scrape would before asserting on the snapshot.
+	s.refreshStats()
 	snap := s.Metrics().Snapshot()
 	misses, _ := snap.Counter(MetricCacheMisses)
 	hits, _ := snap.Counter(MetricCacheHits)
@@ -208,6 +211,7 @@ func TestCacheKeyDistinguishesConfigs(t *testing.T) {
 			t.Fatalf("body %d: status %d: %s", i, w.Code, w.Body.String())
 		}
 	}
+	s.refreshStats()
 	if misses, _ := s.Metrics().Snapshot().Counter(MetricCacheMisses); misses != int64(len(bodies)) {
 		t.Errorf("%d distinct configurations produced %d misses", len(bodies), misses)
 	}

@@ -9,24 +9,64 @@ import (
 )
 
 // refreshStats re-derives every gauge whose source of truth lives outside
-// the registry — the process-wide section-schedule cache, the per-tenant
-// admission counters, and the pool's queue depth/age. It runs on every
-// read path that reports this state (/metrics, /healthz, /debug/requests),
-// so a server that is never scraped still answers them consistently.
+// the registry — the section-schedule cache (process-wide on the legacy
+// path, summed across worker shards on the shared-nothing one), the
+// per-tenant admission counters, and the pool's queue depth/age — and, on
+// the shared-nothing path, folds the per-worker plan-shard counters into
+// the registry's plan-cache instruments. It runs on every read path that
+// reports this state (/metrics, /healthz, /debug/requests), so a server
+// that is never scraped still answers them consistently. This is the only
+// place worker-local cache counters meet shared state: request execution
+// never pays for metrics aggregation.
 func (s *Server) refreshStats() {
-	st := core.ScheduleCacheStats()
-	s.metrics.Gauge(MetricSchedCacheHits).Set(float64(st.Hits))
-	s.metrics.Gauge(MetricSchedCacheMisses).Set(float64(st.Misses))
-	s.metrics.Gauge(MetricSchedCacheEvictions).Set(float64(st.Evictions))
-	s.metrics.Gauge(MetricSchedCacheSize).Set(float64(st.Size))
+	if s.cache != nil {
+		st := core.ScheduleCacheStats()
+		s.metrics.Gauge(MetricSchedCacheHits).Set(float64(st.Hits))
+		s.metrics.Gauge(MetricSchedCacheMisses).Set(float64(st.Misses))
+		s.metrics.Gauge(MetricSchedCacheEvictions).Set(float64(st.Evictions))
+		s.metrics.Gauge(MetricSchedCacheSize).Set(float64(st.Size))
+	} else {
+		st := s.pool.SchedCacheStats()
+		s.metrics.Gauge(MetricSchedCacheHits).Set(float64(st.Hits))
+		s.metrics.Gauge(MetricSchedCacheMisses).Set(float64(st.Misses))
+		s.metrics.Gauge(MetricSchedCacheEvictions).Set(float64(st.Evictions))
+		s.metrics.Gauge(MetricSchedCacheSize).Set(float64(st.Size))
+		s.mergePlanStats()
+	}
 	for _, ts := range s.limiter.Snapshot() {
 		s.metrics.Gauge(tenantMetricName(ts.Tenant, "admitted")).Set(float64(ts.Admitted))
 		s.metrics.Gauge(tenantMetricName(ts.Tenant, "rejected")).Set(float64(ts.Rejected))
 		s.metrics.Gauge(tenantMetricName(ts.Tenant, "inflight")).Set(float64(ts.Inflight))
 		s.metrics.Gauge(tenantMetricName(ts.Tenant, "runs")).Set(float64(ts.Runs))
 	}
-	s.metrics.Gauge(MetricQueueDepth).Set(float64(len(s.pool.jobs)))
+	s.metrics.Gauge(MetricQueueDepth).Set(float64(s.pool.QueueDepth()))
 	s.metrics.Gauge(MetricQueueAge).Set(s.pool.OldestQueueAge().Seconds())
+}
+
+// mergePlanStats credits the growth of the merged per-worker plan-shard
+// counters since the last merge to the registry's monotonic plan-cache
+// counters. A merge racing the Close-time graveyard fold can transiently
+// observe a total below lastMerged (a worker counter already zeroed, its
+// graveyard credit not yet visible); such deltas are skipped without
+// advancing the high-water mark, so the next merge catches up and nothing
+// is lost or double-counted.
+func (s *Server) mergePlanStats() {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	st := s.pool.PlanCacheStats()
+	if d := st.Hits - s.lastMerged.Hits; d > 0 {
+		s.metrics.Counter(MetricCacheHits).Add(d)
+		s.lastMerged.Hits = st.Hits
+	}
+	if d := st.Misses - s.lastMerged.Misses; d > 0 {
+		s.metrics.Counter(MetricCacheMisses).Add(d)
+		s.lastMerged.Misses = st.Misses
+	}
+	if d := st.Evictions - s.lastMerged.Evictions; d > 0 {
+		s.metrics.Counter(MetricCacheEvictions).Add(d)
+		s.lastMerged.Evictions = st.Evictions
+	}
+	s.metrics.Gauge(MetricCacheSize).Set(float64(st.Size))
 }
 
 // DebugRequests is the GET /debug/requests response: the flight
@@ -61,7 +101,7 @@ func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
 		Recent:     s.flight.Recent(limit),
 		Slowest:    s.flight.Slowest(),
 		InFlight:   s.pool.InFlight(),
-		QueueDepth: len(s.pool.jobs),
+		QueueDepth: s.pool.QueueDepth(),
 		QueueAgeS:  s.pool.OldestQueueAge().Seconds(),
 	})
 }

@@ -10,40 +10,51 @@ import (
 	"time"
 
 	"andorsched/internal/core"
+	"andorsched/internal/core/schedcache"
 	"andorsched/internal/exectime"
 	"andorsched/internal/obs"
 	"andorsched/internal/stats"
 )
 
-// planFor resolves an AppSpec to a compiled Plan through the cache. The
-// boolean reports a cache hit.
+// planFor resolves an AppSpec to a compiled Plan through whichever cache
+// path is active. The boolean reports a cache hit.
 func (s *Server) planFor(ctx context.Context, spec *AppSpec) (*core.Plan, bool, *apiError) {
 	ra, apiErr := s.resolveApp(spec)
 	if apiErr != nil {
 		return nil, false, apiErr
 	}
-	key := ra.key
+	return s.resolvePlan(ctx, ra)
+}
+
+// compilePlan builds ra's plan against the given section-schedule cache
+// shard (nil bypasses section caching).
+func buildPlan(ra resolvedApp, sched *schedcache.Cache) (*core.Plan, error) {
+	if ra.hp != nil {
+		return core.NewHeteroPlanWithCache(ra.g, ra.hp, ra.key.ov, ra.place, sched)
+	}
+	plat, err := parsePlatformMemo(ra.key.platform)
+	if err != nil {
+		return nil, err
+	}
+	// The plan compile consults a section-schedule cache: a plan-cache
+	// miss on a graph whose sections were seen before (same structure at a
+	// different procs/platform, or an evicted plan) skips the canonical
+	// simulations.
+	return core.NewPlanWithCache(ra.g, ra.key.procs, plat, ra.key.ov, sched)
+}
+
+// ownerPlan resolves ra's plan in the executing worker's own shard,
+// compiling on a miss and mapping failures onto API errors. It must run
+// inside a job routed to homeFor(ra.key): the shard and its recency state
+// are owner-only. Safe to record trace marks here — the submitter is
+// blocked on the job until it finishes.
+func (s *Server) ownerPlan(ctx context.Context, wk *Worker, ra resolvedApp) (*core.Plan, bool, *apiError) {
 	rec := obs.TraceFromContext(ctx)
-	plan, hit, err := s.cache.GetOrCompile(ctx, key, func() (*core.Plan, error) {
+	plan, hit, err := wk.OwnerPlan(ra.key, func(sched *schedcache.Cache) (*core.Plan, error) {
 		tc := rec.SinceStart()
 		defer rec.RecordOffset(PhaseCompile, tc)
-		if ra.hp != nil {
-			return core.NewHeteroPlan(ra.g, ra.hp, key.ov, ra.place)
-		}
-		plat, err := parsePlatformMemo(key.platform)
-		if err != nil {
-			return nil, err
-		}
-		// NewPlan consults the process-wide section-schedule cache: a
-		// plan-cache miss on a graph whose sections were seen before (same
-		// structure at a different procs/platform, or an evicted plan)
-		// skips the canonical simulations.
-		return core.NewPlan(ra.g, key.procs, plat, key.ov)
+		return buildPlan(ra, sched)
 	})
-	// The cache span wraps the whole lookup (starting from the previous
-	// phase's end, so it also covers the graph resolution above): on a
-	// miss, or a join of an in-flight compile, it contains the compile
-	// time too.
 	if hit {
 		rec.MarkDetail(PhaseCache, "hit")
 	} else {
@@ -53,9 +64,68 @@ func (s *Server) planFor(ctx context.Context, spec *AppSpec) (*core.Plan, bool, 
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			return nil, false, errf(http.StatusServiceUnavailable, "timed out waiting for plan compile")
 		}
-		// NewPlan failures are application problems (invalid graph,
+		// Compile failures are application problems (invalid graph,
 		// non-positive procs): the client's fault.
 		return nil, false, errf(http.StatusBadRequest, "plan: %v", err)
+	}
+	return plan, hit, nil
+}
+
+// resolvePlan turns a resolved app into a compiled plan. On the legacy
+// path this is the shared LRU cache with single-flight compile
+// suppression. On the shared-nothing path it first consults the owning
+// shard's published snapshot (a lock-free read, usable from any
+// goroutine); on a miss the compile is routed to the owner with a
+// blocking submit — the owner queue serializes compiles for its keys, so
+// duplicate-compile suppression falls out of the routing.
+func (s *Server) resolvePlan(ctx context.Context, ra resolvedApp) (*core.Plan, bool, *apiError) {
+	rec := obs.TraceFromContext(ctx)
+	if s.cache != nil {
+		plan, hit, err := s.cache.GetOrCompile(ctx, ra.key, func() (*core.Plan, error) {
+			tc := rec.SinceStart()
+			defer rec.RecordOffset(PhaseCompile, tc)
+			if ra.hp != nil {
+				return core.NewHeteroPlan(ra.g, ra.hp, ra.key.ov, ra.place)
+			}
+			plat, err := parsePlatformMemo(ra.key.platform)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewPlan(ra.g, ra.key.procs, plat, ra.key.ov)
+		})
+		// The cache span wraps the whole lookup: on a miss, or a join of an
+		// in-flight compile, it contains the compile time too.
+		if hit {
+			rec.MarkDetail(PhaseCache, "hit")
+		} else {
+			rec.MarkDetail(PhaseCache, "miss")
+		}
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				return nil, false, errf(http.StatusServiceUnavailable, "timed out waiting for plan compile")
+			}
+			return nil, false, errf(http.StatusBadRequest, "plan: %v", err)
+		}
+		return plan, hit, nil
+	}
+	if plan, _, ok := s.pool.planFromSnapshot(ra.key); ok {
+		rec.MarkDetail(PhaseCache, "hit")
+		return plan, true, nil
+	}
+	var plan *core.Plan
+	var hit bool
+	var apiErr *apiError
+	err := s.pool.DoWaitOn(ctx, s.pool.homeFor(ra.key), func(ctx context.Context, wk *Worker) {
+		plan, hit, apiErr = s.ownerPlan(ctx, wk, ra)
+	})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return nil, false, errf(http.StatusServiceUnavailable, "timed out waiting for plan compile")
+		}
+		return nil, false, errf(http.StatusServiceUnavailable, "plan compile unavailable: %v", err)
+	}
+	if apiErr != nil {
+		return nil, false, apiErr
 	}
 	return plan, hit, nil
 }
@@ -117,6 +187,11 @@ func fillRow(row *RunRow, run int, res *core.RunResult) {
 	row.OverheadJ = res.OverheadEnergy
 	row.IdleJ = res.IdleEnergy
 	row.SpeedChanges = res.SpeedChanges
+	// Heterogeneous runs carry per-class breakdowns; homogeneous results
+	// have nil slices and the append keeps the row's nil (the fields stay
+	// omitted and the warm homogeneous path stays allocation-free).
+	row.ClassGrossJ = append(row.ClassGrossJ[:0], res.ClassGrossEnergy...)
+	row.ClassIdleJ = append(row.ClassIdleJ[:0], res.ClassIdleEnergy...)
 	row.Path = row.Path[:0]
 	for _, c := range res.Path {
 		row.Path = append(row.Path, c.Branch)
@@ -134,6 +209,9 @@ func monteCarlo(ctx context.Context, wk *Worker, plan *core.Plan, cfg core.RunCo
 	runs int, seed uint64, each func(i int, res *core.RunResult) bool) (RunSummary, error) {
 	var finish, energy stats.Acc
 	var misses, lst, changes, done int
+	// Per-class energy sums, grown lazily on the first heterogeneous
+	// result (homogeneous runs never pay for them).
+	var classGross, classIdle []float64
 	if rec := obs.TraceFromContext(ctx); rec != nil {
 		// One exec.mc span per Monte-Carlo loop, counting completed runs.
 		// Batch chunks call this concurrently on one request's record; span
@@ -144,11 +222,20 @@ func monteCarlo(ctx context.Context, wk *Worker, plan *core.Plan, cfg core.RunCo
 	var master exectime.Source
 	master.Reseed(seed)
 	sum := func() RunSummary {
-		return RunSummary{
+		rs := RunSummary{
 			Summary: true, Runs: done, Scheme: cfg.Scheme.String(), DeadlineS: cfg.Deadline,
 			MeanEnergyJ: energy.Mean(), MeanFinishS: finish.Mean(), MaxFinishS: finish.Max(),
 			DeadlineMisses: misses, LSTViolations: lst, SpeedChanges: changes,
 		}
+		if classGross != nil && done > 0 {
+			rs.MeanClassGrossJ = make([]float64, len(classGross))
+			rs.MeanClassIdleJ = make([]float64, len(classIdle))
+			for c := range classGross {
+				rs.MeanClassGrossJ[c] = classGross[c] / float64(done)
+				rs.MeanClassIdleJ[c] = classIdle[c] / float64(done)
+			}
+		}
+		return rs
 	}
 	for i := 0; i < runs; i++ {
 		if err := ctx.Err(); err != nil {
@@ -163,6 +250,16 @@ func monteCarlo(ctx context.Context, wk *Worker, plan *core.Plan, cfg core.RunCo
 		}
 		finish.Add(wk.Res.Finish)
 		energy.Add(wk.Res.Energy())
+		if n := len(wk.Res.ClassGrossEnergy); n != 0 {
+			if classGross == nil {
+				classGross = make([]float64, n)
+				classIdle = make([]float64, n)
+			}
+			for c := 0; c < n; c++ {
+				classGross[c] += wk.Res.ClassGrossEnergy[c]
+				classIdle[c] += wk.Res.ClassIdleEnergy[c]
+			}
+		}
 		changes += wk.Res.SpeedChanges
 		lst += wk.Res.LSTViolations
 		if !wk.Res.MetDeadline {
@@ -209,34 +306,100 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	plan, _, apiErr := s.planFor(r.Context(), &req.AppSpec)
-	if apiErr != nil {
-		s.writeError(w, apiErr.status, apiErr.msg)
-		return
-	}
-	deadline, apiErr := resolveDeadline(plan.CTWorst, req.Deadline, req.Load)
-	if apiErr != nil {
-		s.writeError(w, apiErr.status, apiErr.msg)
-		return
-	}
 
+	// Plan resolution differs by path. The legacy path resolves on the
+	// handler goroutine through the shared cache, then submits to the
+	// shared queue. The shared-nothing path peeks the owning shard's
+	// published snapshot (a lock-free read): a warm key yields its
+	// immutable plan right here, and the run executes on ANY worker via
+	// the shared queue — from admission to encode without taking a lock
+	// or touching an atomic another goroutine writes (the hit is credited
+	// in-job to the executing worker's own counter). Only a cold key
+	// routes the whole request to the shard owner chosen by the app's
+	// digest, which compiles in its private shard and publishes a new
+	// snapshot; the owner queue serializes compiles for its keys, so
+	// duplicate-compile suppression is structural. jobErr carries
+	// resolution failures out of the job (the job returns before
+	// committing any status line, so the handler can still answer
+	// 400/503).
+	legacy := s.cache != nil
+	var ra resolvedApp
+	var plan *core.Plan
+	var deadline float64
+	var jobErr *apiError
+	if legacy {
+		var apiErr *apiError
+		plan, _, apiErr = s.planFor(r.Context(), &req.AppSpec)
+		if apiErr != nil {
+			s.writeError(w, apiErr.status, apiErr.msg)
+			return
+		}
+		deadline, apiErr = resolveDeadline(plan.CTWorst, req.Deadline, req.Load)
+		if apiErr != nil {
+			s.writeError(w, apiErr.status, apiErr.msg)
+			return
+		}
+	} else {
+		var apiErr *apiError
+		ra, apiErr = s.resolveApp(&req.AppSpec)
+		if apiErr != nil {
+			s.writeError(w, apiErr.status, apiErr.msg)
+			return
+		}
+		if p, ok := s.pool.planPeek(ra.key); ok {
+			obs.TraceFromContext(r.Context()).MarkDetail(PhaseCache, "hit")
+			plan = p
+			deadline, apiErr = resolveDeadline(plan.CTWorst, req.Deadline, req.Load)
+			if apiErr != nil {
+				s.writeError(w, apiErr.status, apiErr.msg)
+				return
+			}
+		}
+	}
+	// A sharded request with its plan in hand (warm) rides the shared
+	// queue like legacy traffic; only unresolved requests are routed.
+	routed := !legacy && plan == nil
 	if runs == 1 {
 		var row RunRow
 		var runErr error
-		err := s.pool.Do(r.Context(), func(ctx context.Context, wk *Worker) {
+		fn := func(ctx context.Context, wk *Worker) {
+			p, d := plan, deadline
+			if routed {
+				var apiErr *apiError
+				if p, _, apiErr = s.ownerPlan(ctx, wk, ra); apiErr != nil {
+					jobErr = apiErr
+					return
+				}
+				if d, apiErr = resolveDeadline(p.CTWorst, req.Deadline, req.Load); apiErr != nil {
+					jobErr = apiErr
+					return
+				}
+			} else if !legacy {
+				wk.pw.hits.Add(1) // snapshot hit, credited to the executing worker
+			}
 			wk.Src.Reseed(req.Seed)
-			cfg := core.RunConfig{Scheme: scheme, Deadline: deadline}
+			cfg := core.RunConfig{Scheme: scheme, Deadline: d}
 			if req.Worst {
 				cfg.WorstCase = true
 			} else {
 				cfg.Sampler = wk.Sampler
 			}
-			if runErr = plan.RunInto(cfg, wk.Arena, &wk.Res); runErr != nil {
+			if runErr = p.RunInto(cfg, wk.Arena, &wk.Res); runErr != nil {
 				return
 			}
 			fillRow(&row, 0, &wk.Res)
-		})
+		}
+		var err error
+		if routed {
+			err = s.pool.DoOn(r.Context(), s.pool.homeFor(ra.key), fn)
+		} else {
+			err = s.pool.Do(r.Context(), fn)
+		}
 		if !s.checkPoolErr(w, err) {
+			return
+		}
+		if jobErr != nil {
+			s.writeError(w, jobErr.status, jobErr.msg)
 			return
 		}
 		if runErr != nil {
@@ -250,23 +413,38 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	// Monte-Carlo: stream NDJSON rows as they are produced, then a
 	// summary. Admission happens before the status line commits — the 200
-	// is only written once a worker has picked the job up, so a full queue
-	// still yields a clean 429. After the 200, a mid-stream failure is
+	// is only written once a worker has picked the job up (and, on the
+	// sharded path, resolved the plan), so a full queue or a bad app still
+	// yields a clean 429/400. After the 200, a mid-stream failure is
 	// reported as an {"error": ...} line and an absent summary; clients
 	// (and loadgen) treat a stream without a summary as incomplete.
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	poolErr := s.pool.Do(r.Context(), func(ctx context.Context, wk *Worker) {
+	stream := func(ctx context.Context, wk *Worker) {
+		p, d := plan, deadline
+		if routed {
+			var apiErr *apiError
+			if p, _, apiErr = s.ownerPlan(ctx, wk, ra); apiErr != nil {
+				jobErr = apiErr
+				return
+			}
+			if d, apiErr = resolveDeadline(p.CTWorst, req.Deadline, req.Load); apiErr != nil {
+				jobErr = apiErr
+				return
+			}
+		} else if !legacy {
+			wk.pw.hits.Add(1) // snapshot hit, credited to the executing worker
+		}
 		w.WriteHeader(http.StatusOK)
 		var row RunRow
-		cfg := core.RunConfig{Scheme: scheme, Deadline: deadline}
+		cfg := core.RunConfig{Scheme: scheme, Deadline: d}
 		if req.Worst {
 			cfg.WorstCase = true
 		} else {
 			cfg.Sampler = wk.Sampler
 		}
-		sum, err := monteCarlo(ctx, wk, plan, cfg, runs, req.Seed,
+		sum, err := monteCarlo(ctx, wk, p, cfg, runs, req.Seed,
 			func(i int, res *core.RunResult) bool {
 				fillRow(&row, i, res)
 				if enc.Encode(&row) != nil {
@@ -287,12 +465,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if sum.Runs == runs { // not cut short by a gone client
 			_ = enc.Encode(sum)
 		}
-	})
+	}
+	var poolErr error
+	if routed {
+		poolErr = s.pool.DoOn(r.Context(), s.pool.homeFor(ra.key), stream)
+	} else {
+		poolErr = s.pool.Do(r.Context(), stream)
+	}
 	if poolErr != nil {
 		// The job never ran, so no status line was written: report the
 		// rejection properly instead of committing a doomed 200.
 		w.Header().Del("Content-Type")
 		s.checkPoolErr(w, poolErr)
+		return
+	}
+	if jobErr != nil {
+		// The job bailed before the status line: resolution failed.
+		w.Header().Del("Content-Type")
+		s.writeError(w, jobErr.status, jobErr.msg)
 		return
 	}
 	if flusher != nil {
@@ -442,7 +632,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queue_capacity": s.cfg.QueueSize,
 		"in_flight":      s.pool.InFlight(),
 		"queue_age_s":    s.pool.OldestQueueAge().Seconds(),
-		"cached_plans":   s.cache.Len(),
+		"cached_plans":   s.cachedPlans(),
 		"tenants":        s.limiter.Len(),
 	})
 }

@@ -2,12 +2,15 @@ package serve
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"andorsched/internal/core"
+	"andorsched/internal/core/schedcache"
 	"andorsched/internal/exectime"
 	"andorsched/internal/obs"
 )
@@ -31,6 +34,11 @@ type Worker struct {
 	// Res and Base are result holders jobs may reuse (e.g. scheme runs and
 	// their NPM baseline).
 	Res, Base core.RunResult
+
+	// pw is the pool worker this state belongs to: the owner of the plan
+	// and section-schedule shards a routed job may consult. Nil for
+	// Workers constructed outside a pool (tests).
+	pw *poolWorker
 }
 
 type job struct {
@@ -53,153 +61,300 @@ type job struct {
 	pickup time.Time
 }
 
-// Pool is a fixed-size worker pool with a bounded admission queue. Do
-// submits a job and blocks until it completes; when the queue is full it
-// fails fast with ErrQueueFull (backpressure) instead of queueing
-// unboundedly. DoWait is the blocking variant batch execution uses after
-// its own admission decision. Each worker holds one Worker state for its
-// lifetime.
-type Pool struct {
-	jobs    chan *job
-	workers int
-	wg      sync.WaitGroup
-	closed  atomic.Bool
-	// sendMu serializes job submission against Close: senders hold it
-	// shared for the enqueue, Close holds it exclusively around closing the
-	// channel, so a Do racing a Close gets a clean ErrPoolClosed instead of
-	// a send on a closed channel.
-	sendMu   sync.RWMutex
-	inFlight atomic.Int64
-	// svcNanos is an EWMA of observed per-job service time, fed by the
-	// workers; RetryAfter turns it into a drain-rate estimate.
-	svcNanos atomic.Int64
-
-	// qtimes tracks when each currently queued job was enqueued, so
-	// OldestQueueAge can report queue staleness without touching the jobs
-	// themselves. Entries are added before the channel send and removed at
-	// worker pickup (or on a failed send); the map never exceeds the queue
-	// capacity.
-	qmu    sync.Mutex
-	qtimes map[*job]time.Time
-
-	depth *obs.Gauge
+// ageRing approximates per-queue wait ages without any lock: senders
+// record enqueue times into a ring indexed by a post-send sequence number,
+// workers bump the dequeue sequence at pickup, and the age of the oldest
+// queued job is "now minus the time at the dequeue cursor" whenever the
+// enqueue sequence is ahead. The two sequences are advanced on opposite
+// sides of the channel operation, so a reader can observe a slot before
+// its time is stored (reported as zero) or a freshly drained queue
+// (sequences equal, reported as zero) — gauge-grade accuracy, with the
+// two properties the debug surface relies on held exactly: a job sitting
+// in the queue eventually shows a growing age, and a drained queue shows
+// zero.
+type ageRing struct {
+	mask  uint64
+	times []atomic.Int64 // UnixNano enqueue stamps
+	enq   atomic.Uint64
+	deq   atomic.Uint64
 }
 
-// NewPool starts workers goroutines with a queue of the given capacity.
-// workers and queue are floored at 1.
-func NewPool(workers, queue int, m *obs.Metrics) *Pool {
+// newAgeRing sizes the ring to at least twice the queue capacity: the
+// in-flight window [deq, enq) never exceeds the channel occupancy, so
+// slots cannot be overwritten while still unconsumed.
+func newAgeRing(capacity int) *ageRing {
+	n := 1
+	for n < 2*(capacity+1) {
+		n <<= 1
+	}
+	return &ageRing{mask: uint64(n - 1), times: make([]atomic.Int64, n)}
+}
+
+func (r *ageRing) noteEnqueue(at time.Time) {
+	seq := r.enq.Add(1) - 1
+	r.times[seq&r.mask].Store(at.UnixNano())
+}
+
+func (r *ageRing) noteDequeue() { r.deq.Add(1) }
+
+func (r *ageRing) age(nowNanos int64) time.Duration {
+	d, e := r.deq.Load(), r.enq.Load()
+	if e <= d {
+		return 0
+	}
+	t := r.times[d&r.mask].Load()
+	if t == 0 || t > nowNanos {
+		return 0
+	}
+	return time.Duration(nowNanos - t)
+}
+
+// planEntry is one shard slot. lastHit is a plain owner-advanced tick:
+// only the owning worker reads or writes it, so the recency bookkeeping
+// needs no atomics at all.
+type planEntry struct {
+	plan    *core.Plan
+	lastHit uint64
+}
+
+// planSnapshot is an immutable epoch of one shard's contents, published
+// by the owner after every mutation. Cross-shard readers (compare, batch
+// resolution, stats) look plans up here without any lock; they see the
+// shard as of some recent generation, never a torn map. Snapshot reads do
+// not refresh LRU recency — only owner-routed traffic does.
+type planSnapshot struct {
+	gen   uint64
+	plans map[cacheKey]*core.Plan
+}
+
+// planShard is one worker's private plan cache. The entries map is
+// owner-only mutable state: every insert, hit-stamp and eviction happens
+// on the owning worker goroutine, serialized by that worker's job loop,
+// which is what makes the warmed request path run without a single lock
+// or contended atomic. Everyone else reads the published snapshot.
+type planShard struct {
+	cap     int
+	tick    uint64
+	entries map[cacheKey]*planEntry
+	gen     uint64
+	snap    atomic.Pointer[planSnapshot]
+}
+
+func newPlanShard(capacity int) *planShard {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &planShard{cap: capacity, entries: make(map[cacheKey]*planEntry, capacity)}
+}
+
+// publish installs a fresh immutable snapshot of the shard. Owner-only.
+func (sh *planShard) publish() {
+	m := make(map[cacheKey]*core.Plan, len(sh.entries))
+	for k, e := range sh.entries {
+		m[k] = e.plan
+	}
+	sh.gen++
+	sh.snap.Store(&planSnapshot{gen: sh.gen, plans: m})
+}
+
+// poolWorker is one worker goroutine's identity: its private queue, its
+// plan and section-schedule shards, and its stat counters. The counters
+// are written (almost) exclusively by the owner — snapshot readers
+// crediting a cross-shard hit are the only other writers — and merged
+// into the registry's instruments only on the metrics/debug read paths.
+type poolWorker struct {
+	id    int
+	jobs  chan *job
+	ring  *ageRing
+	quit  chan struct{}
+	plans *planShard
+	sched *schedcache.Cache
+
+	hits, misses, evictions atomic.Int64
+	// svcNanos is an EWMA of this worker's observed per-job service time
+	// (α = 1/8). Single-writer: plain load/store, no CAS loop.
+	svcNanos atomic.Int64
+}
+
+// Pool is a fixed-size worker pool with a shared bounded admission queue
+// plus one private queue per worker. Do/DoWait submit to the shared queue
+// (any worker picks the job up); DoOn/DoWaitOn route a job to one
+// specific worker — the shard owner chosen by digest — so all mutation of
+// that worker's caches stays on its goroutine. Do fails fast with
+// ErrQueueFull when the shared queue is full (backpressure); the Wait
+// variants block for space. Submission and shutdown synchronize through
+// two atomics (a Dekker-style closed/in-flight handshake), not a lock.
+type Pool struct {
+	shared     chan *job
+	sharedRing *ageRing
+	workers    []*poolWorker
+	wg         sync.WaitGroup
+	closed     atomic.Bool
+	closeDone  chan struct{}
+	inFlight   atomic.Int64
+
+	// grave accumulates the per-worker cache counters folded in at Close,
+	// after the workers exited: a drained pool keeps reporting the totals
+	// it earned, and the merge never undercounts across a shutdown.
+	grave struct {
+		hits, misses, evictions atomic.Int64
+	}
+}
+
+// NewPool starts `workers` goroutines with a shared queue of the given
+// capacity and a per-worker plan-shard capacity totalling planCap across
+// the pool. workers, queue and planCap are floored at 1.
+func NewPool(workers, queue, planCap int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
 	if queue < 1 {
 		queue = 1
 	}
+	if planCap < 1 {
+		planCap = 1
+	}
+	shardCap := (planCap + workers - 1) / workers
+	schedCap := core.DefaultScheduleCacheCapacity / workers
+	if schedCap < 64 {
+		schedCap = 64
+	}
+	// Private queues are small: routed jobs are picked up by a dedicated
+	// owner, so depth beyond a handful only adds latency; backpressure is
+	// the shared queue's job.
+	wq := queue / workers
+	if wq < 1 {
+		wq = 1
+	}
 	p := &Pool{
-		jobs:    make(chan *job, queue),
-		workers: workers,
-		qtimes:  make(map[*job]time.Time, queue),
-		depth:   m.Gauge(MetricQueueDepth),
+		shared:     make(chan *job, queue),
+		sharedRing: newAgeRing(queue),
+		closeDone:  make(chan struct{}),
+		workers:    make([]*poolWorker, workers),
 	}
 	for i := 0; i < workers; i++ {
+		w := &poolWorker{
+			id:    i,
+			jobs:  make(chan *job, wq),
+			ring:  newAgeRing(wq),
+			quit:  make(chan struct{}),
+			plans: newPlanShard(shardCap),
+			sched: schedcache.New(schedCap),
+		}
+		p.workers[i] = w
 		p.wg.Add(1)
-		go p.worker(uint64(i))
+		go p.worker(w)
 	}
 	return p
 }
 
-func (p *Pool) worker(id uint64) {
+func (p *Pool) worker(w *poolWorker) {
 	defer p.wg.Done()
-	src := exectime.NewSource(id)
-	w := &Worker{
+	src := exectime.NewSource(uint64(w.id))
+	wk := &Worker{
 		Arena:   core.NewArena(),
 		Src:     src,
 		Sampler: exectime.NewSampler(src),
-	}
-	for j := range p.jobs {
-		p.depth.Set(float64(len(p.jobs)))
-		p.dequeued(j)
-		j.pickup = time.Now()
-		// The queue-wait span is recorded even for jobs skipped below: a
-		// cancelled-while-queued request still spent that time waiting, and
-		// its handler is blocked on done, so the record is safe to touch.
-		// Reusing the pickup stamp for the span's end costs no extra clock
-		// read.
-		j.rec.RecordSpan(PhaseQueue, j.enq, j.pickup)
-		// A job whose request already gave up (context expired while
-		// queued) is skipped: its handler is gone, running it would only
-		// burn the worker.
-		if j.ctx.Err() == nil {
-			j.fn(j.ctx, w)
-			j.ran = true
-			p.observeService(time.Since(j.pickup))
-		}
-		close(j.done)
-		p.inFlight.Add(-1)
-	}
-}
-
-// dequeued drops j from the queue-age map at worker pickup (or on a
-// failed send).
-func (p *Pool) dequeued(j *job) {
-	p.qmu.Lock()
-	delete(p.qtimes, j)
-	p.qmu.Unlock()
-}
-
-// OldestQueueAge reports how long the oldest currently queued job has been
-// waiting (zero for an empty queue) — the queue-staleness companion to the
-// depth gauge: a deep-but-moving queue is load, a shallow-but-old one is a
-// stall.
-func (p *Pool) OldestQueueAge() time.Duration {
-	p.qmu.Lock()
-	defer p.qmu.Unlock()
-	var oldest time.Time
-	for _, t := range p.qtimes {
-		if oldest.IsZero() || t.Before(oldest) {
-			oldest = t
-		}
-	}
-	if oldest.IsZero() {
-		return 0
-	}
-	return time.Since(oldest)
-}
-
-// observeService folds one job's duration into the drain-rate EWMA
-// (α = 1/8: stable under bursty mixes, adapts within a few dozen jobs).
-func (p *Pool) observeService(d time.Duration) {
-	n := d.Nanoseconds()
-	if n < 1 {
-		n = 1
+		pw:      w,
 	}
 	for {
-		old := p.svcNanos.Load()
-		next := n
-		if old != 0 {
-			next = old + (n-old)/8
-		}
-		if p.svcNanos.CompareAndSwap(old, next) {
+		select {
+		case j := <-w.jobs:
+			p.run(w, wk, j, w.ring)
+		case j := <-p.shared:
+			p.run(w, wk, j, p.sharedRing)
+		case <-w.quit:
+			// Close only closes quit after the in-flight count drained to
+			// zero, so both queues are empty and will stay empty.
 			return
 		}
 	}
 }
 
+func (p *Pool) run(w *poolWorker, wk *Worker, j *job, ring *ageRing) {
+	ring.noteDequeue()
+	j.pickup = time.Now()
+	// The queue-wait span is recorded even for jobs skipped below: a
+	// cancelled-while-queued request still spent that time waiting, and
+	// its handler is blocked on done, so the record is safe to touch.
+	// Reusing the pickup stamp for the span's end costs no extra clock
+	// read.
+	j.rec.RecordSpan(PhaseQueue, j.enq, j.pickup)
+	// A job whose request already gave up (context expired while queued)
+	// is skipped: its handler is gone, running it would only burn the
+	// worker.
+	if j.ctx.Err() == nil {
+		j.fn(j.ctx, wk)
+		j.ran = true
+		w.observeService(time.Since(j.pickup))
+	}
+	close(j.done)
+	p.inFlight.Add(-1)
+}
+
+// observeService folds one job's duration into the worker's service-time
+// EWMA (α = 1/8: stable under bursty mixes, adapts within a few dozen
+// jobs). Owner-only, so a plain read-modify-write suffices.
+func (w *poolWorker) observeService(d time.Duration) {
+	n := d.Nanoseconds()
+	if n < 1 {
+		n = 1
+	}
+	if old := w.svcNanos.Load(); old != 0 {
+		n = old + (n-old)/8
+	}
+	w.svcNanos.Store(n)
+}
+
+// QueueDepth reports the number of jobs currently sitting in the shared
+// queue and every private queue.
+func (p *Pool) QueueDepth() int {
+	depth := len(p.shared)
+	for _, w := range p.workers {
+		depth += len(w.jobs)
+	}
+	return depth
+}
+
+// OldestQueueAge reports how long the oldest currently queued job has been
+// waiting (zero for empty queues) — the queue-staleness companion to the
+// depth gauge: a deep-but-moving queue is load, a shallow-but-old one is a
+// stall. The age is the maximum over the shared and per-worker queues.
+func (p *Pool) OldestQueueAge() time.Duration {
+	now := time.Now().UnixNano()
+	oldest := p.sharedRing.age(now)
+	for _, w := range p.workers {
+		if a := w.ring.age(now); a > oldest {
+			oldest = a
+		}
+	}
+	return oldest
+}
+
 // RetryAfter estimates how long a rejected client should wait for queue
 // space to appear: the queued work divided by the pool's observed drain
-// rate (workers / EWMA service time), clamped to [1s, 60s]. Before any
-// job has completed — or with an empty queue, where the rejection came
+// rate (workers / mean EWMA service time), clamped to [1s, 60s]. Before
+// any job has completed — or with empty queues, where the rejection came
 // from a race — there is no schedule to derive, and the estimate falls
 // back to 1s.
 func (p *Pool) RetryAfter() time.Duration {
-	svc := p.svcNanos.Load()
-	depth := len(p.jobs)
-	if svc == 0 || depth == 0 {
+	var svc, n int64
+	for _, w := range p.workers {
+		if s := w.svcNanos.Load(); s > 0 {
+			svc += s
+			n++
+		}
+	}
+	depth := p.QueueDepth()
+	if n == 0 || depth == 0 {
 		return time.Second
 	}
+	svc /= n
+	workers := int64(len(p.workers))
 	// depth+1 jobs (the queue plus the caller's own) drain at
 	// workers-per-svc; round up to whole work, clamp to the header-friendly
 	// band.
-	wait := time.Duration((int64(depth+1)*svc + int64(p.workers) - 1) / int64(p.workers))
+	wait := time.Duration((int64(depth+1)*svc + workers - 1) / workers)
 	if wait < time.Second {
 		wait = time.Second
 	}
@@ -209,14 +364,14 @@ func (p *Pool) RetryAfter() time.Duration {
 	return wait
 }
 
-// Do submits fn and waits for it to finish. fn runs on a pool worker with
-// exclusive use of that worker's state; it must respect ctx between units
-// of work. Do returns ErrQueueFull immediately when the queue is full,
-// ErrPoolClosed after Close, and ctx's error when the job was skipped
-// because the context expired before a worker picked it up. A nil return
-// means fn ran to completion.
+// Do submits fn to the shared queue and waits for it to finish. fn runs on
+// a pool worker with exclusive use of that worker's state; it must respect
+// ctx between units of work. Do returns ErrQueueFull immediately when the
+// queue is full, ErrPoolClosed after Close, and ctx's error when the job
+// was skipped because the context expired before a worker picked it up. A
+// nil return means fn ran to completion.
 func (p *Pool) Do(ctx context.Context, fn func(ctx context.Context, w *Worker)) error {
-	return p.submit(ctx, fn, false)
+	return p.submit(ctx, p.shared, p.sharedRing, fn, false)
 }
 
 // DoWait is Do without the fail-fast queue check: when the queue is full
@@ -226,36 +381,46 @@ func (p *Pool) Do(ctx context.Context, fn func(ctx context.Context, w *Worker)) 
 // accepted request into a partial failure. Like Do, callers must not
 // start a DoWait after Close begins.
 func (p *Pool) DoWait(ctx context.Context, fn func(ctx context.Context, w *Worker)) error {
-	return p.submit(ctx, fn, true)
+	return p.submit(ctx, p.shared, p.sharedRing, fn, true)
 }
 
-func (p *Pool) submit(ctx context.Context, fn func(ctx context.Context, w *Worker), wait bool) error {
+// DoOn is Do routed to worker `home`'s private queue: fn runs on exactly
+// that worker, which is what entitles it to touch the worker's plan and
+// section-schedule shards without synchronization.
+func (p *Pool) DoOn(ctx context.Context, home int, fn func(ctx context.Context, w *Worker)) error {
+	w := p.workers[home]
+	return p.submit(ctx, w.jobs, w.ring, fn, false)
+}
+
+// DoWaitOn is DoOn with blocking submission, for owner work downstream of
+// an admission decision (plan compiles joined by batch items).
+func (p *Pool) DoWaitOn(ctx context.Context, home int, fn func(ctx context.Context, w *Worker)) error {
+	w := p.workers[home]
+	return p.submit(ctx, w.jobs, w.ring, fn, true)
+}
+
+func (p *Pool) submit(ctx context.Context, ch chan *job, ring *ageRing, fn func(ctx context.Context, w *Worker), wait bool) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	j := &job{ctx: ctx, fn: fn, done: make(chan struct{}), enq: time.Now()}
 	j.rec = obs.TraceFromContext(ctx)
-	p.sendMu.RLock()
+	// Dekker handshake with Close: count the submission first, then check
+	// the closed flag (both sequentially consistent). Close stores the
+	// flag first, then reads the count — so either this submitter sees
+	// closed and backs out, or Close sees the in-flight count and waits
+	// for the job. No lock, and a Do racing a Close still gets a clean
+	// ErrPoolClosed instead of a job no worker will drain.
+	p.inFlight.Add(1)
 	if p.closed.Load() {
-		p.sendMu.RUnlock()
+		p.inFlight.Add(-1)
 		return ErrPoolClosed
 	}
-	// Count the job before the enqueue becomes visible: a worker may pick
-	// it up (and decrement) the instant the send completes, and the
-	// increment-after-send ordering used to let InFlight read negative.
-	// The queue-age entry follows the same rule: insert before the send,
-	// since the worker deletes it at pickup.
-	p.inFlight.Add(1)
-	p.qmu.Lock()
-	p.qtimes[j] = j.enq
-	p.qmu.Unlock()
 	if wait {
 		select {
-		case p.jobs <- j:
+		case ch <- j:
 		case <-ctx.Done():
 			p.inFlight.Add(-1)
-			p.dequeued(j)
-			p.sendMu.RUnlock()
 			// The request waited for queue space it never got; that wait is
 			// still queue time.
 			j.rec.Record(PhaseQueue, j.enq)
@@ -263,16 +428,13 @@ func (p *Pool) submit(ctx context.Context, fn func(ctx context.Context, w *Worke
 		}
 	} else {
 		select {
-		case p.jobs <- j:
+		case ch <- j:
 		default:
 			p.inFlight.Add(-1)
-			p.dequeued(j)
-			p.sendMu.RUnlock()
 			return ErrQueueFull
 		}
 	}
-	p.depth.Set(float64(len(p.jobs)))
-	p.sendMu.RUnlock()
+	ring.noteEnqueue(j.enq)
 	<-j.done
 	if !j.ran {
 		if err := ctx.Err(); err != nil {
@@ -291,15 +453,177 @@ func (p *Pool) submit(ctx context.Context, fn func(ctx context.Context, w *Worke
 // InFlight returns the number of jobs queued or running.
 func (p *Pool) InFlight() int { return int(p.inFlight.Load()) }
 
-// Close stops accepting jobs, lets queued and running jobs finish, and
-// waits for the workers to exit. A Do or DoWait racing Close observes a
-// clean ErrPoolClosed: the jobs channel only closes once no submission
-// holds the send lock, and later submissions see the closed flag first.
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// homeFor picks the worker owning key's plan-shard slot: a digest of the
+// whole cache key, so identical requests land on one worker (whose warm
+// shard then serves them lock-free) and distinct applications spread
+// across the pool.
+func (p *Pool) homeFor(key cacheKey) int {
+	if len(p.workers) == 1 {
+		return 0
+	}
+	h := binary.LittleEndian.Uint64(key.graph[:8])
+	mix := func(v uint64) {
+		h = (h ^ v) * 0x9e3779b97f4a7c15
+		h ^= h >> 32
+	}
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 0x100000001b3
+		}
+	}
+	mix(uint64(key.procs))
+	mixStr(key.platform)
+	mixStr(key.hetero)
+	mixStr(key.placement)
+	mix(math.Float64bits(key.ov.SpeedCompCycles))
+	mix(math.Float64bits(key.ov.SpeedChangeTime))
+	mix(math.Float64bits(key.ov.VoltSlewTime))
+	return int(h % uint64(len(p.workers)))
+}
+
+// planFromSnapshot looks key up in the owning shard's published snapshot —
+// the lock-free cross-shard read path. It returns the plan (if present)
+// and the owner's index either way. A snapshot hit is credited to the
+// owner's hit counter; it does not refresh the entry's LRU recency (only
+// owner-routed traffic does).
+func (p *Pool) planFromSnapshot(key cacheKey) (*core.Plan, int, bool) {
+	home := p.homeFor(key)
+	if snap := p.workers[home].plans.snap.Load(); snap != nil {
+		if plan, ok := snap.plans[key]; ok {
+			p.workers[home].hits.Add(1)
+			return plan, home, true
+		}
+	}
+	return nil, home, false
+}
+
+// planPeek is planFromSnapshot without the stats credit: a pure read for
+// the warm /v1/run path, which attributes the hit to whichever worker
+// executes the run (each worker bumps only its own counter, so the hot
+// path never writes a cache line another goroutine is writing).
+func (p *Pool) planPeek(key cacheKey) (*core.Plan, bool) {
+	if snap := p.workers[p.homeFor(key)].plans.snap.Load(); snap != nil {
+		if plan, ok := snap.plans[key]; ok {
+			return plan, true
+		}
+	}
+	return nil, false
+}
+
+// OwnerPlan resolves key in the worker's own plan shard, compiling on a
+// miss. It must be called from a job routed to the shard's owner (DoOn /
+// DoWaitOn with homeFor(key)): entries, recency ticks and the snapshot
+// epoch are all mutated without synchronization on the owner's goroutine.
+// The boolean reports a hit; a second routed request for a key whose
+// compile just finished counts as a hit (the owner queue serializes
+// compiles, so duplicate-compile suppression is structural). Failed
+// compiles are not cached.
+func (wk *Worker) OwnerPlan(key cacheKey, compile func(sched *schedcache.Cache) (*core.Plan, error)) (*core.Plan, bool, error) {
+	w := wk.pw
+	sh := w.plans
+	sh.tick++
+	if e, ok := sh.entries[key]; ok {
+		e.lastHit = sh.tick
+		w.hits.Add(1)
+		return e.plan, true, nil
+	}
+	w.misses.Add(1)
+	plan, err := compile(w.sched)
+	if err != nil {
+		return nil, false, err
+	}
+	sh.entries[key] = &planEntry{plan: plan, lastHit: sh.tick}
+	for len(sh.entries) > sh.cap {
+		var victim cacheKey
+		oldest := uint64(math.MaxUint64)
+		for k, e := range sh.entries {
+			if e.lastHit < oldest {
+				oldest, victim = e.lastHit, k
+			}
+		}
+		delete(sh.entries, victim)
+		w.evictions.Add(1)
+	}
+	sh.publish()
+	return plan, false, nil
+}
+
+// PlanCacheStats is the merged view of the per-worker plan-shard counters
+// plus the close-time graveyard. Size counts live snapshot entries.
+type PlanCacheStats struct {
+	Hits, Misses, Evictions, Size int64
+}
+
+// PlanCacheStats merges the graveyard with every live worker's counters.
+// Reading is lock-free; the counters only move forward, so consecutive
+// merges are monotonic except for a harmless transient during the Close
+// fold (which the delta logic in refreshStats clamps).
+func (p *Pool) PlanCacheStats() PlanCacheStats {
+	s := PlanCacheStats{
+		Hits:      p.grave.hits.Load(),
+		Misses:    p.grave.misses.Load(),
+		Evictions: p.grave.evictions.Load(),
+	}
+	for _, w := range p.workers {
+		s.Hits += w.hits.Load()
+		s.Misses += w.misses.Load()
+		s.Evictions += w.evictions.Load()
+		if snap := w.plans.snap.Load(); snap != nil {
+			s.Size += int64(len(snap.plans))
+		}
+	}
+	return s
+}
+
+// SchedCacheStats sums the per-worker section-schedule shard counters.
+func (p *Pool) SchedCacheStats() schedcache.Stats {
+	var sum schedcache.Stats
+	for _, w := range p.workers {
+		st := w.sched.Stats()
+		sum.Hits += st.Hits
+		sum.Misses += st.Misses
+		sum.Evictions += st.Evictions
+		sum.Size += st.Size
+		sum.Capacity += st.Capacity
+	}
+	return sum
+}
+
+// CachedPlans counts plans across all live shard snapshots.
+func (p *Pool) CachedPlans() int {
+	n := 0
+	for _, w := range p.workers {
+		if snap := w.plans.snap.Load(); snap != nil {
+			n += len(snap.plans)
+		}
+	}
+	return n
+}
+
+// Close stops accepting jobs, lets queued and running jobs finish, waits
+// for the workers to exit, then folds the per-worker cache counters into
+// the graveyard so post-shutdown stat reads still add up. The handshake
+// mirrors submit's: once the closed flag is set, the in-flight count can
+// only fall; when it reaches zero every queue is empty and no submitter
+// can add to one, so the quit channels close with nothing stranded.
 func (p *Pool) Close() {
 	if p.closed.CompareAndSwap(false, true) {
-		p.sendMu.Lock()
-		close(p.jobs)
-		p.sendMu.Unlock()
+		for p.inFlight.Load() != 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		for _, w := range p.workers {
+			close(w.quit)
+		}
+		p.wg.Wait()
+		for _, w := range p.workers {
+			p.grave.hits.Add(w.hits.Swap(0))
+			p.grave.misses.Add(w.misses.Swap(0))
+			p.grave.evictions.Add(w.evictions.Swap(0))
+		}
+		close(p.closeDone)
 	}
-	p.wg.Wait()
+	<-p.closeDone
 }

@@ -8,11 +8,10 @@ import (
 	"testing"
 	"time"
 
-	"andorsched/internal/obs"
 )
 
 func TestPoolRunsJobs(t *testing.T) {
-	p := NewPool(2, 4, obs.NewMetrics())
+	p := NewPool(2, 4, 16)
 	defer p.Close()
 	var mu sync.Mutex
 	seen := 0
@@ -35,7 +34,7 @@ func TestPoolRunsJobs(t *testing.T) {
 }
 
 func TestPoolQueueFull(t *testing.T) {
-	p := NewPool(1, 1, obs.NewMetrics())
+	p := NewPool(1, 1, 16)
 	defer p.Close()
 
 	block := make(chan struct{})
@@ -71,7 +70,7 @@ func TestPoolQueueFull(t *testing.T) {
 }
 
 func TestPoolSkipsExpiredQueuedJobs(t *testing.T) {
-	p := NewPool(1, 4, obs.NewMetrics())
+	p := NewPool(1, 4, 16)
 	defer p.Close()
 
 	block := make(chan struct{})
@@ -102,7 +101,7 @@ func TestPoolSkipsExpiredQueuedJobs(t *testing.T) {
 }
 
 func TestPoolClose(t *testing.T) {
-	p := NewPool(2, 4, obs.NewMetrics())
+	p := NewPool(2, 4, 16)
 	done := false
 	if err := p.Do(context.Background(), func(ctx context.Context, w *Worker) { done = true }); err != nil {
 		t.Fatal(err)
@@ -118,7 +117,7 @@ func TestPoolClose(t *testing.T) {
 }
 
 func TestPoolCloseDrainsQueued(t *testing.T) {
-	p := NewPool(1, 8, obs.NewMetrics())
+	p := NewPool(1, 8, 16)
 	block := make(chan struct{})
 	running := make(chan struct{})
 	go p.Do(context.Background(), func(ctx context.Context, w *Worker) {
@@ -160,7 +159,7 @@ func TestPoolCloseDrainsQueued(t *testing.T) {
 // and must settle the in-flight accounting exactly once. Run under -race
 // with many concurrent submitters and a saturated pool.
 func TestPoolCancelMidQueue(t *testing.T) {
-	p := NewPool(2, 32, obs.NewMetrics())
+	p := NewPool(2, 32, 16)
 	defer p.Close()
 
 	block := make(chan struct{})
@@ -240,7 +239,7 @@ func TestPoolCancelMidQueue(t *testing.T) {
 // TestPoolDoWaitBlocksForSpace: DoWait must ride out a full queue instead
 // of failing fast, and still respect cancellation while blocked.
 func TestPoolDoWaitBlocksForSpace(t *testing.T) {
-	p := NewPool(1, 1, obs.NewMetrics())
+	p := NewPool(1, 1, 16)
 	defer p.Close()
 
 	block := make(chan struct{})
@@ -319,7 +318,7 @@ func TestPoolDoWaitBlocksForSpace(t *testing.T) {
 // pool (no observations) and an empty queue both advise the 1s floor, and
 // the estimate is a positive bounded duration once jobs have completed.
 func TestPoolRetryAfter(t *testing.T) {
-	p := NewPool(1, 4, obs.NewMetrics())
+	p := NewPool(1, 4, 16)
 	defer p.Close()
 	if got := p.RetryAfter(); got != time.Second {
 		t.Errorf("fresh pool RetryAfter %v, want the 1s fallback", got)

@@ -7,7 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"andorsched/internal/andor"
 	"andorsched/internal/cli"
@@ -122,7 +122,12 @@ type RunRow struct {
 	OverheadJ    float64 `json:"overhead_j"`
 	IdleJ        float64 `json:"idle_j"`
 	SpeedChanges int     `json:"speed_changes"`
-	Path         []int   `json:"path,omitempty"`
+	// ClassGrossJ and ClassIdleJ break the energy down per processor
+	// class on heterogeneous platforms, indexed like the platform's class
+	// list (gross = active + overhead). Absent for homogeneous runs.
+	ClassGrossJ []float64 `json:"class_gross_j,omitempty"`
+	ClassIdleJ  []float64 `json:"class_idle_j,omitempty"`
+	Path        []int     `json:"path,omitempty"`
 }
 
 // RunSummary trails a streamed multi-run response.
@@ -137,6 +142,10 @@ type RunSummary struct {
 	DeadlineMisses int     `json:"deadline_misses"`
 	LSTViolations  int     `json:"lst_violations"`
 	SpeedChanges   int     `json:"speed_changes"`
+	// MeanClassGrossJ and MeanClassIdleJ are the per-class means of the
+	// rows' class energy breakdowns (heterogeneous platforms only).
+	MeanClassGrossJ []float64 `json:"mean_class_gross_j,omitempty"`
+	MeanClassIdleJ  []float64 `json:"mean_class_idle_j,omitempty"`
 }
 
 // CompareResponse reports per-scheme energies normalized to NPM under
@@ -307,10 +316,13 @@ func (s *Server) resolveApp(spec *AppSpec) (resolvedApp, *apiError) {
 // steady-state /v1/run path, whose simulation is allocation-free. Graphs
 // here are shared across requests, which is sound for the same reason
 // cached Plans are: nothing mutates a graph after construction.
-var builtinMemo struct {
-	mu sync.Mutex
-	m  map[string]memoEntry
-}
+// The memo is an atomic.Pointer to an immutable map, republished
+// copy-on-write on insert: the name space is tiny and fixed, so the copy
+// happens a bounded number of times per process, after which the warm
+// request path reads it without a lock. Racing inserters may each publish
+// a copy; both carry equivalent entries, so whichever lands last wins
+// harmlessly.
+var builtinMemo atomic.Pointer[map[string]memoEntry]
 
 type memoEntry struct {
 	g      *andor.Graph
@@ -324,11 +336,10 @@ type memoEntry struct {
 func memoBuiltinWorkload(name string) (*andor.Graph, [sha256.Size]byte, error) {
 	memoizable := name == "atr" || name == "synthetic"
 	if memoizable {
-		builtinMemo.mu.Lock()
-		e, ok := builtinMemo.m[name]
-		builtinMemo.mu.Unlock()
-		if ok {
-			return e.g, e.digest, nil
+		if m := builtinMemo.Load(); m != nil {
+			if e, ok := (*m)[name]; ok {
+				return e.g, e.digest, nil
+			}
 		}
 	}
 	g, err := builtinWorkload(name)
@@ -337,12 +348,14 @@ func memoBuiltinWorkload(name string) (*andor.Graph, [sha256.Size]byte, error) {
 	}
 	digest := graphDigest(g)
 	if memoizable {
-		builtinMemo.mu.Lock()
-		if builtinMemo.m == nil {
-			builtinMemo.m = make(map[string]memoEntry)
+		next := make(map[string]memoEntry, 2)
+		if m := builtinMemo.Load(); m != nil {
+			for k, v := range *m {
+				next[k] = v
+			}
 		}
-		builtinMemo.m[name] = memoEntry{g: g, digest: digest}
-		builtinMemo.mu.Unlock()
+		next[name] = memoEntry{g: g, digest: digest}
+		builtinMemo.Store(&next)
 	}
 	return g, digest, nil
 }
@@ -352,20 +365,17 @@ func memoBuiltinWorkload(name string) (*andor.Graph, [sha256.Size]byte, error) {
 // specs are parameterized by client strings and are parsed per request.
 // Platforms are immutable after construction (cached Plans already share
 // them), so sharing one instance across requests is sound.
-var platformMemo struct {
-	mu sync.Mutex
-	m  map[string]*power.Platform
-}
+// Copy-on-write like builtinMemo: lock-free reads on the warm path.
+var platformMemo atomic.Pointer[map[string]*power.Platform]
 
 // parsePlatformMemo resolves a platform spec, memoizing the named ones.
 func parsePlatformMemo(spec string) (*power.Platform, error) {
 	memoizable := spec == "transmeta" || spec == "xscale"
 	if memoizable {
-		platformMemo.mu.Lock()
-		p, ok := platformMemo.m[spec]
-		platformMemo.mu.Unlock()
-		if ok {
-			return p, nil
+		if m := platformMemo.Load(); m != nil {
+			if p, ok := (*m)[spec]; ok {
+				return p, nil
+			}
 		}
 	}
 	p, err := cli.ParsePlatform(spec)
@@ -373,12 +383,14 @@ func parsePlatformMemo(spec string) (*power.Platform, error) {
 		return nil, err
 	}
 	if memoizable {
-		platformMemo.mu.Lock()
-		if platformMemo.m == nil {
-			platformMemo.m = make(map[string]*power.Platform)
+		next := make(map[string]*power.Platform, 2)
+		if m := platformMemo.Load(); m != nil {
+			for k, v := range *m {
+				next[k] = v
+			}
 		}
-		platformMemo.m[spec] = p
-		platformMemo.mu.Unlock()
+		next[spec] = p
+		platformMemo.Store(&next)
 	}
 	return p, nil
 }

@@ -67,6 +67,13 @@ type Config struct {
 	// (default 256). The total runs of a batch are separately bounded by
 	// MaxRuns.
 	MaxBatchItems int
+	// LegacyCache selects the pre-sharding serve path: one mutex-guarded
+	// LRU plan cache with single-flight compile suppression, and every job
+	// submitted to the shared pool queue. The default (false) is the
+	// shared-nothing path — per-worker plan and section-schedule shards
+	// with digest routing. The two paths answer byte-identically; the flag
+	// exists for differential testing and as an escape hatch.
+	LegacyCache bool
 	// Tenant configures per-client admission control (rate limits,
 	// concurrency quotas, run budgets). The zero value disables it.
 	Tenant tenant.Config
@@ -131,8 +138,17 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	metrics *obs.Metrics
-	cache   *PlanCache
-	pool    *Pool
+	// cache is the legacy shared plan cache; nil on the shared-nothing
+	// path, where plans live in per-worker shards inside the pool.
+	cache *PlanCache
+	pool  *Pool
+
+	// statsMu guards the sharded-mode merge of per-worker cache counters
+	// into the registry's monotonic instruments (refreshStats); lastMerged
+	// remembers the totals already credited so each merge adds only the
+	// delta. Read paths only — never touched by request execution.
+	statsMu    sync.Mutex
+	lastMerged PlanCacheStats
 	limiter *tenant.Limiter // nil when admission control is disabled
 	mux     *http.ServeMux
 	httpSrv *http.Server
@@ -161,8 +177,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:         cfg,
 		metrics:     m,
-		cache:       NewPlanCache(cfg.CacheSize, m),
-		pool:        NewPool(cfg.Workers, cfg.QueueSize, m),
+		pool:        NewPool(cfg.Workers, cfg.QueueSize, cfg.CacheSize),
 		limiter:     tenant.New(cfg.Tenant),
 		mux:         http.NewServeMux(),
 		start:       time.Now(),
@@ -174,6 +189,9 @@ func New(cfg Config) *Server {
 		runs:        m.Counter(MetricRuns),
 		batchItems:  m.Counter(MetricBatchItems),
 		latency:     m.Histogram(MetricLatency, latencyBuckets),
+	}
+	if cfg.LegacyCache {
+		s.cache = NewPlanCache(cfg.CacheSize, m)
 	}
 	if !cfg.Trace.Disabled {
 		s.flight = obs.NewFlight(cfg.Trace.RingSize, cfg.Trace.SlowestPerEndpoint)
@@ -202,8 +220,17 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics returns the server's registry.
 func (s *Server) Metrics() *obs.Metrics { return s.metrics }
 
-// Cache returns the plan cache (exposed for tests and health output).
+// Cache returns the legacy plan cache (nil on the shared-nothing path,
+// where plans live in per-worker shards — see Pool.CachedPlans).
 func (s *Server) Cache() *PlanCache { return s.cache }
+
+// cachedPlans counts currently cached plans on whichever path is active.
+func (s *Server) cachedPlans() int {
+	if s.cache != nil {
+		return s.cache.Len()
+	}
+	return s.pool.CachedPlans()
+}
 
 // statusWriter captures the response status for the request trace. It
 // passes Flush through so NDJSON streaming keeps working behind it. The

@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"andorsched/internal/core"
+	"andorsched/internal/core/schedcache"
+)
+
+// TestShardedLegacyDifferential is the tentpole's correctness bar: across
+// random workloads and every endpoint, the shared-nothing path must
+// answer byte-for-byte what the legacy shared-cache path answers. Both
+// servers see every request twice, so cold-compile and warm-cache
+// responses are both covered.
+func TestShardedLegacyDifferential(t *testing.T) {
+	cfg := Config{Workers: 3, QueueSize: 32, CacheSize: 64}
+	legacyCfg := cfg
+	legacyCfg.LegacyCache = true
+	sharded := newTestServer(t, cfg)
+	legacy := newTestServer(t, legacyCfg)
+
+	rng := rand.New(rand.NewSource(7))
+	app := func(wl int) string {
+		switch wl % 4 {
+		case 0:
+			return fmt.Sprintf(`"workload":"random:%d","procs":%d`, wl+1, 2+wl%3)
+		case 1:
+			return fmt.Sprintf(`"workload":"random:%d","procs":2,"platform":"xscale"`, wl+1)
+		case 2:
+			return fmt.Sprintf(`"workload":"random:%d","hetero":"biglittle","placement":"class-affinity"`, wl+1)
+		default:
+			return fmt.Sprintf(`"workload":"random:%d","hetero":"accel"`, wl+1)
+		}
+	}
+	schemes := []string{"GSS", "SS1", "ORA", "AS"}
+	for wl := 0; wl < 30; wl++ {
+		seed := rng.Uint64()
+		bodies := []struct{ path, body string }{
+			{"/v1/run", fmt.Sprintf(`{%s,"scheme":%q,"seed":%d}`, app(wl), schemes[wl%len(schemes)], seed)},
+			{"/v1/run", fmt.Sprintf(`{%s,"scheme":%q,"seed":%d,"runs":5}`, app(wl), schemes[wl%len(schemes)], seed)},
+			{"/v1/compare", fmt.Sprintf(`{%s,"schemes":["NPM","GSS","ORA"],"runs":8,"seed":%d}`, app(wl), seed)},
+			{"/v1/batch", fmt.Sprintf(`{"items":[{%s,"scheme":"GSS","seed":%d,"runs":3},{%s,"scheme":"SS2","seed":%d,"runs":2}]}`,
+				app(wl), seed, app((wl+11)%30), seed+1)},
+		}
+		for _, req := range bodies {
+			for pass := 0; pass < 2; pass++ { // cold, then warm
+				ws := post(t, sharded, req.path, req.body)
+				wl2 := post(t, legacy, req.path, req.body)
+				if ws.Code != wl2.Code {
+					t.Fatalf("workload %d %s pass %d: status sharded %d vs legacy %d\nsharded: %s\nlegacy: %s",
+						wl, req.path, pass, ws.Code, wl2.Code, ws.Body.String(), wl2.Body.String())
+				}
+				if !bytes.Equal(ws.Body.Bytes(), wl2.Body.Bytes()) {
+					t.Fatalf("workload %d %s pass %d: bodies diverged\nsharded: %s\nlegacy: %s",
+						wl, req.path, pass, ws.Body.String(), wl2.Body.String())
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotPublicationRace stress-tests the epoch-published shard
+// snapshots under concurrent eviction: owners churn small shards (every
+// insert evicts and republished) while cross-shard readers loop over the
+// snapshots. Run under -race this proves the publication protocol; the
+// explicit assertions pin that generations only move forward and a
+// snapshot never yields a nil plan for a present key.
+func TestSnapshotPublicationRace(t *testing.T) {
+	p := NewPool(2, 16, 6) // 3 plans per shard: constant eviction
+	defer p.Close()
+	mk := compilePlan(t)
+
+	const nKeys = 24
+	keys := make([]cacheKey, nKeys)
+	for i := range keys {
+		keys[i] = testKey(i)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	lastGen := make([]atomic.Uint64, len(p.workers))
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for !stop.Load() {
+				k := keys[rng.Intn(nKeys)]
+				home := p.homeFor(k)
+				if snap := p.workers[home].plans.snap.Load(); snap != nil {
+					for sk, plan := range snap.plans {
+						if plan == nil {
+							t.Errorf("snapshot of worker %d holds nil plan for %v", home, sk)
+							stop.Store(true)
+							return
+						}
+					}
+					for {
+						g := lastGen[home].Load()
+						if snap.gen > g {
+							if !lastGen[home].CompareAndSwap(g, snap.gen) {
+								continue
+							}
+						} else if snap.gen < g && snap.gen != 0 {
+							// A reader may observe an older snapshot than a
+							// faster reader did (Load races publish), but the
+							// pointer itself must never be replaced with an
+							// earlier generation; re-load to check.
+							if cur := p.workers[home].plans.snap.Load(); cur != nil && cur.gen < g {
+								t.Errorf("worker %d snapshot generation went backwards: %d after %d", home, cur.gen, g)
+								stop.Store(true)
+								return
+							}
+						}
+						break
+					}
+				}
+				if plan, _, ok := p.planFromSnapshot(k); ok && plan == nil {
+					t.Errorf("planFromSnapshot returned ok with nil plan")
+					stop.Store(true)
+					return
+				}
+			}
+		}(r)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 1500; i++ {
+		k := keys[rng.Intn(nKeys)]
+		err := p.DoWaitOn(context.Background(), p.homeFor(k), func(ctx context.Context, wk *Worker) {
+			if _, _, err := wk.OwnerPlan(k, func(*schedcache.Cache) (*core.Plan, error) { return mk() }); err != nil {
+				t.Errorf("OwnerPlan: %v", err)
+			}
+		})
+		if err != nil {
+			t.Fatalf("DoWaitOn: %v", err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	st := p.PlanCacheStats()
+	if st.Evictions == 0 {
+		t.Error("stress never evicted; shard capacity too large for the test to mean anything")
+	}
+	if st.Hits+st.Misses == 0 {
+		t.Error("stress recorded no lookups")
+	}
+}
+
+// TestPoolStatsConservationOnClose pins the graveyard bugfix: draining
+// the pool must not lose per-worker cache counters — the merged totals
+// after Close equal the totals before it, and hits+misses account for
+// every owner lookup submitted.
+func TestPoolStatsConservationOnClose(t *testing.T) {
+	p := NewPool(3, 16, 6)
+	mk := compilePlan(t)
+	const ops = 300
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < ops; i++ {
+		k := testKey(rng.Intn(20))
+		if err := p.DoWaitOn(context.Background(), p.homeFor(k), func(ctx context.Context, wk *Worker) {
+			_, _, _ = wk.OwnerPlan(k, func(*schedcache.Cache) (*core.Plan, error) { return mk() })
+		}); err != nil {
+			t.Fatalf("DoWaitOn: %v", err)
+		}
+	}
+	before := p.PlanCacheStats()
+	if got := before.Hits + before.Misses; got != ops {
+		t.Fatalf("hits+misses = %d before close, want %d", got, ops)
+	}
+	p.Close()
+	after := p.PlanCacheStats()
+	if after.Hits != before.Hits || after.Misses != before.Misses || after.Evictions != before.Evictions {
+		t.Fatalf("counters changed across Close: before %+v, after %+v", before, after)
+	}
+	// Closing again must stay idempotent and keep the totals.
+	p.Close()
+	if again := p.PlanCacheStats(); again != after {
+		t.Fatalf("counters changed across second Close: %+v vs %+v", again, after)
+	}
+}
+
+// TestWarmRunNoServeMutexContention pins the tentpole's "zero shared
+// mutable state" claim with the runtime's own instrumentation: warmed
+// /v1/run requests hammered concurrently must produce no mutex-contention
+// samples with a serve-package frame. (Tracing and admission are off, as
+// on a tuned production path; the legacy path fails this by design — its
+// shared cache mutex shows up under the same load.)
+func TestWarmRunNoServeMutexContention(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, QueueSize: 64, Trace: TraceConfig{Disabled: true}})
+	body := `{"workload":"atr","procs":4,"scheme":"GSS","seed":7}`
+	// Warm the shard (and every worker's arena) before profiling.
+	for i := 0; i < 8; i++ {
+		if w := post(t, s, "/v1/run", body); w.Code != http.StatusOK {
+			t.Fatalf("warmup status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	prev := runtime.SetMutexProfileFraction(1)
+	defer runtime.SetMutexProfileFraction(prev)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if w := post(t, s, "/v1/run", body); w.Code != http.StatusOK {
+					t.Errorf("status %d: %s", w.Code, w.Body.String())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := pprof.Lookup("mutex").WriteTo(&buf, 1); err != nil {
+		t.Fatalf("reading mutex profile: %v", err)
+	}
+	profile := buf.String()
+	for _, line := range strings.Split(profile, "\n") {
+		if strings.Contains(line, "internal/serve") {
+			t.Fatalf("mutex contention inside internal/serve on the warmed run path:\n%s", profile)
+		}
+	}
+}
+
+// TestHeteroRunClassEnergy pins the per-class energy breakdown on the
+// wire: heterogeneous runs carry class slices whose totals reproduce the
+// aggregate energies, and homogeneous responses don't grow new fields.
+func TestHeteroRunClassEnergy(t *testing.T) {
+	s := newTestServer(t, Config{})
+	relClose := func(a, b float64) bool {
+		scale := 1.0
+		if m := a; m < 0 {
+			m = -m
+		}
+		if ab, bb := a, b; true {
+			if ab < 0 {
+				ab = -ab
+			}
+			if bb < 0 {
+				bb = -bb
+			}
+			if ab > scale {
+				scale = ab
+			}
+			if bb > scale {
+				scale = bb
+			}
+		}
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d <= 1e-9*scale
+	}
+
+	w := post(t, s, "/v1/run", `{"workload":"atr","hetero":"biglittle","scheme":"GSS","seed":3}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var row RunRow
+	decodeBody(t, w, &row)
+	if len(row.ClassGrossJ) != 2 || len(row.ClassIdleJ) != 2 {
+		t.Fatalf("class slices (%d,%d), want (2,2): %s", len(row.ClassGrossJ), len(row.ClassIdleJ), w.Body.String())
+	}
+	var gross, idle float64
+	for c := range row.ClassGrossJ {
+		gross += row.ClassGrossJ[c]
+		idle += row.ClassIdleJ[c]
+	}
+	if want := row.ActiveJ + row.OverheadJ; !relClose(gross, want) {
+		t.Errorf("Σ class_gross_j = %g, want active+overhead = %g", gross, want)
+	}
+	if !relClose(idle, row.IdleJ) {
+		t.Errorf("Σ class_idle_j = %g, want idle_j = %g", idle, row.IdleJ)
+	}
+
+	// Streaming summary carries the per-class means.
+	w = post(t, s, "/v1/run", `{"workload":"atr","hetero":"biglittle","scheme":"GSS","seed":3,"runs":4}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stream status %d: %s", w.Code, w.Body.String())
+	}
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	var sum RunSummary
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &sum); err != nil || !sum.Summary {
+		t.Fatalf("last line is not a summary: %q (%v)", lines[len(lines)-1], err)
+	}
+	if len(sum.MeanClassGrossJ) != 2 || len(sum.MeanClassIdleJ) != 2 {
+		t.Fatalf("summary class means (%d,%d), want (2,2)", len(sum.MeanClassGrossJ), len(sum.MeanClassIdleJ))
+	}
+
+	// Homogeneous responses stay free of the new fields.
+	w = post(t, s, "/v1/run", `{"workload":"atr","procs":2,"scheme":"GSS","seed":3}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("homogeneous status %d: %s", w.Code, w.Body.String())
+	}
+	if strings.Contains(w.Body.String(), "class_gross_j") {
+		t.Errorf("homogeneous run grew class fields: %s", w.Body.String())
+	}
+}

@@ -238,8 +238,7 @@ func collectPhases(rec *obs.TraceRec) []string {
 // pool's gauges return to zero. Run under -race it also proves the
 // record handoff between submitter and worker is clean.
 func TestQueueWaitCancellation(t *testing.T) {
-	m := obs.NewMetrics()
-	p := NewPool(1, 4, m)
+	p := NewPool(1, 4, 16)
 	defer p.Close()
 	f := obs.NewFlight(8, 2)
 
@@ -297,8 +296,7 @@ func TestQueueWaitCancellation(t *testing.T) {
 // caller that gives up while waiting for queue space still records its
 // wait as queue time, and the queue-age map is cleaned up.
 func TestQueueWaitCancelledBeforeSend(t *testing.T) {
-	m := obs.NewMetrics()
-	p := NewPool(1, 1, m)
+	p := NewPool(1, 1, 16)
 	defer p.Close()
 	f := obs.NewFlight(8, 2)
 

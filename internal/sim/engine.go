@@ -178,6 +178,17 @@ func (rs *runState) run(cfg Config, tasks []*Task) (*Result, error) {
 	res.Finish = cfg.Start
 	res.ActiveEnergy = 0
 	res.OverheadEnergy = 0
+	if cfg.Hetero != nil {
+		nc := cfg.Hetero.NumClasses()
+		res.ClassActiveEnergy = ensureFloats(res.ClassActiveEnergy, nc)
+		res.ClassOverheadEnergy = ensureFloats(res.ClassOverheadEnergy, nc)
+		for i := 0; i < nc; i++ {
+			res.ClassActiveEnergy[i] = 0
+			res.ClassOverheadEnergy[i] = 0
+		}
+	} else {
+		res.ClassActiveEnergy, res.ClassOverheadEnergy = nil, nil
+	}
 	res.SpeedChanges = 0
 	res.FinalLevels = nil
 	res.Metrics = nil

@@ -201,12 +201,19 @@ func (rs *runState) dispatchHetero() {
 		})
 		res.BusyTime[proc] += execT
 		res.OverheadTime[proc] += compT + changeT
+		// The per-class decomposition repeats each term (rather than sharing
+		// a subtotal) so the scalar accumulation keeps its exact float
+		// association — the 1-class degenerate case stays bit-identical to
+		// the homogeneous loop.
 		res.ActiveEnergy += plat.PowerAt(lvl) * execT
+		res.ClassActiveEnergy[ci] += plat.PowerAt(lvl) * execT
 		// Same transition-power convention as the homogeneous loop: the
 		// speed computation runs at the old level, the transition at the
 		// higher-powered of the two.
 		res.OverheadEnergy += plat.PowerAt(cur) * compT
 		res.OverheadEnergy += math.Max(plat.PowerAt(cur), plat.PowerAt(lvl)) * changeT
+		res.ClassOverheadEnergy[ci] += plat.PowerAt(cur) * compT
+		res.ClassOverheadEnergy[ci] += math.Max(plat.PowerAt(cur), plat.PowerAt(lvl)) * changeT
 		rs.levels[proc] = lvl
 		if finish == now {
 			rs.complete(proc, ti, now)

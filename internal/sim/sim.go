@@ -112,6 +112,10 @@ type Result struct {
 	// ActiveEnergy and OverheadEnergy are the corresponding joules. Idle
 	// energy depends on the accounting horizon and is added by the caller.
 	ActiveEnergy, OverheadEnergy float64
+	// ClassActiveEnergy and ClassOverheadEnergy decompose the two energies
+	// by processor class on heterogeneous runs (indexed by class, summing
+	// exactly to the scalars above term by term); nil on homogeneous runs.
+	ClassActiveEnergy, ClassOverheadEnergy []float64
 	// SpeedChanges counts voltage/speed transitions.
 	SpeedChanges int
 	// FinalLevels is each processor's level index after the run, to carry

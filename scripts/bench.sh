@@ -10,7 +10,14 @@
 #   BENCH_PATTERN  -bench regexp          (default: .)
 #   BENCH_TIME     -benchtime             (default: 1s)
 #   BENCH_COUNT    -count                 (default: 1; repeats are averaged)
+#   BENCH_CPUS     -cpu sweep for the scaling stage (default: 1,2,4)
 #   ANDORSCHED_BENCH_TOL  tolerance for check (default: 0.20)
+#
+# emit additionally runs the per-core scaling stage: the parallel warmed
+# serve benchmark swept across GOMAXPROCS (BENCH_CPUS), recorded under
+# "scaling" in BENCH.json. The table is a record of the measuring machine
+# (honestly flat on a 1-CPU container), not a regression gate — the
+# conditional multi-core gate is scripts/loadtest.sh's scaling stage.
 #
 # See docs/BENCHMARKS.md.
 set -eu
@@ -18,14 +25,17 @@ cd "$(dirname "$0")/.."
 
 mode="${1:-emit}"
 raw="$(mktemp /tmp/andorsched-bench.XXXXXX)"
-trap 'rm -f "$raw"' EXIT
+sweep="$(mktemp /tmp/andorsched-bench-sweep.XXXXXX)"
+trap 'rm -f "$raw" "$sweep"' EXIT
 
 go test -run '^$' -bench "${BENCH_PATTERN:-.}" -benchmem \
     -benchtime "${BENCH_TIME:-1s}" -count "${BENCH_COUNT:-1}" . | tee "$raw"
 
 case "$mode" in
 emit)
-    go run ./cmd/benchregress -emit -in "$raw" -out BENCH.json
+    go test -run '^$' -bench 'ServeRunWarmParallel' -benchmem \
+        -benchtime "${BENCH_TIME:-1s}" -cpu "${BENCH_CPUS:-1,2,4}" . | tee "$sweep"
+    go run ./cmd/benchregress -emit -in "$raw" -scaling "$sweep" -out BENCH.json
     ;;
 check)
     ANDORSCHED_BENCH_NEW="$raw" go test ./internal/benchregress \

@@ -71,6 +71,66 @@ if ! wait "$daemon"; then
 fi
 echo "loadtest: ok (clean drain)"
 
+# Per-core scaling stage: the shared-nothing serve path (per-worker plan
+# and schedule-cache shards, warm hits executed from published snapshots
+# on any worker — see docs/SERVER.md) must scale with cores. The same
+# closed-loop mix runs against daemons pinned to GOMAXPROCS 1, 2 and 4;
+# ok/s and ok/s-per-core are reported for each. Speedup thresholds
+# (>=1.8x for 1->2 cores, >=3.0x for 1->4) are enforced only when the
+# host actually has that many CPUs: a 1-CPU container still prints the
+# table — honestly flat — without failing the build.
+echo "loadtest: per-core scaling stage"
+ncpu="$( (nproc || getconf _NPROCESSORS_ONLN) 2>/dev/null || echo 1 )"
+scale_dur="${LOADTEST_SCALE_DURATION:-6s}"
+rate1= rate2= rate4=
+for procs in 1 2 4; do
+    GOMAXPROCS="$procs" "$bin/andord" -addr "$addr" -trace-off &
+    daemon=$!
+    i=0
+    until "$bin/andorload" -base "http://$addr" -n 1 -c 1 >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "loadtest: andord (GOMAXPROCS=$procs) did not come up on $addr" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    # Warm every scheme's plan so the measured window is pure warm path.
+    "$bin/andorload" -base "http://$addr" -n 32 -c 8 -runs "$runs" \
+        -schemes "$schemes" >/dev/null
+    "$bin/andorload" -base "http://$addr" -duration "$scale_dur" -c 16 \
+        -runs "$runs" -schemes "$schemes" >"$bin/scale.$procs.out"
+    rate="$(awk '/^requests/{gsub(/[()]/,""); print $(NF-1)}' "$bin/scale.$procs.out")"
+    kill -TERM "$daemon"
+    if ! wait "$daemon"; then
+        echo "loadtest: andord (GOMAXPROCS=$procs) drain was unclean" >&2
+        exit 1
+    fi
+    if [ -z "$rate" ]; then
+        echo "loadtest: no throughput line for GOMAXPROCS=$procs" >&2
+        exit 1
+    fi
+    percore="$(awk -v r="$rate" -v p="$procs" 'BEGIN{printf "%.1f", r/p}')"
+    echo "loadtest: GOMAXPROCS=$procs  $rate ok/s  ($percore ok/s/core)"
+    eval "rate$procs=\$rate"
+done
+check_speedup() { # base-rate rate threshold label
+    if ! awk -v a="$1" -v b="$2" -v t="$3" 'BEGIN{exit !(b >= t*a)}'; then
+        echo "loadtest: scaling $4: $2 ok/s is below ${3}x of $1 ok/s" >&2
+        exit 1
+    fi
+}
+if [ "$ncpu" -ge 2 ]; then
+    check_speedup "$rate1" "$rate2" 1.8 "1->2 cores"
+fi
+if [ "$ncpu" -ge 4 ]; then
+    check_speedup "$rate1" "$rate4" 3.0 "1->4 cores"
+fi
+if [ "$ncpu" -lt 2 ]; then
+    echo "loadtest: host has $ncpu CPU(s); speedup thresholds not enforced"
+fi
+echo "loadtest: ok (per-core scaling)"
+
 # Rate-limited two-tenant smoke: restart the daemon with per-tenant
 # admission on, drive a compliant tenant inside its quota and a noisy one
 # far beyond it, concurrently. The compliant tenant must see zero
