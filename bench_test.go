@@ -707,6 +707,54 @@ func benchServeRunWarm(b *testing.B, cfg serve.Config) {
 // under "scaling" in BENCH.json (and scripts/loadtest.sh gates end to end
 // on multi-core hosts). Tracing is off: the flight recorder's ring is the
 // one intentionally shared structure on the request path.
+// BenchmarkServeRunChunked measures one warmed 1000-run /v1/run request
+// end to end, serial (chunks:1) versus chunked across the pool (chunks
+// auto-selected, one per worker with GOMAXPROCS workers). The two variants
+// return byte-identical NDJSON bodies (TestChunkedRunDifferential), so the
+// serial/chunked ns/op ratio is the request-latency speedup intra-request
+// parallelism buys: ~1× on a single-core host (chunking degenerates to
+// one chunk), approaching the core count on real multi-core machines —
+// scripts/loadtest.sh's chunked stage gates ≥1.8× at 2 cores and ≥3× at 4.
+func BenchmarkServeRunChunked(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
+	for _, variant := range []struct {
+		name   string
+		chunks int
+	}{{"serial", 1}, {"chunked", 0}} {
+		b.Run(variant.name, func(b *testing.B) {
+			s := serve.New(serve.Config{
+				Workers:   procs,
+				QueueSize: 4 * procs,
+				Trace:     serve.TraceConfig{Disabled: true},
+			})
+			defer s.Close()
+			body := fmt.Sprintf(
+				`{"workload":"atr","scheme":"GSS","seed":1,"load":0.5,"runs":1000,"chunks":%d}`,
+				variant.chunks)
+			rd := strings.NewReader(body)
+			req := httptest.NewRequest(http.MethodPost, "/v1/run", rd)
+			w := &benchRecorder{hdr: make(http.Header, 4)}
+			do := func() int {
+				rd.Reset(body)
+				w.body.Reset()
+				w.status = 0
+				s.Handler().ServeHTTP(w, req)
+				return w.status
+			}
+			if code := do(); code != http.StatusOK {
+				b.Fatalf("status %d: %s", code, w.body.String())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if code := do(); code != http.StatusOK {
+					b.Fatalf("status %d", code)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkServeRunWarmParallel(b *testing.B) {
 	procs := runtime.GOMAXPROCS(0)
 	s := serve.New(serve.Config{

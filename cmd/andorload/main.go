@@ -51,6 +51,8 @@ func main() {
 	rps := flag.Float64("rps", 0, "target aggregate request rate (0 = unthrottled)")
 	procs := flag.Int("procs", 2, "processors m in each request")
 	batch := flag.Int("batch", 0, "items per request; >0 targets /v1/batch instead of /v1/run")
+	chunks := flag.Int("chunks", 0,
+		"per-request chunk count for /v1/run (0 = server auto, 1 = force serial)")
 	apiKey := flag.String("api-key", "", "X-API-Key header value (tenant identity)")
 	trace := flag.Bool("trace", false,
 		"send traceparent headers and print the slowest request's phase breakdown")
@@ -58,9 +60,13 @@ func main() {
 
 	schemes := strings.Split(*schemesFlag, ",")
 	item := func(seed int, scheme string) string {
+		chunkField := ""
+		if *chunks > 0 {
+			chunkField = fmt.Sprintf(`,"chunks":%d`, *chunks)
+		}
 		return fmt.Sprintf(
-			`{"workload":%q,"scheme":%q,"runs":%d,"load":%g,"procs":%d,"seed":%d}`,
-			*workloadName, strings.TrimSpace(scheme), *runs, *loadFactor, *procs, seed)
+			`{"workload":%q,"scheme":%q,"runs":%d,"load":%g,"procs":%d,"seed":%d%s}`,
+			*workloadName, strings.TrimSpace(scheme), *runs, *loadFactor, *procs, seed, chunkField)
 	}
 	body := func(i int) []byte {
 		return []byte(item(i, schemes[i%len(schemes)]))
@@ -102,6 +108,9 @@ func main() {
 		cfg.URL, *workloadName, *schemesFlag, *runs, *conc)
 	if *batch > 0 {
 		fmt.Printf(" batch=%d", *batch)
+	}
+	if *chunks > 0 {
+		fmt.Printf(" chunks=%d", *chunks)
 	}
 	if *rps > 0 {
 		fmt.Printf(" rps=%g", *rps)

@@ -1,0 +1,77 @@
+package core
+
+import "andorsched/internal/stats"
+
+// MCStats accumulates per-run results of a Monte-Carlo experiment into the
+// summary statistics the serving layer reports: Welford finish/energy
+// accumulators, miss/violation/speed-change counts and lazily-grown
+// per-class energy sums for heterogeneous platforms.
+//
+// Reduction order is part of the contract. Feeding results in global run
+// order produces bit-identical floating-point summaries no matter how the
+// runs were executed — serially on one worker or split into per-worker
+// chunks — because the sequence of Add operations on the underlying
+// accumulators is then exactly the serial sequence. Parallel Welford
+// merges would be statistically equivalent but not bit-identical, and the
+// serve layer's serial-vs-chunked differential tests demand the stronger
+// property, so chunked callers buffer per-run samples and reduce them here
+// in run order.
+type MCStats struct {
+	Finish, Energy stats.Acc
+	Misses         int
+	LSTViolations  int
+	SpeedChanges   int
+	Done           int
+
+	// classGross and classIdle are per-class energy sums, allocated on the
+	// first result that carries a class breakdown (homogeneous runs never
+	// pay for them).
+	classGross, classIdle []float64
+}
+
+// Observe folds one run result into the accumulator.
+func (m *MCStats) Observe(res *RunResult) {
+	m.Add(res.Finish, res.Energy(), res.ClassGrossEnergy, res.ClassIdleEnergy,
+		res.SpeedChanges, res.LSTViolations, res.MetDeadline)
+}
+
+// Add folds one run's already-extracted sample into the accumulator — the
+// form chunked execution uses when reducing buffered rows. The operation
+// sequence is identical to Observe's, which is what keeps serial and
+// chunked summaries bit-identical.
+func (m *MCStats) Add(finish, energy float64, classGross, classIdle []float64,
+	speedChanges, lstViolations int, metDeadline bool) {
+	m.Finish.Add(finish)
+	m.Energy.Add(energy)
+	if n := len(classGross); n != 0 {
+		if m.classGross == nil {
+			m.classGross = make([]float64, n)
+			m.classIdle = make([]float64, n)
+		}
+		for c := 0; c < n; c++ {
+			m.classGross[c] += classGross[c]
+			m.classIdle[c] += classIdle[c]
+		}
+	}
+	m.SpeedChanges += speedChanges
+	m.LSTViolations += lstViolations
+	if !metDeadline {
+		m.Misses++
+	}
+	m.Done++
+}
+
+// ClassMeans returns the per-class mean gross and idle energies, or
+// (nil, nil) when no observed run carried a class breakdown.
+func (m *MCStats) ClassMeans() (gross, idle []float64) {
+	if m.classGross == nil || m.Done == 0 {
+		return nil, nil
+	}
+	gross = make([]float64, len(m.classGross))
+	idle = make([]float64, len(m.classIdle))
+	for c := range m.classGross {
+		gross[c] = m.classGross[c] / float64(m.Done)
+		idle[c] = m.classIdle[c] / float64(m.Done)
+	}
+	return gross, idle
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"andorsched/internal/exectime"
+	"andorsched/internal/power"
+	"andorsched/internal/workload"
+)
+
+// TestMCStatsObserveAddEquivalent proves Observe and Add perform the same
+// accumulation for real run results — the property that lets the serial
+// path Observe results directly while the chunked path re-Adds them from
+// buffered rows and still lands on bit-identical summaries.
+func TestMCStatsObserveAddEquivalent(t *testing.T) {
+	g := workload.ATR(workload.DefaultATRConfig())
+	plan, err := NewPlan(g, 2, power.Transmeta5400(), power.DefaultOverheads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := exectime.NewSource(1)
+	sampler := exectime.NewSampler(src)
+	arena := NewArena()
+	deadline := plan.CTWorst / 0.5
+
+	var byObserve, byAdd MCStats
+	var res RunResult
+	var master exectime.Source
+	master.Reseed(9)
+	for i := 0; i < 50; i++ {
+		src.Reseed(master.Uint64())
+		if err := plan.RunInto(RunConfig{Scheme: GSS, Deadline: deadline, Sampler: sampler},
+			arena, &res); err != nil {
+			t.Fatal(err)
+		}
+		byObserve.Observe(&res)
+		byAdd.Add(res.Finish, res.Energy(), res.ClassGrossEnergy, res.ClassIdleEnergy,
+			res.SpeedChanges, res.LSTViolations, res.MetDeadline)
+	}
+	if !mcStatsEqual(&byObserve, &byAdd) {
+		t.Fatalf("Observe and Add diverged:\n%+v\n%+v", byObserve, byAdd)
+	}
+	if byObserve.Done != 50 {
+		t.Fatalf("Done = %d, want 50", byObserve.Done)
+	}
+}
+
+// mcStatsEqual compares two accumulators field by field (MCStats contains
+// slices, so == is not available when class sums were allocated).
+func mcStatsEqual(a, b *MCStats) bool {
+	if a.Finish != b.Finish || a.Energy != b.Energy ||
+		a.Misses != b.Misses || a.LSTViolations != b.LSTViolations ||
+		a.SpeedChanges != b.SpeedChanges || a.Done != b.Done ||
+		len(a.classGross) != len(b.classGross) {
+		return false
+	}
+	for c := range a.classGross {
+		if a.classGross[c] != b.classGross[c] || a.classIdle[c] != b.classIdle[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMCStatsRunOrderReduction: reducing per-run samples sequentially in
+// run order is bit-identical regardless of which chunk buffered them —
+// the numerically-stable combine the chunked serve path relies on.
+func TestMCStatsRunOrderReduction(t *testing.T) {
+	// Synthetic per-run samples with enough spread to expose any
+	// floating-point reassociation.
+	finish := make([]float64, 1000)
+	energy := make([]float64, 1000)
+	src := exectime.NewSource(3)
+	for i := range finish {
+		finish[i] = 1 + src.Float64()*1e6
+		energy[i] = 1e-9 + src.Float64()
+	}
+	reduce := func(chunks int) MCStats {
+		var m MCStats
+		// Chunk boundaries differ, but the flattened visit order is always
+		// global run order.
+		for c := 0; c < chunks; c++ {
+			lo, hi := c*len(finish)/chunks, (c+1)*len(finish)/chunks
+			for i := lo; i < hi; i++ {
+				m.Add(finish[i], energy[i], nil, nil, i%3, i%7, i%11 != 0)
+			}
+		}
+		return m
+	}
+	want := reduce(1)
+	for chunks := 2; chunks <= 8; chunks++ {
+		if got := reduce(chunks); !mcStatsEqual(&got, &want) {
+			t.Fatalf("%d-chunk reduction diverged from serial:\n%+v\n%+v", chunks, got, want)
+		}
+	}
+	if want.Misses == 0 || want.LSTViolations == 0 {
+		t.Fatal("test data never exercised the counters")
+	}
+}
+
+// TestMCStatsClassMeans covers the heterogeneous breakdown: lazily grown,
+// averaged over Done, nil for homogeneous histories.
+func TestMCStatsClassMeans(t *testing.T) {
+	var m MCStats
+	if g, i := m.ClassMeans(); g != nil || i != nil {
+		t.Fatal("empty accumulator must have nil class means")
+	}
+	m.Add(1, 2, nil, nil, 0, 0, true) // homogeneous run first: no growth
+	m.Add(1, 2, []float64{4, 8}, []float64{2, 6}, 0, 0, true)
+	m.Add(1, 2, []float64{2, 4}, []float64{4, 2}, 0, 0, true)
+	gross, idle := m.ClassMeans()
+	if len(gross) != 2 || len(idle) != 2 {
+		t.Fatalf("class means %v %v, want 2 classes", gross, idle)
+	}
+	// Sums divide by Done (3), matching the serial serve path's behavior
+	// for mixed histories.
+	if gross[0] != 2 || gross[1] != 4 || idle[0] != 2 || idle[1] != 8.0/3 {
+		t.Fatalf("class means %v %v", gross, idle)
+	}
+}

@@ -11,6 +11,12 @@ package exectime
 
 import "math"
 
+// gamma is SplitMix64's Weyl-sequence increment. The generator's state
+// after n steps is exactly seed + n·gamma (the output mixing is stateless),
+// which is what makes O(1) skip-ahead — Skip, SeedAt — possible: any point
+// of a stream can be reached without generating the prefix.
+const gamma = 0x9e3779b97f4a7c15
+
 // Source is a deterministic pseudo-random number generator (SplitMix64).
 // It implements the subset of math/rand.Rand used by this repository —
 // Float64, Intn, NormFloat64 — plus Fork for carving independent streams.
@@ -31,7 +37,7 @@ func NewSource(seed uint64) *Source {
 
 // Uint64 returns the next 64 pseudo-random bits (SplitMix64 step).
 func (s *Source) Uint64() uint64 {
-	s.state += 0x9e3779b97f4a7c15
+	s.state += gamma
 	z := s.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
@@ -89,6 +95,33 @@ func (s *Source) Reseed(seed uint64) {
 	s.state = seed
 	s.haveSpare = false
 	s.spare = 0
+}
+
+// Skip advances the receiver by n Uint64 steps in O(1), discarding any
+// cached Box–Muller spare — after Skip(n), the source produces exactly the
+// outputs a fresh source at the same seed would produce after n Uint64
+// calls. It is the chunk-stable seeding primitive: a worker handed runs
+// [lo, hi) of a request reproduces the serial per-run seed stream with
+// Reseed(seed); Skip(lo), so run i's stream is independent of how the
+// request was chunked.
+//
+// Skip counts raw Uint64 draws, not derived variates: NormFloat64 consumes
+// a variable number of uniforms, so skipping across anything but whole
+// Uint64-aligned positions (like the per-run master seeds) is not
+// meaningful.
+func (s *Source) Skip(n uint64) {
+	s.state += n * gamma
+	s.haveSpare = false
+	s.spare = 0
+}
+
+// SeedAt returns the i-th value (0-based) of NewSource(seed)'s Uint64
+// stream in O(1) — the per-run seed a master source hands to run i. It
+// exists so independent chunks (and batch items deriving per-item seeds)
+// can agree on per-run seeds without sharing a generator.
+func SeedAt(seed, i uint64) uint64 {
+	s := Source{state: seed + i*gamma}
+	return s.Uint64()
 }
 
 // Pick samples an index from the discrete distribution probs (which should

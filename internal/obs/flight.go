@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -20,6 +21,13 @@ import (
 // A nil *Flight disables tracing: Start returns nil and every other
 // method no-ops, mirroring the package's nil-Tracer convention.
 type Flight struct {
+	// droppedSpans accumulates, across every finished trace, the spans
+	// that found the per-trace span array full and were counted instead
+	// of stored (see TraceRec). Individual traces expose their own drop
+	// count, but those leave the ring quickly; the lifetime total is what
+	// says "your span budget is too small for this traffic".
+	droppedSpans atomic.Int64
+
 	mu      sync.Mutex
 	ring    []*TraceRec // circular, nil until warm
 	pos     int
@@ -91,6 +99,13 @@ func (f *Flight) Finish(rec *TraceRec, status int) {
 	}
 	rec.status = status
 	rec.dur = time.Since(rec.start)
+	// Fold the trace's overflow count into the recorder-lifetime total
+	// before retention: reset() clears the per-trace counter when the
+	// record is recycled, so this is the only point the number is both
+	// final and still attached.
+	if d := rec.dropped.Load(); d > 0 {
+		f.droppedSpans.Add(int64(d))
+	}
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -200,6 +215,15 @@ func (f *Flight) Slowest() map[string][]RequestTrace {
 		out[ep] = ts
 	}
 	return out
+}
+
+// DroppedSpans returns the total spans dropped to per-trace overflow
+// across every trace finished on this recorder.
+func (f *Flight) DroppedSpans() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.droppedSpans.Load()
 }
 
 // Len returns the number of traces currently in the ring.

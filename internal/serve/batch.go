@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"andorsched/internal/core"
+	"andorsched/internal/exectime"
 	"andorsched/internal/obs"
 )
 
@@ -52,6 +53,12 @@ type BatchSummary struct {
 	Errors  int  `json:"errors"`
 	Runs    int  `json:"runs"`
 }
+
+// batchSeedBase seeds the derivation of per-item default seeds: item i of
+// a batch whose items omit their seed runs with exectime.SeedAt(
+// batchSeedBase, i). Fixed so seedless batches are reproducible across
+// processes; arbitrary otherwise.
+const batchSeedBase = 0x8f1c_33d9_5b24_a6e7
 
 // batchItem is one item after validation: ready to execute, or already
 // failed with its error line.
@@ -157,6 +164,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			it.runs = 1
 		}
 		it.seed = spec.Seed
+		if it.seed == 0 {
+			// Items that do not pick a seed get distinct, deterministic
+			// per-item defaults. Sharing /v1/run's literal default (0) across
+			// the batch made every seedless item replay one random stream:
+			// a batch of "independent" replications silently returned N
+			// copies of the same experiment. (Seed 0 therefore cannot be
+			// requested explicitly in a batch item; any other value is used
+			// verbatim, and resubmitting the same batch reproduces the same
+			// per-item streams.)
+			it.seed = exectime.SeedAt(batchSeedBase, uint64(i))
+		}
 	}
 
 	// Execute in parallel across the pool. Items are striped into one
@@ -184,10 +202,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for c := 0; c < chunks; c++ {
 		lo, hi := c*len(valid)/chunks, (c+1)*len(valid)/chunks
 		chunk := valid[lo:hi]
+		chunkUnits := int64(0)
+		for _, it := range chunk {
+			chunkUnits += int64(it.runs)
+		}
 		wg.Add(1)
-		go func(chunk []*batchItem) {
+		go func(chunk []*batchItem, chunkUnits int64) {
 			defer wg.Done()
-			err := s.pool.DoWait(r.Context(), func(ctx context.Context, wk *Worker) {
+			err := s.pool.doWaitUnits(r.Context(), chunkUnits, func(ctx context.Context, wk *Worker) {
 				done := int64(0)
 				defer func() {
 					mu.Lock()
@@ -228,7 +250,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				}
 				mu.Unlock()
 			}
-		}(chunk)
+		}(chunk, chunkUnits)
 	}
 	wg.Wait()
 	s.runs.Add(executed)

@@ -1,0 +1,609 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestChunkCount pins the splitting policy: explicit chunk counts are
+// honored within caps, auto-chunking engages only when the pool and the
+// request are both big enough.
+func TestChunkCount(t *testing.T) {
+	cases := []struct {
+		runs, workers, requested, minPer, want int
+	}{
+		{1000, 4, 0, 64, 4},                 // auto: one chunk per worker
+		{1000, 1, 0, 64, 1},                 // single worker: chunking buys nothing
+		{100, 4, 0, 64, 1},                  // under 2×floor: stay serial
+		{128, 4, 0, 64, 2},                  // exactly 2×floor: 2 chunks of 64
+		{192, 4, 0, 64, 3},                  // floor limits chunks below workers
+		{1000, 128, 0, 64, 15},              // floor limits wide pools too
+		{100000, 128, 0, 64, 64},            // maxRunChunks cap on auto
+		{1000, 4, 1, 64, 1},                 // explicit serial
+		{1000, 4, 7, 64, 7},                 // explicit beats worker count
+		{5, 4, 8, 64, 5},                    // explicit capped at runs
+		{100000, 4, 1000, 64, maxRunChunks}, // explicit capped at maxRunChunks
+	}
+	for _, tc := range cases {
+		if got := chunkCount(tc.runs, tc.workers, tc.requested, tc.minPer); got != tc.want {
+			t.Errorf("chunkCount(%d, %d, %d, %d) = %d, want %d",
+				tc.runs, tc.workers, tc.requested, tc.minPer, got, tc.want)
+		}
+	}
+	// Bounds must cover every run exactly once, in order.
+	for _, nc := range []int{1, 2, 3, 7, 8} {
+		next := 0
+		for c := 0; c < nc; c++ {
+			lo, hi := chunkBounds(1000, nc, c)
+			if lo != next || hi < lo {
+				t.Fatalf("chunkBounds(1000, %d, %d) = [%d, %d), want lo %d", nc, c, lo, hi, next)
+			}
+			next = hi
+		}
+		if next != 1000 {
+			t.Fatalf("chunkBounds(1000, %d, ...) covered %d runs", nc, next)
+		}
+	}
+}
+
+// TestChunkedRunDifferential is the issue's gate: for every scheme, on
+// homogeneous and heterogeneous platforms, a chunked /v1/run must answer
+// the byte-for-byte identical NDJSON body — every row and the summary —
+// as the serial (chunks:1) form of the same request, for every chunk
+// count. Not statistically equivalent: identical.
+func TestChunkedRunDifferential(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, QueueSize: 64})
+	schemes := []string{"NPM", "SPM", "GSS", "SS1", "SS2", "AS", "CLV", "ASP", "ORA"}
+	platforms := []string{
+		`"workload":"atr"`,
+		`"workload":"atr","hetero":"biglittle","placement":"class-affinity"`,
+	}
+	runsCases := []int{1, 7, 100, 1000}
+	chunkCases := []int{0, 2, 3, 5, 8} // 0 = auto
+
+	for _, plat := range platforms {
+		for _, scheme := range schemes {
+			for _, runs := range runsCases {
+				serialBody := ""
+				for _, chunks := range append([]int{1}, chunkCases...) {
+					body := fmt.Sprintf(`{%s,"scheme":%q,"runs":%d,"seed":12345,"chunks":%d}`,
+						plat, scheme, runs, chunks)
+					w := post(t, s, "/v1/run", body)
+					if w.Code != http.StatusOK {
+						t.Fatalf("%s: status %d: %s", body, w.Code, w.Body.String())
+					}
+					if chunks == 1 {
+						serialBody = w.Body.String()
+						continue
+					}
+					if got := w.Body.String(); got != serialBody {
+						t.Fatalf("%s diverged from serial response\nchunked: %s\nserial:  %s",
+							body, truncateDiff(got, serialBody), truncateDiff(serialBody, got))
+					}
+				}
+			}
+		}
+	}
+}
+
+// truncateDiff returns the neighborhood of the first difference, so a
+// differential failure points at the divergent row instead of dumping two
+// megabyte bodies.
+func truncateDiff(got, want string) string {
+	i := 0
+	for i < len(got) && i < len(want) && got[i] == want[i] {
+		i++
+	}
+	lo := i - 80
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 120
+	if hi > len(got) {
+		hi = len(got)
+	}
+	return fmt.Sprintf("...byte %d: %q", i, got[lo:hi])
+}
+
+// TestChunkedRunDefaultSeed covers the seed-omitted form: the master
+// stream defaults to seed 0 and chunking must preserve that too.
+func TestChunkedRunDefaultSeed(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, QueueSize: 64})
+	serial := post(t, s, "/v1/run", `{"workload":"atr","scheme":"AS","runs":300,"chunks":1}`)
+	if serial.Code != http.StatusOK {
+		t.Fatalf("serial status %d", serial.Code)
+	}
+	auto := post(t, s, "/v1/run", `{"workload":"atr","scheme":"AS","runs":300}`)
+	if auto.Code != http.StatusOK {
+		t.Fatalf("auto status %d", auto.Code)
+	}
+	if serial.Body.String() != auto.Body.String() {
+		t.Fatal("auto-chunked seedless run diverged from serial")
+	}
+}
+
+// TestChunkedRunValidation: the chunks field is validated like the other
+// request knobs — negative or over-cap values are a 400, not a clamp.
+func TestChunkedRunValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for _, body := range []string{
+		`{"workload":"atr","runs":100,"chunks":-1}`,
+		fmt.Sprintf(`{"workload":"atr","runs":100,"chunks":%d}`, maxRunChunks+1),
+		`{"workload":"atr","schemes":["GSS"],"runs":10,"chunks":-3}`,
+	} {
+		path := "/v1/run"
+		if strings.Contains(body, "schemes") {
+			path = "/v1/compare"
+		}
+		if w := post(t, s, path, body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d, want 400", path, body, w.Code)
+		}
+	}
+}
+
+// TestChunkedCompareDifferential: /v1/compare under frame chunking must
+// reproduce the serial response byte for byte — the CRN pairing of NPM
+// baseline and scheme replays inside each frame survives the split.
+func TestChunkedCompareDifferential(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, QueueSize: 64})
+	bodies := []string{
+		`{"workload":"atr","schemes":["GSS","AS","ORA"],"runs":%d,"seed":7,"chunks":%d}`,
+		`{"workload":"atr","hetero":"biglittle","schemes":["AS","ASP"],"runs":%d,"seed":7,"chunks":%d}`,
+	}
+	for _, tpl := range bodies {
+		for _, runs := range []int{1, 40, 300} {
+			serial := post(t, s, "/v1/compare", fmt.Sprintf(tpl, runs, 1))
+			if serial.Code != http.StatusOK {
+				t.Fatalf("serial compare status %d: %s", serial.Code, serial.Body.String())
+			}
+			for _, chunks := range []int{0, 2, 5, 8} {
+				w := post(t, s, "/v1/compare", fmt.Sprintf(tpl, runs, chunks))
+				if w.Code != http.StatusOK {
+					t.Fatalf("chunked compare status %d: %s", w.Code, w.Body.String())
+				}
+				if w.Body.String() != serial.Body.String() {
+					t.Fatalf("compare runs=%d chunks=%d diverged from serial\nchunked: %s\nserial:  %s",
+						runs, chunks, w.Body.String(), serial.Body.String())
+				}
+			}
+		}
+	}
+}
+
+// FuzzChunkedRunDifferential fuzzes the serial/chunked equivalence: any
+// two chunk counts of the same request must produce identical bodies.
+func FuzzChunkedRunDifferential(f *testing.F) {
+	f.Add(uint8(0), uint16(100), uint64(1), uint8(1), uint8(4), false)
+	f.Add(uint8(5), uint16(300), uint64(42), uint8(2), uint8(7), true)
+	f.Add(uint8(8), uint16(1), uint64(0), uint8(1), uint8(8), false)
+	f.Add(uint8(3), uint16(129), uint64(1<<63), uint8(3), uint8(5), true)
+
+	s := New(Config{Workers: 4, QueueSize: 64, RequestTimeout: 30 * time.Second})
+	f.Cleanup(s.Close)
+	schemes := []string{"NPM", "SPM", "GSS", "SS1", "SS2", "AS", "CLV", "ASP", "ORA"}
+
+	f.Fuzz(func(t *testing.T, schemeIdx uint8, runs uint16, seed uint64, chunksA, chunksB uint8, hetero bool) {
+		scheme := schemes[int(schemeIdx)%len(schemes)]
+		nruns := int(runs)%500 + 1
+		plat := `"workload":"atr"`
+		if hetero {
+			plat = `"workload":"atr","hetero":"biglittle"`
+		}
+		req := func(chunks int) string {
+			body := fmt.Sprintf(`{%s,"scheme":%q,"runs":%d,"seed":%d,"chunks":%d}`,
+				plat, scheme, nruns, seed, chunks)
+			w := post(t, s, "/v1/run", body)
+			if w.Code != http.StatusOK {
+				t.Fatalf("%s: status %d: %s", body, w.Code, w.Body.String())
+			}
+			return w.Body.String()
+		}
+		a := req(int(chunksA)%maxRunChunks + 1)
+		b := req(int(chunksB)%maxRunChunks + 1)
+		if a != b {
+			t.Fatalf("chunk counts %d and %d disagree for scheme=%s runs=%d seed=%d",
+				int(chunksA)%maxRunChunks+1, int(chunksB)%maxRunChunks+1, scheme, nruns, seed)
+		}
+	})
+}
+
+// TestFanOutAllOrNothing races chunked execution against Pool.Close: every
+// fanOut call must either run all its chunks (nil error) or fail as a
+// whole — a nil return with missing chunk work would be a partial summary
+// presented as a complete one. Run under -race this also audits the
+// submit/Close handshake along the new fan-out path.
+func TestFanOutAllOrNothing(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		p := NewPool(3, 2, 8)
+		const requests = 8
+		const chunks = 4
+		var wg sync.WaitGroup
+		results := make([]error, requests)
+		counts := make([]atomic.Int64, requests)
+		for r := 0; r < requests; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[r] = p.fanOut(context.Background(), chunks, nil,
+					func(c int) func(context.Context, *Worker) {
+						return func(ctx context.Context, wk *Worker) {
+							time.Sleep(50 * time.Microsecond)
+							counts[r].Add(1)
+						}
+					})
+			}()
+		}
+		time.Sleep(time.Duration(iter%5) * 100 * time.Microsecond)
+		p.Close()
+		wg.Wait()
+		for r := 0; r < requests; r++ {
+			if results[r] == nil && counts[r].Load() != chunks {
+				t.Fatalf("iter %d request %d: fanOut returned nil with %d/%d chunks executed",
+					iter, r, counts[r].Load(), chunks)
+			}
+		}
+	}
+}
+
+// TestFanOutCancellation: cancelling the request context mid-fan-out
+// fails the whole request, and running chunks observe the cancellation
+// instead of simulating to completion.
+func TestFanOutCancellation(t *testing.T) {
+	p := NewPool(2, 8, 8)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 4)
+	var sawCancel atomic.Int32
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.fanOut(ctx, 4, nil,
+			func(c int) func(context.Context, *Worker) {
+				return func(ctx context.Context, wk *Worker) {
+					started <- struct{}{}
+					<-ctx.Done()
+					sawCancel.Add(1)
+				}
+			})
+	}()
+	<-started // at least one chunk is running
+	cancel()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("fanOut returned nil for a cancelled request")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fanOut did not return after cancellation")
+	}
+	if sawCancel.Load() == 0 {
+		t.Error("no running chunk observed the cancellation")
+	}
+}
+
+// TestFanOutAdmission pins the 429 semantics of the chunked path: when the
+// shared queue cannot take even the first chunk, fanOut fails fast with
+// ErrQueueFull — one admission decision for the whole request, like the
+// serial path — rather than blocking or half-submitting.
+func TestFanOutAdmission(t *testing.T) {
+	p := NewPool(1, 1, 8)
+	defer p.Close()
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	// Occupy the worker and the only queue slot.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.DoWait(context.Background(), func(ctx context.Context, wk *Worker) { <-gate })
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.QueueDepth() < 1 || p.InFlight() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("pool never saturated")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.fanOut(context.Background(), 4, nil,
+			func(c int) func(context.Context, *Worker) {
+				return func(ctx context.Context, wk *Worker) {}
+			})
+	}()
+	select {
+	case err := <-errc:
+		if err != ErrQueueFull {
+			t.Fatalf("fanOut on full queue: %v, want ErrQueueFull", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fanOut blocked on a full queue instead of failing fast")
+	}
+	close(gate)
+	wg.Wait()
+}
+
+// TestRetryAfterCountsUnits is the S2 regression: the Retry-After estimate
+// must be derived from work units (runs), not job counts. With chunk
+// fan-out a queue of W chunk jobs holds one request's work; a per-job
+// estimate learned from whole-request jobs would overprice it by ~W×.
+func TestRetryAfterCountsUnits(t *testing.T) {
+	p := NewPool(2, 8, 8)
+	defer p.Close()
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	// Pin both workers.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.DoWait(context.Background(), func(ctx context.Context, wk *Worker) { <-gate })
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.InFlight() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("workers never pinned")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Queue four single-unit chunk-style jobs.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.doWaitUnits(context.Background(), 1, func(ctx context.Context, wk *Worker) {})
+		}()
+	}
+	for p.QueueDepth() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Teach the workers a history of 8-unit jobs at 100ms/unit — i.e. the
+	// pool has been running 8-chunk requests whose chunks take 800ms each.
+	for _, w := range p.workers {
+		w.svcUnitNanos.Store(int64(100 * time.Millisecond))
+		w.jobUnits.Store(8)
+	}
+	// Per-unit math: (4 queued units + 8 mean units) × 100ms ÷ 2 workers
+	// = 600ms → floors to 1s. The old per-job estimate ((4+1) jobs ×
+	// 800ms ÷ 2 = 2s) would tell the client to stay away twice as long as
+	// the queue actually needs.
+	if got := p.RetryAfter(); got != time.Second {
+		t.Errorf("RetryAfter = %v, want 1s (unit-derived estimate)", got)
+	}
+	// Sanity: with genuinely heavy queued work the estimate scales up.
+	p.unitsQueued.Add(100)
+	if got := p.RetryAfter(); got < 5*time.Second {
+		t.Errorf("RetryAfter = %v with 104 queued units at 100ms/unit, want ≥5s", got)
+	}
+	p.unitsQueued.Add(-100)
+	close(gate)
+	wg.Wait()
+}
+
+// TestChunkedTraceSpans is the S3 check for the default fan-out: a traced
+// chunked run must record one exec.mc span per chunk with its run count,
+// and drop nothing at default chunk widths.
+func TestChunkedTraceSpans(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, QueueSize: 64})
+	w := post(t, s, "/v1/run", `{"workload":"atr","scheme":"GSS","runs":1000,"seed":3,"chunks":8}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	id := w.Header().Get("X-Trace-Id")
+	rt, ok := s.flight.Get(id)
+	if !ok {
+		t.Fatalf("trace %s not retained", id)
+	}
+	if rt.DroppedSpans != 0 {
+		t.Errorf("default chunked fan-out dropped %d spans", rt.DroppedSpans)
+	}
+	mcSpans, mcRuns := 0, int64(0)
+	for _, sp := range rt.Spans {
+		if sp.Phase == PhaseExecMC {
+			mcSpans++
+			mcRuns += sp.N
+		}
+	}
+	if mcSpans != 8 {
+		t.Errorf("exec.mc spans = %d, want one per chunk (8)", mcSpans)
+	}
+	if mcRuns != 1000 {
+		t.Errorf("exec.mc span run counts total %d, want 1000", mcRuns)
+	}
+	if got := s.flight.DroppedSpans(); got != 0 {
+		t.Errorf("recorder-lifetime dropped spans = %d, want 0", got)
+	}
+}
+
+// TestSpanOverflowCounted is the S3 overflow side: a request recording
+// more spans than the per-trace array holds must surface the overflow in
+// its trace and in /debug/requests' lifetime total instead of losing it
+// silently.
+func TestSpanOverflowCounted(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QueueSize: 16, MaxBatchItems: 128})
+	var sb strings.Builder
+	sb.WriteString(`{"items":[`)
+	for i := 0; i < 100; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"workload":"atr","scheme":"GSS","seed":%d}`, i+1)
+	}
+	sb.WriteString(`]}`)
+	w := post(t, s, "/v1/batch", sb.String())
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", w.Code, w.Body.String())
+	}
+	id := w.Header().Get("X-Trace-Id")
+	rt, ok := s.flight.Get(id)
+	if !ok {
+		t.Fatalf("trace %s not retained", id)
+	}
+	if rt.DroppedSpans == 0 {
+		t.Fatal("100-item traced batch did not overflow the span array; overflow path untested")
+	}
+	req := httptest.NewRequest(http.MethodGet, "/debug/requests", nil)
+	dw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(dw, req)
+	if dw.Code != http.StatusOK {
+		t.Fatalf("/debug/requests status %d", dw.Code)
+	}
+	var dbg DebugRequests
+	if err := json.Unmarshal(dw.Body.Bytes(), &dbg); err != nil {
+		t.Fatal(err)
+	}
+	if dbg.SpansDropped < int64(rt.DroppedSpans) {
+		t.Errorf("spans_dropped_total = %d, below the single trace's %d",
+			dbg.SpansDropped, rt.DroppedSpans)
+	}
+}
+
+// TestBatchDistinctDefaultSeeds is the S1 regression: items that omit
+// their seed must run distinct random streams — before the fix they all
+// replayed stream 0 and a batch of "independent" replications returned N
+// identical summaries.
+func TestBatchDistinctDefaultSeeds(t *testing.T) {
+	s := newTestServer(t, Config{MaxBatchItems: 8})
+	body := `{"items":[
+		{"workload":"atr","scheme":"AS","runs":20},
+		{"workload":"atr","scheme":"AS","runs":20},
+		{"workload":"atr","scheme":"AS","runs":20}]}`
+	w := post(t, s, "/v1/batch", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	first := w.Body.String()
+	var items []BatchItemResult
+	for _, line := range strings.Split(strings.TrimSpace(first), "\n") {
+		if strings.Contains(line, `"summary"`) {
+			continue
+		}
+		var it BatchItemResult
+		if err := json.Unmarshal([]byte(line), &it); err != nil {
+			t.Fatal(err)
+		}
+		if it.Error != "" {
+			t.Fatalf("item %d: %s", it.Item, it.Error)
+		}
+		items = append(items, it)
+	}
+	if len(items) != 3 {
+		t.Fatalf("%d item lines, want 3", len(items))
+	}
+	if items[0].MeanEnergyJ == items[1].MeanEnergyJ && items[1].MeanEnergyJ == items[2].MeanEnergyJ {
+		t.Error("seedless items produced identical summaries: shared random stream")
+	}
+	// Deterministic: the same seedless batch replays the same per-item
+	// streams.
+	if again := post(t, s, "/v1/batch", body); again.Body.String() != first {
+		t.Error("resubmitted seedless batch diverged: per-item defaults are not deterministic")
+	}
+}
+
+// TestBatchExplicitSeedMatchesRun: an item with an explicit seed must
+// summarize exactly as /v1/run with that seed — the batch path adds no
+// seed skew of its own.
+func TestBatchExplicitSeedMatchesRun(t *testing.T) {
+	s := newTestServer(t, Config{MaxBatchItems: 8})
+	w := post(t, s, "/v1/batch",
+		`{"items":[{"workload":"atr","scheme":"GSS","runs":50,"seed":99},
+		           {"workload":"atr","scheme":"GSS","runs":50,"seed":99}]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", w.Code, w.Body.String())
+	}
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	var a, b BatchItemResult
+	if err := json.Unmarshal([]byte(lines[0]), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanEnergyJ != b.MeanEnergyJ || a.MeanFinishS != b.MeanFinishS {
+		t.Errorf("same explicit seed, different summaries: %+v vs %+v", a, b)
+	}
+
+	rw := post(t, s, "/v1/run", `{"workload":"atr","scheme":"GSS","runs":50,"seed":99}`)
+	if rw.Code != http.StatusOK {
+		t.Fatalf("run status %d", rw.Code)
+	}
+	runLines := strings.Split(strings.TrimSpace(rw.Body.String()), "\n")
+	var sum RunSummary
+	if err := json.Unmarshal([]byte(runLines[len(runLines)-1]), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanEnergyJ != sum.MeanEnergyJ || a.MeanFinishS != sum.MeanFinishS ||
+		a.DeadlineMisses != sum.DeadlineMisses {
+		t.Errorf("batch item (seed 99) %+v != /v1/run summary %+v", a, sum)
+	}
+}
+
+// TestChunkedRunRetryAfterBound: a 429 produced while the pool digests
+// chunked work must carry a Retry-After derived from the actual queued
+// units — single-digit seconds here, not a W×-inflated figure.
+func TestChunkedRunRetryAfterBound(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QueueSize: 2})
+	// Warm the plan (and the service-time EWMAs) so rejections below use
+	// learned rates.
+	if w := post(t, s, "/v1/run", `{"workload":"atr","scheme":"GSS","runs":2000,"chunks":2}`); w.Code != http.StatusOK {
+		t.Fatalf("warmup status %d", w.Code)
+	}
+	// Saturate with chunked requests in the background, then collect a
+	// rejection. Requests are sized to hold the queue for tens of
+	// milliseconds each: the closed-loop senders keep the 2-slot queue
+	// full almost continuously once all four are in flight.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				post(t, s, "/v1/run", `{"workload":"atr","scheme":"AS","runs":40000,"chunks":2}`)
+			}
+		}()
+	}
+	defer func() { close(stop); wg.Wait() }()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("never saw a 429 under chunked saturation")
+		}
+		w := post(t, s, "/v1/run", `{"workload":"atr","scheme":"GSS","runs":200,"chunks":2}`)
+		if w.Code != http.StatusTooManyRequests {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		ra := w.Header().Get("Retry-After")
+		secs := 0
+		if _, err := fmt.Sscanf(ra, "%d", &secs); err != nil {
+			t.Fatalf("Retry-After %q not an integer", ra)
+		}
+		// The estimate is load- and machine-dependent (an oversubscribed
+		// CI box honestly reports slow per-unit rates), so the e2e check
+		// pins the plumbing and the documented clamp; the exact
+		// unit-derived arithmetic is pinned by TestRetryAfterCountsUnits.
+		if secs < 1 || secs > 60 {
+			t.Errorf("Retry-After %ds outside the documented [1, 60]s clamp", secs)
+		}
+		return
+	}
+}

@@ -78,6 +78,13 @@ type DebugRequests struct {
 	InFlight   int                           `json:"in_flight"`
 	QueueDepth int                           `json:"queue_depth"`
 	QueueAgeS  float64                       `json:"queue_age_s"`
+	// SpansDropped counts, over the recorder's lifetime, spans that
+	// overflowed some trace's fixed span array (each trace also reports
+	// its own dropped_spans, but evicted traces take that with them). A
+	// steadily growing total means traces here are routinely incomplete —
+	// fan-out (chunked runs, large batches) writing more phases than the
+	// per-trace budget holds.
+	SpansDropped int64 `json:"spans_dropped_total"`
 }
 
 // handleDebugRequests serves the flight recorder's contents as JSON.
@@ -98,11 +105,12 @@ func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
 		limit = n
 	}
 	writeJSON(w, http.StatusOK, DebugRequests{
-		Recent:     s.flight.Recent(limit),
-		Slowest:    s.flight.Slowest(),
-		InFlight:   s.pool.InFlight(),
-		QueueDepth: s.pool.QueueDepth(),
-		QueueAgeS:  s.pool.OldestQueueAge().Seconds(),
+		Recent:       s.flight.Recent(limit),
+		Slowest:      s.flight.Slowest(),
+		InFlight:     s.pool.InFlight(),
+		QueueDepth:   s.pool.QueueDepth(),
+		QueueAgeS:    s.pool.OldestQueueAge().Seconds(),
+		SpansDropped: s.flight.DroppedSpans(),
 	})
 }
 

@@ -112,12 +112,37 @@ func TestE2ESustainedLoad(t *testing.T) {
 // full 429 contract: rejections happen, they carry Retry-After, and no
 // accepted request is dropped.
 func TestE2EBackpressure(t *testing.T) {
-	s, base, errc := startE2E(t, Config{Workers: 1, QueueSize: 1})
+	// The explicit RequestTimeout keeps the admitted occupier streams
+	// alive under -race, where the simulator runs ~100x slower than its
+	// plain ~1.5M runs/s per core and the two serialized occupiers can
+	// outlast the default per-request timeout.
+	s, base, errc := startE2E(t, Config{
+		Workers: 1, QueueSize: 1, MaxRuns: 100000, RequestTimeout: 2 * time.Minute,
+	})
 
 	// Saturate the one worker and the one queue slot with streaming
-	// requests, then check a direct request is turned away correctly.
-	heavy := []byte(`{"workload":"atr","scheme":"AS","runs":30000,"seed":1}`)
+	// requests, then check a direct request is turned away correctly. The
+	// occupiers must hold the server for tens of milliseconds so the
+	// probe loop below gets several shots at the saturated queue: small
+	// occupiers can finish before the saturation gate below even trips.
+	heavy := []byte(`{"workload":"atr","scheme":"AS","runs":100000,"seed":1}`)
 	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Warm the plan cache first. On a cold snapshot a request resolves
+	// its plan through a blocking compile-join, so a probe sent below
+	// would wait out the entire saturation window inside plan resolution
+	// instead of reaching the fail-fast admission check it is meant to
+	// exercise.
+	if resp, err := client.Post(base+"/v1/run", "application/json",
+		strings.NewReader(`{"workload":"atr","scheme":"GSS","runs":1}`)); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warmup status %d", resp.StatusCode)
+		}
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < 2; i++ {
 		wg.Add(1)
@@ -149,7 +174,11 @@ func TestE2EBackpressure(t *testing.T) {
 		}()
 	}
 
-	// Wait until worker + queue slot are taken.
+	// Wait until worker + queue slot are taken. InFlight also counts the
+	// occupiers' plan-compile jobs on a cold cache, so this gate alone
+	// does not prove the run jobs hold the queue yet — the burst below
+	// keeps probing until the occupiers are done rather than trusting a
+	// single snapshot.
 	deadline := time.Now().Add(10 * time.Second)
 	for s.pool.InFlight() < 2 {
 		if time.Now().After(deadline) {
@@ -157,10 +186,15 @@ func TestE2EBackpressure(t *testing.T) {
 		}
 		time.Sleep(500 * time.Microsecond)
 	}
+	occDone := make(chan struct{})
+	go func() { wg.Wait(); close(occDone) }()
 
-	// Burst more requests: they must all be clean 429s with Retry-After.
+	// Burst requests for as long as the occupiers hold the server: at
+	// least one must be a clean 429 with Retry-After. An admitted burst
+	// blocks behind the occupiers, which only delays the next probe —
+	// with both occupiers mid-run every probe finds the queue full.
 	sawReject := false
-	for i := 0; i < 8 && !sawReject; i++ {
+	for !sawReject {
 		resp, err := client.Post(base+"/v1/run", "application/json",
 			strings.NewReader(`{"workload":"atr","scheme":"GSS","runs":50}`))
 		if err != nil {
@@ -178,9 +212,15 @@ func TestE2EBackpressure(t *testing.T) {
 			}
 		}
 		resp.Body.Close()
-	}
-	if !sawReject {
-		t.Error("saturated server never answered 429")
+		if !sawReject {
+			select {
+			case <-occDone:
+				t.Error("saturated server never answered 429")
+				sawReject = true // only to exit the loop; the counter check below still fails
+			default:
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
 	}
 	wg.Wait()
 

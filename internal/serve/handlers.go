@@ -199,75 +199,54 @@ func fillRow(row *RunRow, run int, res *core.RunResult) {
 }
 
 // monteCarlo executes runs Monte-Carlo executions of plan on wk's state.
-// Per-run seeds come from one master stream, so runs are independent but
-// the whole request is reproducible from seed. each (optional) observes
-// every result and may stop the loop early by returning false — e.g. a
-// streaming encoder whose client went away. The returned summary covers
-// the observed prefix (Runs < runs when stopped early); a context expiry
-// or simulation failure aborts with the error and a partial summary.
+// Per-run seeds come from one master stream (run i's seed is the i-th
+// master draw — the convention the chunked path reproduces with an O(1)
+// skip), so runs are independent but the whole request is reproducible
+// from seed. each (optional) observes every result and may stop the loop
+// early by returning false — e.g. a streaming encoder whose client went
+// away. The returned summary covers the observed prefix (Runs < runs when
+// stopped early); a context expiry or simulation failure aborts with the
+// error and a partial summary. Accumulation goes through core.MCStats,
+// the same reducer the chunked merge path feeds in run order, which is
+// what keeps serial and chunked summaries bit-identical.
 func monteCarlo(ctx context.Context, wk *Worker, plan *core.Plan, cfg core.RunConfig,
 	runs int, seed uint64, each func(i int, res *core.RunResult) bool) (RunSummary, error) {
-	var finish, energy stats.Acc
-	var misses, lst, changes, done int
-	// Per-class energy sums, grown lazily on the first heterogeneous
-	// result (homogeneous runs never pay for them).
-	var classGross, classIdle []float64
+	var mc core.MCStats
 	if rec := obs.TraceFromContext(ctx); rec != nil {
 		// One exec.mc span per Monte-Carlo loop, counting completed runs.
-		// Batch chunks call this concurrently on one request's record; span
-		// slots are reserved atomically, so that is safe.
+		// Batch and run chunks call this concurrently on one request's
+		// record; span slots are reserved atomically, so that is safe.
 		t0 := rec.SinceStart()
-		defer func() { rec.RecordOffsetN(PhaseExecMC, t0, int64(done)) }()
+		defer func() { rec.RecordOffsetN(PhaseExecMC, t0, int64(mc.Done)) }()
 	}
 	var master exectime.Source
 	master.Reseed(seed)
-	sum := func() RunSummary {
-		rs := RunSummary{
-			Summary: true, Runs: done, Scheme: cfg.Scheme.String(), DeadlineS: cfg.Deadline,
-			MeanEnergyJ: energy.Mean(), MeanFinishS: finish.Mean(), MaxFinishS: finish.Max(),
-			DeadlineMisses: misses, LSTViolations: lst, SpeedChanges: changes,
-		}
-		if classGross != nil && done > 0 {
-			rs.MeanClassGrossJ = make([]float64, len(classGross))
-			rs.MeanClassIdleJ = make([]float64, len(classIdle))
-			for c := range classGross {
-				rs.MeanClassGrossJ[c] = classGross[c] / float64(done)
-				rs.MeanClassIdleJ[c] = classIdle[c] / float64(done)
-			}
-		}
-		return rs
-	}
 	for i := 0; i < runs; i++ {
 		if err := ctx.Err(); err != nil {
-			return sum(), err
+			return mcSummary(&mc, cfg), err
 		}
 		wk.Src.Reseed(master.Uint64())
 		if err := plan.RunInto(cfg, wk.Arena, &wk.Res); err != nil {
-			return sum(), err
+			return mcSummary(&mc, cfg), err
 		}
 		if each != nil && !each(i, &wk.Res) {
-			return sum(), nil
+			return mcSummary(&mc, cfg), nil
 		}
-		finish.Add(wk.Res.Finish)
-		energy.Add(wk.Res.Energy())
-		if n := len(wk.Res.ClassGrossEnergy); n != 0 {
-			if classGross == nil {
-				classGross = make([]float64, n)
-				classIdle = make([]float64, n)
-			}
-			for c := 0; c < n; c++ {
-				classGross[c] += wk.Res.ClassGrossEnergy[c]
-				classIdle[c] += wk.Res.ClassIdleEnergy[c]
-			}
-		}
-		changes += wk.Res.SpeedChanges
-		lst += wk.Res.LSTViolations
-		if !wk.Res.MetDeadline {
-			misses++
-		}
-		done++
+		mc.Observe(&wk.Res)
 	}
-	return sum(), nil
+	return mcSummary(&mc, cfg), nil
+}
+
+// mcSummary renders an accumulated Monte-Carlo experiment as the stream's
+// trailing summary row.
+func mcSummary(mc *core.MCStats, cfg core.RunConfig) RunSummary {
+	rs := RunSummary{
+		Summary: true, Runs: mc.Done, Scheme: cfg.Scheme.String(), DeadlineS: cfg.Deadline,
+		MeanEnergyJ: mc.Energy.Mean(), MeanFinishS: mc.Finish.Mean(), MaxFinishS: mc.Finish.Max(),
+		DeadlineMisses: mc.Misses, LSTViolations: mc.LSTViolations, SpeedChanges: mc.SpeedChanges,
+	}
+	rs.MeanClassGrossJ, rs.MeanClassIdleJ = mc.ClassMeans()
+	return rs
 }
 
 // handleRun executes an application once (JSON response) or runs=N times
@@ -301,11 +280,26 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("runs %d outside [1, %d]", runs, s.cfg.MaxRuns))
 		return
 	}
+	if req.Chunks < 0 || req.Chunks > maxRunChunks {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("chunks %d outside [0, %d]", req.Chunks, maxRunChunks))
+		return
+	}
 	release, ok := s.admit(w, r, runs)
 	if !ok {
 		return
 	}
 	defer release()
+
+	// Large-run requests fan out across the pool: per-worker chunks with
+	// chunk-independent seeding, merged back in run order — byte-identical
+	// to the serial path below, several workers faster. Serial execution
+	// (one in-job streaming loop) remains the path for small requests,
+	// single-worker pools and explicit chunks=1.
+	if nchunks := chunkCount(runs, s.pool.Workers(), req.Chunks, minRunsPerChunk); nchunks > 1 {
+		s.handleRunChunked(w, r, &req, scheme, runs, nchunks)
+		return
+	}
 
 	// Plan resolution differs by path. The legacy path resolves on the
 	// handler goroutine through the shared cache, then submits to the
@@ -466,11 +460,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			_ = enc.Encode(sum)
 		}
 	}
+	// The job is sized in runs so the queue's Retry-After accounting sees
+	// the real work behind it, serial or chunked.
 	var poolErr error
 	if routed {
-		poolErr = s.pool.DoOn(r.Context(), s.pool.homeFor(ra.key), stream)
+		poolErr = s.pool.doOnUnits(r.Context(), s.pool.homeFor(ra.key), int64(runs), stream)
 	} else {
-		poolErr = s.pool.Do(r.Context(), stream)
+		poolErr = s.pool.doUnits(r.Context(), int64(runs), stream)
 	}
 	if poolErr != nil {
 		// The job never ran, so no status line was written: report the
@@ -525,6 +521,11 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 				runs, len(schemes), s.cfg.MaxRuns))
 		return
 	}
+	if req.Chunks < 0 || req.Chunks > maxRunChunks {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("chunks %d outside [0, %d]", req.Chunks, maxRunChunks))
+		return
+	}
 	// A compare costs one NPM baseline plus one run per scheme per frame.
 	release, ok := s.admit(w, r, runs*(len(schemes)+1))
 	if !ok {
@@ -542,11 +543,22 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Each frame costs one NPM baseline plus one run per scheme, so the
+	// per-chunk floor is correspondingly lower than /v1/run's.
+	minFrames := minRunsPerChunk / (len(schemes) + 1)
+	if minFrames < 8 {
+		minFrames = 8
+	}
+	if nchunks := chunkCount(runs, s.pool.Workers(), req.Chunks, minFrames); nchunks > 1 {
+		s.handleCompareChunked(w, r, &req, schemes, plan, deadline, runs, nchunks)
+		return
+	}
+
 	resp := CompareResponse{
 		App: plan.Graph.Name, Runs: runs, DeadlineS: deadline,
 	}
 	var runErr error
-	err := s.pool.Do(r.Context(), func(ctx context.Context, wk *Worker) {
+	err := s.pool.doUnits(r.Context(), int64(runs*(len(schemes)+1)), func(ctx context.Context, wk *Worker) {
 		norm := make([]stats.Acc, len(schemes))
 		chg := make([]stats.Acc, len(schemes))
 		missed := make([]int, len(schemes))

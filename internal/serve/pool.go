@@ -47,6 +47,13 @@ type job struct {
 	done chan struct{}
 	ran  bool // set by the worker before closing done
 
+	// units is the job's work size in Monte-Carlo runs (1 for unit work
+	// like plan compiles and single executions). It weights the service
+	// EWMAs and the queued-work gauge behind RetryAfter: since one request
+	// may fan out into many chunk jobs, per-job accounting would misprice
+	// the queue by the fan-out factor.
+	units int64
+
 	// enq is the submission time; it feeds the queue-age gauge and — when
 	// rec is non-nil (traced request) — the queue-wait span, recorded by
 	// the worker or by the submitter if it gives up while blocked. The
@@ -171,9 +178,15 @@ type poolWorker struct {
 	sched *schedcache.Cache
 
 	hits, misses, evictions atomic.Int64
-	// svcNanos is an EWMA of this worker's observed per-job service time
-	// (α = 1/8). Single-writer: plain load/store, no CAS loop.
-	svcNanos atomic.Int64
+	// svcUnitNanos is an EWMA of this worker's observed service time per
+	// work unit (α = 1/8), and jobUnits an EWMA of units per job. Keeping
+	// the rate per unit — rather than per job — makes the Retry-After
+	// estimate independent of how requests are chunked: a request split
+	// into W chunk jobs contributes the same queued work and the same
+	// drain rate as its serial form, where a per-job EWMA would overprice
+	// the queue by ~W×. Single-writer: plain load/store, no CAS loop.
+	svcUnitNanos atomic.Int64
+	jobUnits     atomic.Int64
 }
 
 // Pool is a fixed-size worker pool with a shared bounded admission queue
@@ -192,6 +205,10 @@ type Pool struct {
 	closed     atomic.Bool
 	closeDone  chan struct{}
 	inFlight   atomic.Int64
+	// unitsQueued tracks the work (in units) sitting in the queues but not
+	// yet picked up — the numerator of the RetryAfter drain estimate.
+	// Incremented after a successful enqueue, decremented at pickup.
+	unitsQueued atomic.Int64
 
 	// grave accumulates the per-worker cache counters folded in at Close,
 	// after the workers exited: a drained pool keeps reporting the totals
@@ -273,6 +290,7 @@ func (p *Pool) worker(w *poolWorker) {
 
 func (p *Pool) run(w *poolWorker, wk *Worker, j *job, ring *ageRing) {
 	ring.noteDequeue()
+	p.unitsQueued.Add(-j.units)
 	j.pickup = time.Now()
 	// The queue-wait span is recorded even for jobs skipped below: a
 	// cancelled-while-queued request still spent that time waiting, and
@@ -286,24 +304,33 @@ func (p *Pool) run(w *poolWorker, wk *Worker, j *job, ring *ageRing) {
 	if j.ctx.Err() == nil {
 		j.fn(j.ctx, wk)
 		j.ran = true
-		w.observeService(time.Since(j.pickup))
+		w.observeService(time.Since(j.pickup), j.units)
 	}
 	close(j.done)
 	p.inFlight.Add(-1)
 }
 
-// observeService folds one job's duration into the worker's service-time
-// EWMA (α = 1/8: stable under bursty mixes, adapts within a few dozen
-// jobs). Owner-only, so a plain read-modify-write suffices.
-func (w *poolWorker) observeService(d time.Duration) {
-	n := d.Nanoseconds()
+// observeService folds one job's duration into the worker's per-unit
+// service-time and units-per-job EWMAs (α = 1/8: stable under bursty
+// mixes, adapts within a few dozen jobs). Owner-only, so plain
+// read-modify-writes suffice.
+func (w *poolWorker) observeService(d time.Duration, units int64) {
+	if units < 1 {
+		units = 1
+	}
+	n := d.Nanoseconds() / units
 	if n < 1 {
 		n = 1
 	}
-	if old := w.svcNanos.Load(); old != 0 {
+	if old := w.svcUnitNanos.Load(); old != 0 {
 		n = old + (n-old)/8
 	}
-	w.svcNanos.Store(n)
+	w.svcUnitNanos.Store(n)
+	u := units
+	if old := w.jobUnits.Load(); old != 0 {
+		u = old + (u-old)/8
+	}
+	w.jobUnits.Store(u)
 }
 
 // QueueDepth reports the number of jobs currently sitting in the shared
@@ -332,29 +359,41 @@ func (p *Pool) OldestQueueAge() time.Duration {
 }
 
 // RetryAfter estimates how long a rejected client should wait for queue
-// space to appear: the queued work divided by the pool's observed drain
-// rate (workers / mean EWMA service time), clamped to [1s, 60s]. Before
+// space to appear: the queued work — measured in run units, not jobs — at
+// the pool's observed per-unit drain rate, plus one mean-sized job for the
+// caller's own work, clamped to [1s, 60s]. Counting units matters once
+// requests fan out into per-worker chunks: W queued chunk jobs of one
+// request hold the same work as its serial form, and a per-job estimate
+// learned from pre-chunking traffic would overprice them by ~W×. Before
 // any job has completed — or with empty queues, where the rejection came
 // from a race — there is no schedule to derive, and the estimate falls
 // back to 1s.
 func (p *Pool) RetryAfter() time.Duration {
-	var svc, n int64
+	var svcUnit, meanUnits, n int64
 	for _, w := range p.workers {
-		if s := w.svcNanos.Load(); s > 0 {
-			svc += s
+		if s := w.svcUnitNanos.Load(); s > 0 {
+			svcUnit += s
+			meanUnits += w.jobUnits.Load()
 			n++
 		}
 	}
-	depth := p.QueueDepth()
-	if n == 0 || depth == 0 {
+	queued := p.unitsQueued.Load()
+	if n == 0 || (queued <= 0 && p.QueueDepth() == 0) {
 		return time.Second
 	}
-	svc /= n
+	svcUnit /= n
+	meanUnits /= n
+	if meanUnits < 1 {
+		meanUnits = 1
+	}
+	if queued < 0 {
+		queued = 0 // transient decrement-before-increment races read as empty
+	}
 	workers := int64(len(p.workers))
-	// depth+1 jobs (the queue plus the caller's own) drain at
-	// workers-per-svc; round up to whole work, clamp to the header-friendly
-	// band.
-	wait := time.Duration((int64(depth+1)*svc + workers - 1) / workers)
+	// queued+meanUnits units (the queue plus the caller's own, assumed
+	// mean-sized) drain at workers-per-unit-svc; round up to whole work,
+	// clamp to the header-friendly band.
+	wait := time.Duration(((queued+meanUnits)*svcUnit + workers - 1) / workers)
 	if wait < time.Second {
 		wait = time.Second
 	}
@@ -371,7 +410,25 @@ func (p *Pool) RetryAfter() time.Duration {
 // was skipped because the context expired before a worker picked it up. A
 // nil return means fn ran to completion.
 func (p *Pool) Do(ctx context.Context, fn func(ctx context.Context, w *Worker)) error {
-	return p.submit(ctx, p.shared, p.sharedRing, fn, false)
+	return p.submit(ctx, p.shared, p.sharedRing, fn, false, 1, nil)
+}
+
+// doUnits is Do with an explicit work size in run units (see job.units):
+// handlers submitting multi-run work declare its size so the Retry-After
+// EWMAs stay calibrated per run rather than per job.
+func (p *Pool) doUnits(ctx context.Context, units int64, fn func(ctx context.Context, w *Worker)) error {
+	return p.submit(ctx, p.shared, p.sharedRing, fn, false, units, nil)
+}
+
+// doOnUnits is DoOn with an explicit work size.
+func (p *Pool) doOnUnits(ctx context.Context, home int, units int64, fn func(ctx context.Context, w *Worker)) error {
+	w := p.workers[home]
+	return p.submit(ctx, w.jobs, w.ring, fn, false, units, nil)
+}
+
+// doWaitUnits is DoWait with an explicit work size.
+func (p *Pool) doWaitUnits(ctx context.Context, units int64, fn func(ctx context.Context, w *Worker)) error {
+	return p.submit(ctx, p.shared, p.sharedRing, fn, true, units, nil)
 }
 
 // DoWait is Do without the fail-fast queue check: when the queue is full
@@ -381,7 +438,7 @@ func (p *Pool) Do(ctx context.Context, fn func(ctx context.Context, w *Worker)) 
 // accepted request into a partial failure. Like Do, callers must not
 // start a DoWait after Close begins.
 func (p *Pool) DoWait(ctx context.Context, fn func(ctx context.Context, w *Worker)) error {
-	return p.submit(ctx, p.shared, p.sharedRing, fn, true)
+	return p.submit(ctx, p.shared, p.sharedRing, fn, true, 1, nil)
 }
 
 // DoOn is Do routed to worker `home`'s private queue: fn runs on exactly
@@ -389,21 +446,30 @@ func (p *Pool) DoWait(ctx context.Context, fn func(ctx context.Context, w *Worke
 // section-schedule shards without synchronization.
 func (p *Pool) DoOn(ctx context.Context, home int, fn func(ctx context.Context, w *Worker)) error {
 	w := p.workers[home]
-	return p.submit(ctx, w.jobs, w.ring, fn, false)
+	return p.submit(ctx, w.jobs, w.ring, fn, false, 1, nil)
 }
 
 // DoWaitOn is DoOn with blocking submission, for owner work downstream of
 // an admission decision (plan compiles joined by batch items).
 func (p *Pool) DoWaitOn(ctx context.Context, home int, fn func(ctx context.Context, w *Worker)) error {
 	w := p.workers[home]
-	return p.submit(ctx, w.jobs, w.ring, fn, true)
+	return p.submit(ctx, w.jobs, w.ring, fn, true, 1, nil)
 }
 
-func (p *Pool) submit(ctx context.Context, ch chan *job, ring *ageRing, fn func(ctx context.Context, w *Worker), wait bool) error {
+// submit enqueues fn as one job and blocks until it completes. units sizes
+// the job for the Retry-After accounting (floored at 1). onEnqueue, when
+// non-nil, runs exactly once right after the job lands in the queue —
+// before submit blocks on completion — so a coordinator (fanOut) can learn
+// that the fail-fast admission decision succeeded without waiting for the
+// job to finish. It runs on the submitting goroutine and must not block.
+func (p *Pool) submit(ctx context.Context, ch chan *job, ring *ageRing, fn func(ctx context.Context, w *Worker), wait bool, units int64, onEnqueue func()) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	j := &job{ctx: ctx, fn: fn, done: make(chan struct{}), enq: time.Now()}
+	if units < 1 {
+		units = 1
+	}
+	j := &job{ctx: ctx, fn: fn, done: make(chan struct{}), enq: time.Now(), units: units}
 	j.rec = obs.TraceFromContext(ctx)
 	// Dekker handshake with Close: count the submission first, then check
 	// the closed flag (both sequentially consistent). Close stores the
@@ -435,6 +501,10 @@ func (p *Pool) submit(ctx context.Context, ch chan *job, ring *ageRing, fn func(
 		}
 	}
 	ring.noteEnqueue(j.enq)
+	p.unitsQueued.Add(units)
+	if onEnqueue != nil {
+		onEnqueue()
+	}
 	<-j.done
 	if !j.ran {
 		if err := ctx.Err(); err != nil {
@@ -448,6 +518,79 @@ func (p *Pool) submit(ctx context.Context, ch chan *job, ring *ageRing, fn func(
 	// leaving it an unattributed gap in the trace.
 	j.rec.Record(PhaseExec, j.pickup)
 	return nil
+}
+
+// fanOut executes n chunk jobs of one request across the pool and blocks
+// until every started job has returned. job(c) builds chunk c's function,
+// units(c) its work size (nil means 1).
+//
+// Admission semantics mirror the serial path exactly: chunk 0 is submitted
+// with the fail-fast Do path — the request's single admission decision on
+// the shared queue, so a saturated pool still answers a clean 429 — and
+// the remaining chunks enter with blocking DoWait only after chunk 0 is
+// known to be enqueued, the way an admitted batch's items ride out
+// transient queue pressure. (Without that ordering a sibling chunk could
+// fill the queue first and fail its own request's admission probe.)
+//
+// Error handling is all-or-nothing: the first failure cancels the shared
+// child context, every started chunk backs out at its next run boundary,
+// and the returned error reports the failure — never a partial result. A
+// nil return means every chunk ran to completion.
+func (p *Pool) fanOut(ctx context.Context, n int, units func(c int) int64, job func(c int) func(context.Context, *Worker)) error {
+	u := func(c int) int64 {
+		if units == nil {
+			return 1
+		}
+		return units(c)
+	}
+	if n <= 1 {
+		return p.doUnits(ctx, u(0), job(0))
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	// enq resolves chunk 0's admission: nil once it is enqueued, or the
+	// fail-fast error if it never was.
+	enq := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		enqueued := false
+		errs[0] = p.submit(cctx, p.shared, p.sharedRing, job(0), false, u(0), func() {
+			enqueued = true
+			enq <- nil
+		})
+		if !enqueued {
+			enq <- errs[0]
+		} else if errs[0] != nil {
+			cancel()
+		}
+	}()
+	if err := <-enq; err != nil {
+		wg.Wait()
+		return err
+	}
+	for c := 1; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errs[c] = p.submit(cctx, p.shared, p.sharedRing, job(c), true, u(c), nil)
+			if errs[c] != nil {
+				cancel()
+			}
+		}(c)
+	}
+	wg.Wait()
+	// Prefer the root cause over the context.Canceled errors the cancel
+	// fanned out to sibling chunks.
+	var first error
+	for _, err := range errs {
+		if err != nil && (first == nil || errors.Is(first, context.Canceled)) {
+			first = err
+		}
+	}
+	return first
 }
 
 // InFlight returns the number of jobs queued or running.

@@ -66,11 +66,20 @@ type RunRequest struct {
 	// Load is the system load CT_worst/D in (0,1] (default 0.5), used when
 	// Deadline is 0.
 	Load float64 `json:"load,omitempty"`
-	// Seed drives actual execution times and OR branches (default 42).
+	// Seed drives actual execution times and OR branches (default 0). Run
+	// i's stream is drawn from a master SplitMix64 sequence seeded here, so
+	// a request is reproducible run by run from its seed alone.
 	Seed uint64 `json:"seed,omitempty"`
 	// Runs is the Monte-Carlo run count (default 1). Runs > 1 switches the
 	// response to NDJSON streaming: one JSON row per run, then a summary.
 	Runs int `json:"runs,omitempty"`
+	// Chunks splits the Monte-Carlo loop across up to this many pool
+	// workers (0 = automatic: large-run requests fan out across the pool,
+	// small ones stay serial; 1 forces the serial path). Rows, their order
+	// and the trailing summary are byte-identical for every chunk count:
+	// per-run seeds are derived by an O(1) skip on the master stream and
+	// summaries are reduced in run order. Capped at Runs and at 64.
+	Chunks int `json:"chunks,omitempty"`
 	// Worst makes every task consume its full WCET (no sampling).
 	Worst bool `json:"worst,omitempty"`
 }
@@ -87,7 +96,13 @@ type CompareRequest struct {
 	Load     float64 `json:"load,omitempty"`
 	// Runs is the number of frames per scheme (default 200).
 	Runs int `json:"runs,omitempty"`
-	// Seed drives the common random numbers (default 42).
+	// Chunks splits the comparison's frames across up to this many pool
+	// workers (0 = automatic, 1 = serial; capped at Runs and at 64). The
+	// response is byte-identical for every chunk count: per-frame CRN
+	// seeds are derived by an O(1) skip on the master stream and scheme
+	// statistics are reduced in frame order.
+	Chunks int `json:"chunks,omitempty"`
+	// Seed drives the common random numbers (default 0).
 	Seed uint64 `json:"seed,omitempty"`
 }
 

@@ -162,7 +162,9 @@ func TestSnapshotPublicationRace(t *testing.T) {
 // TestPoolStatsConservationOnClose pins the graveyard bugfix: draining
 // the pool must not lose per-worker cache counters — the merged totals
 // after Close equal the totals before it, and hits+misses account for
-// every owner lookup submitted.
+// every owner lookup submitted. Chunked fan-outs racing the drain must
+// leave the queued-units gauge balanced too: every unit enqueued is
+// eventually picked up (or never admitted), so the gauge returns to zero.
 func TestPoolStatsConservationOnClose(t *testing.T) {
 	p := NewPool(3, 16, 6)
 	mk := compilePlan(t)
@@ -175,6 +177,22 @@ func TestPoolStatsConservationOnClose(t *testing.T) {
 		}); err != nil {
 			t.Fatalf("DoWaitOn: %v", err)
 		}
+	}
+	// Race chunked submissions against the drain below: their units ride
+	// the same accounting the counters do.
+	var fanWG sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		fanWG.Add(1)
+		go func() {
+			defer fanWG.Done()
+			for i := 0; i < 50; i++ {
+				_ = p.fanOut(context.Background(), 3,
+					func(int) int64 { return 7 },
+					func(int) func(context.Context, *Worker) {
+						return func(context.Context, *Worker) {}
+					})
+			}
+		}()
 	}
 	before := p.PlanCacheStats()
 	if got := before.Hits + before.Misses; got != ops {
@@ -189,6 +207,10 @@ func TestPoolStatsConservationOnClose(t *testing.T) {
 	p.Close()
 	if again := p.PlanCacheStats(); again != after {
 		t.Fatalf("counters changed across second Close: %+v vs %+v", again, after)
+	}
+	fanWG.Wait()
+	if units := p.unitsQueued.Load(); units != 0 {
+		t.Fatalf("queued-units gauge = %d after drain, want 0", units)
 	}
 }
 

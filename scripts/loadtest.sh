@@ -131,6 +131,61 @@ if [ "$ncpu" -lt 2 ]; then
 fi
 echo "loadtest: ok (per-core scaling)"
 
+# Chunked-run stage: a single large /v1/run must get faster when the
+# server splits it across workers (chunks:0 = auto) than when forced
+# serial (chunks:1). One closed-loop worker (-c 1) issues runs=1000
+# requests back to back, so ok/s is exactly 1/latency and the serial vs
+# chunked ok/s ratio IS the per-request latency speedup. The daemon runs
+# with the host's full GOMAXPROCS; thresholds (>=1.8x with 2 CPUs,
+# >=3.0x with 4) are enforced only when the host has the cores — byte
+# identity of the two responses is the differential test's job
+# (TestChunkedRunDifferential); this stage gates the speedup.
+echo "loadtest: chunked run stage"
+chunk_n="${LOADTEST_CHUNK_REQUESTS:-100}"
+"$bin/andord" -addr "$addr" -trace-off &
+daemon=$!
+i=0
+until "$bin/andorload" -base "http://$addr" -n 1 -c 1 >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "loadtest: andord (chunked stage) did not come up on $addr" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+# Warm the plan so both measured passes are pure warm-path simulation.
+"$bin/andorload" -base "http://$addr" -n 4 -c 1 -runs 1000 -schemes GSS >/dev/null
+rate_serial= rate_chunked=
+for mode in 1 0; do
+    "$bin/andorload" -base "http://$addr" -n "$chunk_n" -c 1 -runs 1000 \
+        -schemes GSS -chunks "$mode" >"$bin/chunk.$mode.out"
+    rate="$(awk '/^requests/{gsub(/[()]/,""); print $(NF-1)}' "$bin/chunk.$mode.out")"
+    if [ -z "$rate" ]; then
+        echo "loadtest: no throughput line for chunks=$mode" >&2
+        exit 1
+    fi
+    if [ "$mode" -eq 1 ]; then
+        rate_serial="$rate"
+        echo "loadtest: chunks=1 (serial)   $rate req/s"
+    else
+        rate_chunked="$rate"
+        echo "loadtest: chunks=0 (chunked)  $rate req/s"
+    fi
+done
+kill -TERM "$daemon"
+if ! wait "$daemon"; then
+    echo "loadtest: andord (chunked stage) drain was unclean" >&2
+    exit 1
+fi
+if [ "$ncpu" -ge 4 ]; then
+    check_speedup "$rate_serial" "$rate_chunked" 3.0 "chunked run, 4 cores"
+elif [ "$ncpu" -ge 2 ]; then
+    check_speedup "$rate_serial" "$rate_chunked" 1.8 "chunked run, 2 cores"
+else
+    echo "loadtest: host has $ncpu CPU(s); chunked speedup not enforced"
+fi
+echo "loadtest: ok (chunked run)"
+
 # Rate-limited two-tenant smoke: restart the daemon with per-tenant
 # admission on, drive a compliant tenant inside its quota and a noisy one
 # far beyond it, concurrently. The compliant tenant must see zero
